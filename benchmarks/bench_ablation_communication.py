@@ -1,0 +1,101 @@
+"""Ablation: per-iteration communication — rSLPA O(|V|) vs SLPA O(|E|).
+
+Section III-A: replacing the full received multiset with a single fetched
+label cuts the labels moved per iteration from one per directed edge to one
+(request + reply) per vertex.  We measure actual message counts on the BSP
+engine across graph densities, and the O(η) cost of Correction Propagation.
+"""
+
+from benchmarks.bench_common import banner, print_table, scaled
+from repro.core.rslpa import ReferencePropagator
+from repro.distributed.cluster import (
+    run_distributed_rslpa,
+    run_distributed_slpa,
+    run_distributed_update,
+)
+from repro.graph.generators import erdos_renyi
+from repro.workloads.dynamic import random_edit_batch
+
+N = scaled(300, 1000, 4000)
+ITERATIONS = 10
+DEGREES = [4, 8, 16, 32]
+
+
+def test_message_volume_by_density(benchmark, report):
+    rows = []
+
+    def run():
+        for k in DEGREES:
+            graph = erdos_renyi(N, k / (N - 1), seed=k)
+            _, rslpa_stats = run_distributed_rslpa(
+                graph.copy(), seed=1, iterations=ITERATIONS, num_workers=4
+            )
+            _, slpa_stats = run_distributed_slpa(
+                graph.copy(), seed=1, iterations=ITERATIONS, num_workers=4
+            )
+            rows.append(
+                (
+                    k,
+                    graph.num_edges,
+                    rslpa_stats.total_messages // ITERATIONS,
+                    slpa_stats.total_messages // ITERATIONS,
+                    round(
+                        slpa_stats.total_messages / max(rslpa_stats.total_messages, 1),
+                        2,
+                    ),
+                )
+            )
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        banner(
+            "Communication: labels per iteration, rSLPA fetch vs SLPA push",
+            "rSLPA O(|V|) per iteration; SLPA O(|E|) per iteration",
+            "SLPA volume grows with density; rSLPA stays flat at 2|V|",
+        )
+    )
+    report(f"graph: |V|={N}, workers=4, iterations={ITERATIONS}")
+    print_table(
+        report,
+        ["avg degree", "|E|", "rSLPA msgs/iter", "SLPA msgs/iter", "SLPA/rSLPA"],
+        rows,
+    )
+
+    # rSLPA volume is density-independent; SLPA volume grows.
+    rslpa_per_iter = [row[2] for row in rows]
+    slpa_per_iter = [row[3] for row in rows]
+    assert max(rslpa_per_iter) <= 2 * N
+    assert slpa_per_iter[-1] > slpa_per_iter[0] * 4
+    assert rows[-1][4] > rows[0][4]
+
+
+def test_correction_volume_scales_with_eta(benchmark, report):
+    graph = erdos_renyi(N, 8 / (N - 1), seed=3)
+
+    rows = []
+
+    def run():
+        for batch_size in scaled([4, 16, 64], [10, 100, 1000], [100, 1000]):
+            g = graph.copy()
+            propagator = ReferencePropagator(g, seed=5)
+            propagator.propagate(20)
+            batch = random_edit_batch(g, batch_size, seed=batch_size)
+            _, _, stats = run_distributed_update(
+                g, propagator.state, batch, seed=5, batch_epoch=1, num_workers=4
+            )
+            rows.append((batch_size, stats.total_messages, stats.supersteps))
+        return rows
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        banner(
+            "Communication: Correction Propagation message volume is O(eta)",
+            "only vertices near changed edges communicate",
+            "messages grow with batch size, far below a full re-run",
+        )
+    )
+    full_run_messages = 2 * N * 20
+    print_table(report, ["batch", "messages", "supersteps"], rows)
+    report(f"(full re-propagation would move ~{full_run_messages} messages)")
+    assert rows[0][1] < full_run_messages

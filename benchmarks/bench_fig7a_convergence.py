@@ -1,0 +1,73 @@
+"""Figure 7a — rSLPA NMI vs iteration count T, for several graph sizes.
+
+Paper: "for different N, it gives a relatively stable result when T >= 200";
+the NMI climbs with T and flattens.  We sweep T by propagating once to the
+maximum horizon and re-running the post-processing on prefix checkpoints
+(propagation is strictly append-only, so a prefix equals a shorter run).
+"""
+
+from benchmarks.bench_common import banner, print_series, scaled
+from repro.core.fast import FastPropagator
+from repro.core.postprocess import extract_communities
+from repro.metrics.nmi import nmi_overlapping
+from repro.workloads.lfr import LFRParams, generate_lfr
+
+SIZES = scaled([600, 1000, 1500], [2000, 4000, 6000], [10_000, 20_000, 50_000])
+CHECKPOINTS = scaled(
+    [25, 50, 100, 150, 200, 300],
+    [50, 100, 200, 400, 600],
+    [100, 200, 400, 600, 800, 1000],
+)
+TAU_STEP = 0.005
+
+
+def _nmi_at_checkpoints(n: int, seed: int):
+    params = LFRParams(
+        n=n,
+        avg_degree=scaled(16.0, 24.0, 30.0),
+        max_degree=scaled(40, 70, 100),
+        mu=0.1,
+        overlap_fraction=0.1,
+        overlap_membership=2,
+    )
+    lfr = generate_lfr(params, seed=seed)
+    fast = FastPropagator(lfr.graph, seed=seed)
+    scores = []
+    done = 0
+    for horizon in CHECKPOINTS:
+        fast.propagate(horizon - done)
+        done = horizon
+        sequences = {v: fast.labels[:, v].tolist() for v in range(n)}
+        result = extract_communities(lfr.graph, sequences, step=TAU_STEP)
+        scores.append(
+            nmi_overlapping(result.cover.as_sets(), lfr.communities, n)
+        )
+    return scores
+
+
+def test_fig7a_convergence(benchmark, report):
+    report(
+        banner(
+            "Figure 7a: NMI vs iterations T (rSLPA)",
+            "NMI stabilises for T >= 200 at every graph size",
+            "score climbs with T then flattens; larger N not slower to converge",
+        )
+    )
+    series = {}
+    for n in SIZES[:-1]:
+        series[n] = _nmi_at_checkpoints(n, seed=1)
+
+    # benchmark the largest size end-to-end (single round).
+    largest = SIZES[-1]
+    series[largest] = benchmark.pedantic(
+        lambda: _nmi_at_checkpoints(largest, seed=1), rounds=1, iterations=1
+    )
+
+    for n, ys in series.items():
+        print_series(report, f"N={n}", CHECKPOINTS, ys)
+
+    for n, ys in series.items():
+        # Late scores must not collapse relative to the peak (stability) and
+        # the tail should beat the earliest checkpoint (convergence upward).
+        assert max(ys) - ys[-1] < 0.25, f"N={n}: tail collapsed: {ys}"
+        assert ys[-1] >= ys[0] - 0.1, f"N={n}: no improvement with T: {ys}"

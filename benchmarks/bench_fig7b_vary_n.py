@@ -1,0 +1,39 @@
+"""Figure 7b — NMI vs graph size N (SLPA vs rSLPA).
+
+Paper: "Both algorithms have very high and stable scores, and the difference
+between two algorithms is small" as N grows from 10,000 to 50,000.
+"""
+
+from benchmarks.bench_common import banner, print_table, scaled
+from benchmarks.fig7_common import default_params, sweep_panel
+
+SIZES = scaled(
+    [600, 800, 1000, 1300, 1600],
+    [2000, 3000, 4000, 5000],
+    [10_000, 20_000, 30_000, 40_000, 50_000],
+)
+
+
+def test_fig7b_vary_n(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: sweep_panel(SIZES, lambda n: default_params(n=n)),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        banner(
+            "Figure 7b: NMI when varying N",
+            "both high and stable; small difference between algorithms",
+            "no systematic degradation as N grows",
+        )
+    )
+    print_table(report, ["N", "SLPA NMI", "rSLPA NMI"], rows)
+
+    slpa_scores = [r[1] for r in rows]
+    rslpa_scores = [r[2] for r in rows]
+    # Stability: scores do not trend down with size.
+    assert min(slpa_scores) > max(slpa_scores) - 0.3
+    assert min(rslpa_scores) > max(rslpa_scores) - 0.3
+    # Both well above chance everywhere.
+    assert min(slpa_scores) > 0.4
+    assert min(rslpa_scores) > 0.4

@@ -1,0 +1,34 @@
+"""Figure 7f — NMI vs number of overlapping vertices on.
+
+Paper: as on grows from 0.1N to 0.3N, "the performance of both algorithms
+becomes worse" — community boundaries get fuzzier.
+"""
+
+from benchmarks.bench_common import banner, print_table
+from benchmarks.fig7_common import default_params, sweep_panel
+
+OVERLAP_FRACTIONS = [0.1, 0.15, 0.2, 0.25, 0.3]
+
+
+def test_fig7f_vary_on(benchmark, report):
+    rows = benchmark.pedantic(
+        lambda: sweep_panel(
+            OVERLAP_FRACTIONS,
+            lambda frac: default_params(overlap_fraction=frac),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    report(
+        banner(
+            "Figure 7f: NMI when varying on (number of overlapping vertices)",
+            "both degrade as on grows 0.1N -> 0.3N",
+            "more overlap -> fuzzier boundaries -> lower NMI for both",
+        )
+    )
+    print_table(report, ["on/N", "SLPA NMI", "rSLPA NMI"], rows)
+
+    slpa_scores = [r[1] for r in rows]
+    rslpa_scores = [r[2] for r in rows]
+    assert slpa_scores[-1] < slpa_scores[0]
+    assert rslpa_scores[-1] <= rslpa_scores[0] + 0.05

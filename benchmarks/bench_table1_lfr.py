@@ -1,0 +1,48 @@
+"""Table I — LFR benchmark parameters, and the realised graph statistics.
+
+The paper's Table I lists the generator parameters (N, maxk, k, µ, on, om);
+the default setting is N=10,000, k=30, maxk=100, om=2, on=0.1N, µ=0.1.
+This harness prints the parameter table at the current scale together with
+the *realised* statistics of the generated graph, verifying the generator
+hits its targets; the benchmark measures generation cost.
+"""
+
+from benchmarks.bench_common import banner, print_table, scaled
+from repro.workloads.lfr import generate_lfr
+
+
+def test_table1_lfr_parameters(benchmark, report, default_lfr):
+    params = default_lfr.params
+    lfr = default_lfr
+
+    def regenerate():
+        return generate_lfr(params, seed=43)
+
+    fresh = benchmark.pedantic(regenerate, rounds=1, iterations=1)
+
+    report(
+        banner(
+            "Table I: parameters of the LFR benchmark",
+            "defaults N=10000, k=30, maxk=100, om=2, on=0.1N, mu=0.1",
+            "generator must realise the requested parameters",
+        )
+    )
+    rows = [
+        ("N (number of vertices)", params.n, lfr.graph.num_vertices),
+        ("k (average degree)", params.avg_degree,
+         round(lfr.graph.average_degree(), 2)),
+        ("maxk (max degree)", params.max_degree, lfr.graph.max_degree()),
+        ("mu (mixing parameter)", params.mu, round(lfr.empirical_mu(), 3)),
+        ("on (overlapping vertices)", params.num_overlapping,
+         len(lfr.overlapping_vertices)),
+        ("om (memberships of overlapping)", params.overlap_membership,
+         max(len(m) for m in lfr.memberships.values())),
+        ("(derived) communities", "-", len(lfr.communities)),
+        ("(derived) edges", "-", lfr.graph.num_edges),
+    ]
+    print_table(report, ["parameter", "requested", "realised"], rows)
+
+    # The generator must hit its targets (tolerances documented in tests).
+    assert abs(lfr.graph.average_degree() - params.avg_degree) < 0.25 * params.avg_degree
+    assert len(lfr.overlapping_vertices) == params.num_overlapping
+    assert fresh.graph.num_vertices == params.n

@@ -1,0 +1,49 @@
+"""Benchmark fixtures: un-captured reporting plus shared workloads."""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.bench_common import scaled
+from repro.workloads.lfr import LFRParams, generate_lfr
+from repro.workloads.webgraph import WebGraphParams, generate_webgraph
+
+
+@pytest.fixture
+def report(capsys):
+    """A print function that bypasses pytest's output capture.
+
+    Benchmarks must show their tables in ``pytest benchmarks/`` output
+    without requiring ``-s``.
+    """
+
+    def _write(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _write
+
+
+@pytest.fixture(scope="session")
+def default_lfr():
+    """The Table-I default LFR instance at the current scale."""
+    params = LFRParams(
+        n=scaled(1000, 4000, 10_000),
+        avg_degree=scaled(16.0, 24.0, 30.0),
+        max_degree=scaled(40, 70, 100),
+        mu=0.1,
+        overlap_fraction=0.1,
+        overlap_membership=2,
+    )
+    return generate_lfr(params, seed=42)
+
+
+@pytest.fixture(scope="session")
+def webgraph():
+    """The eu-2015-tpd substitute at the current scale."""
+    params = WebGraphParams(
+        n=scaled(8_000, 30_000, 200_000),
+        avg_out_degree=scaled(10.0, 14.0, 25.0),
+    )
+    return generate_webgraph(params, seed=7)

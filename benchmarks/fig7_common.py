@@ -1,0 +1,79 @@
+"""Shared machinery for the Figure 7 sweeps (panels b-f).
+
+Each panel varies one LFR parameter and compares the NMI of SLPA (T=100,
+τ=0.2 — the paper's setting) against rSLPA (T=200, entropy/min-max
+thresholds).  ``sweep_panel`` runs the sweep and returns rows of
+``(value, nmi_slpa, nmi_rslpa)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Sequence, Tuple
+
+from benchmarks.bench_common import scaled
+from repro.baselines.slpa_fast import FastSLPA
+from repro.core.fast import FastPropagator
+from repro.core.postprocess import extract_communities
+from repro.metrics.nmi import nmi_overlapping
+from repro.workloads.lfr import LFRGraph, LFRParams, generate_lfr
+
+__all__ = ["default_params", "detect_pair", "sweep_panel", "RSLPA_T", "SLPA_T"]
+
+RSLPA_T = scaled(200, 200, 200)
+SLPA_T = scaled(100, 100, 100)
+SLPA_TAU = 0.2
+TAU_STEP = 0.005
+
+
+def default_params(**overrides) -> LFRParams:
+    """Table I defaults at the current scale, with per-panel overrides."""
+    base = dict(
+        n=scaled(1000, 4000, 10_000),
+        avg_degree=scaled(16.0, 24.0, 30.0),
+        max_degree=scaled(40, 70, 100),
+        mu=0.1,
+        overlap_fraction=0.1,
+        overlap_membership=2,
+    )
+    base.update(overrides)
+    return LFRParams(**base)
+
+
+def detect_pair(lfr: LFRGraph, seed: int) -> Tuple[float, float]:
+    """Run both detectors on one instance; return (nmi_slpa, nmi_rslpa)."""
+    n = lfr.graph.num_vertices
+
+    slpa = FastSLPA(lfr.graph, seed=seed, iterations=SLPA_T, threshold=SLPA_TAU)
+    slpa.propagate()
+    nmi_slpa = nmi_overlapping(
+        slpa.extract().as_sets(), lfr.communities, n
+    )
+
+    fast = FastPropagator(lfr.graph, seed=seed)
+    fast.propagate(RSLPA_T)
+    sequences = {v: fast.labels[:, v].tolist() for v in range(n)}
+    result = extract_communities(lfr.graph, sequences, step=TAU_STEP)
+    nmi_rslpa = nmi_overlapping(result.cover.as_sets(), lfr.communities, n)
+    return nmi_slpa, nmi_rslpa
+
+
+REPEATS = scaled(2, 2, 1)
+
+
+def sweep_panel(
+    values: Sequence,
+    params_for: Callable[[object], LFRParams],
+    seed: int = 11,
+    repeats: int = REPEATS,
+) -> List[Tuple[object, float, float]]:
+    """Sweep one parameter; averages ``repeats`` runs per point."""
+    rows = []
+    for value in values:
+        slpa_total = rslpa_total = 0.0
+        for r in range(repeats):
+            lfr = generate_lfr(params_for(value), seed=seed + 97 * r)
+            s, rs = detect_pair(lfr, seed=seed + 31 * r)
+            slpa_total += s
+            rslpa_total += rs
+        rows.append((value, slpa_total / repeats, rslpa_total / repeats))
+    return rows

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Tracking community evolution in a dynamic social network.
+
+The motivating scenario of the paper: a social network receives a steady
+stream of friend/unfriend events, and we monitor its overlapping community
+structure *incrementally* instead of recomputing from scratch every time.
+This example:
+
+1. generates an LFR benchmark graph (known overlapping communities);
+2. fits an rSLPA detector once;
+3. replays a stream of edit batches, updating incrementally;
+4. after each batch, reports the work done (η), the detected community
+   count, and the NMI against the original ground truth — which decays
+   slowly as the graph drifts away from its initial structure.
+
+Run:  python examples/dynamic_social_network.py
+"""
+
+import time
+
+from repro import LFRParams, RSLPADetector, generate_lfr, nmi_overlapping
+from repro.workloads.dynamic import EditStream
+
+N = 500
+BATCH_SIZE = 25
+NUM_BATCHES = 8
+
+
+def main() -> None:
+    print("generating an LFR social network with overlapping ground truth...")
+    lfr = generate_lfr(
+        LFRParams(n=N, avg_degree=12, max_degree=30, mu=0.1,
+                  overlap_fraction=0.1, overlap_membership=2),
+        seed=11,
+    )
+    graph = lfr.graph
+    print(
+        f"  {graph.num_vertices} users, {graph.num_edges} friendships, "
+        f"{len(lfr.communities)} ground-truth communities, "
+        f"{len(lfr.overlapping_vertices)} overlapping users"
+    )
+
+    print("\nfitting rSLPA (T=150)...")
+    t0 = time.perf_counter()
+    detector = RSLPADetector(graph, seed=3, iterations=150, tau_step=0.01)
+    detector.fit()
+    fit_seconds = time.perf_counter() - t0
+    cover = detector.communities()
+    nmi = nmi_overlapping(cover.as_sets(), lfr.communities, N)
+    print(
+        f"  fitted in {fit_seconds:.2f}s: {len(cover)} communities, "
+        f"NMI vs ground truth {nmi:.3f}"
+    )
+
+    print(f"\nreplaying {NUM_BATCHES} batches of {BATCH_SIZE} edits each:")
+    print("batch  eta     touched%  seconds  communities  overlap  NMI")
+    stream = EditStream(detector.graph, batch_size=BATCH_SIZE, seed=99)
+    total_slots = detector.label_state.total_slots()
+    for step in range(NUM_BATCHES):
+        batch = stream.next_batch()
+        t0 = time.perf_counter()
+        report = detector.update(batch)
+        update_seconds = time.perf_counter() - t0
+        cover = detector.communities()
+        nmi = nmi_overlapping(cover.as_sets(), lfr.communities, N)
+        print(
+            f"{step:5d}  {report.touched_labels:6d}  "
+            f"{100 * report.touched_labels / total_slots:7.2f}%  "
+            f"{update_seconds:7.3f}  {len(cover):11d}  "
+            f"{len(cover.overlapping_vertices()):7d}  {nmi:.3f}"
+        )
+
+    print(
+        "\nnote: each update touches a small fraction of the "
+        f"{total_slots} maintained labels — the point of Correction "
+        "Propagation (Algorithm 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

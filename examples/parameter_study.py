@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Miniature parameter study: the Figure 7 sweeps at example scale.
+
+Sweeps the LFR mixing parameter µ and the overlap memberships om, comparing
+SLPA and rSLPA by NMI — a quick interactive version of the paper's
+evaluation (the full harnesses live in benchmarks/).
+
+Run:  python examples/parameter_study.py
+"""
+
+from repro import LFRParams, generate_lfr, nmi_overlapping
+from repro.baselines.slpa_fast import FastSLPA
+from repro.core.fast import FastPropagator
+from repro.core.postprocess import extract_communities
+
+N = 600
+RSLPA_T = 150
+SLPA_T = 80
+
+
+def detect_both(lfr, seed=1):
+    n = lfr.graph.num_vertices
+    slpa = FastSLPA(lfr.graph, seed=seed, iterations=SLPA_T, threshold=0.2)
+    slpa.propagate()
+    nmi_slpa = nmi_overlapping(slpa.extract().as_sets(), lfr.communities, n)
+
+    rslpa = FastPropagator(lfr.graph, seed=seed)
+    rslpa.propagate(RSLPA_T)
+    sequences = {v: rslpa.labels[:, v].tolist() for v in range(n)}
+    cover = extract_communities(lfr.graph, sequences, step=0.01).cover
+    nmi_rslpa = nmi_overlapping(cover.as_sets(), lfr.communities, n)
+    return nmi_slpa, nmi_rslpa
+
+
+def sweep(title, header, values, params_for):
+    print(f"\n{title}")
+    print(f"{header:>8}  {'SLPA':>6}  {'rSLPA':>6}")
+    for value in values:
+        lfr = generate_lfr(params_for(value), seed=5)
+        nmi_slpa, nmi_rslpa = detect_both(lfr)
+        print(f"{value!s:>8}  {nmi_slpa:6.3f}  {nmi_rslpa:6.3f}")
+
+
+def main() -> None:
+    print(f"LFR base: n={N}, k=12, maxk=30, on=0.1N  |  SLPA T={SLPA_T} tau=0.2, "
+          f"rSLPA T={RSLPA_T} entropy thresholds")
+
+    sweep(
+        "varying mixing parameter mu (paper Figure 7d)",
+        "mu",
+        [0.1, 0.2, 0.3],
+        lambda mu: LFRParams(n=N, avg_degree=12, max_degree=30, mu=mu,
+                             overlap_fraction=0.1, overlap_membership=2),
+    )
+    sweep(
+        "varying overlap memberships om (paper Figure 7e)",
+        "om",
+        [2, 3, 4],
+        lambda om: LFRParams(n=N, avg_degree=12, max_degree=30, mu=0.1,
+                             overlap_fraction=0.1, overlap_membership=om),
+    )
+    print(
+        "\nexpected shapes (paper): NMI decreases slowly with mu and om; "
+        "the SLPA-rSLPA gap narrows as om grows."
+    )
+
+
+if __name__ == "__main__":
+    main()

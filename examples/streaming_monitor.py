@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Streaming community monitor: decoupling updates from extraction.
+
+Section V-B3 of the paper: "if we run rSLPA on a social network, we may not
+want to calculate the communities in every minute; instead, we can let the
+algorithm handle changes continuously, and calculate the communities once
+per hour."  This example simulates exactly that operating mode:
+
+* a high-frequency stream of small edit batches is absorbed by Correction
+  Propagation (cheap, O(η) per batch);
+* community extraction (the expensive post-processing) runs only every
+  EXTRACT_EVERY batches;
+* the monitor reports community births/deaths/drift between extractions.
+
+Run:  python examples/streaming_monitor.py
+"""
+
+import time
+
+from repro import RSLPADetector, generate_lfr, LFRParams
+from repro.workloads.dynamic import EditStream
+
+N = 400
+BATCH_SIZE = 8
+NUM_BATCHES = 30
+EXTRACT_EVERY = 10
+
+
+def community_fingerprints(cover):
+    """Stable ids for drift reporting: each community keyed by its minimum."""
+    return {min(c): frozenset(c) for c in cover}
+
+
+def diff_covers(before, after):
+    """Births, deaths, and changed membership between two extractions."""
+    born = [k for k in after if k not in before]
+    died = [k for k in before if k not in after]
+    drifted = [
+        k
+        for k in after
+        if k in before and after[k] != before[k]
+    ]
+    return born, died, drifted
+
+
+def main() -> None:
+    lfr = generate_lfr(
+        LFRParams(n=N, avg_degree=12, max_degree=28, mu=0.1,
+                  overlap_fraction=0.1, overlap_membership=2),
+        seed=23,
+    )
+    detector = RSLPADetector(lfr.graph, seed=9, iterations=120, tau_step=0.01)
+    detector.fit()
+    stream = EditStream(detector.graph, batch_size=BATCH_SIZE, seed=77)
+
+    snapshot = community_fingerprints(detector.communities())
+    print(
+        f"initial extraction: {len(snapshot)} communities on "
+        f"|V|={N}, |E|={detector.graph.num_edges}"
+    )
+
+    absorbed = 0
+    update_seconds = 0.0
+    for step in range(1, NUM_BATCHES + 1):
+        batch = stream.next_batch()
+        t0 = time.perf_counter()
+        report = detector.update(batch)
+        update_seconds += time.perf_counter() - t0
+        absorbed += report.touched_labels
+
+        if step % EXTRACT_EVERY == 0:
+            t0 = time.perf_counter()
+            fresh = community_fingerprints(detector.communities())
+            extract_seconds = time.perf_counter() - t0
+            born, died, drifted = diff_covers(snapshot, fresh)
+            print(
+                f"\nafter {step} batches "
+                f"({step * BATCH_SIZE} edits, {absorbed} labels touched, "
+                f"{update_seconds:.2f}s updating):"
+            )
+            print(
+                f"  extraction took {extract_seconds:.2f}s: "
+                f"{len(fresh)} communities "
+                f"(+{len(born)} born, -{len(died)} died, ~{len(drifted)} drifted)"
+            )
+            snapshot = fresh
+            absorbed = 0
+            update_seconds = 0.0
+
+    print(
+        "\nupdates stayed cheap while extraction ran on demand — the "
+        "operating mode the paper describes for production monitoring."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no ``wheel`` package and no network, so PEP
+517 editable installs (which require building a wheel) cannot work; this
+shim lets ``pip install -e .`` fall back to ``setup.py develop``.  All
+metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

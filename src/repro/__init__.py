@@ -1,0 +1,99 @@
+"""rSLPA: overlapping community detection over distributed dynamic graphs.
+
+Reproduction of Jian, Lian & Chen, ICDE 2018 (arXiv:1801.05946).
+
+Quickstart::
+
+    from repro import Graph, RSLPADetector, random_edit_batch
+
+    graph = Graph.from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+    detector = RSLPADetector(graph, seed=7, iterations=100).fit()
+    print(detector.communities())
+
+    batch = random_edit_batch(detector.graph, size=2, seed=1)
+    detector.update(batch)          # incremental Correction Propagation
+    print(detector.communities())
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.baselines import SLPA, FastSLPA, fast_slpa_detect, lpa_detect, slpa_detect
+from repro.core import (
+    CorrectionPropagator,
+    Cover,
+    FastPropagator,
+    LabelState,
+    PostprocessResult,
+    ReferencePropagator,
+    RSLPADetector,
+    UpdateReport,
+    detect_communities,
+    extract_communities,
+)
+from repro.graph import (
+    EditBatch,
+    Graph,
+    HashPartitioner,
+    apply_batch,
+    diff_graphs,
+    from_networkx,
+    read_edge_list,
+    relabel_to_integers,
+    to_networkx,
+    write_edge_list,
+)
+from repro.metrics import nmi_overlapping, omega_index, overlapping_f1
+from repro.workloads import (
+    EditStream,
+    LFRParams,
+    WebGraphParams,
+    generate_lfr,
+    generate_webgraph,
+    random_edit_batch,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # graph substrate
+    "Graph",
+    "EditBatch",
+    "apply_batch",
+    "diff_graphs",
+    "HashPartitioner",
+    "read_edge_list",
+    "write_edge_list",
+    "to_networkx",
+    "from_networkx",
+    "relabel_to_integers",
+    # core
+    "RSLPADetector",
+    "detect_communities",
+    "ReferencePropagator",
+    "FastPropagator",
+    "CorrectionPropagator",
+    "UpdateReport",
+    "LabelState",
+    "Cover",
+    "PostprocessResult",
+    "extract_communities",
+    # baselines
+    "SLPA",
+    "FastSLPA",
+    "slpa_detect",
+    "fast_slpa_detect",
+    "lpa_detect",
+    # workloads
+    "LFRParams",
+    "generate_lfr",
+    "random_edit_batch",
+    "EditStream",
+    "WebGraphParams",
+    "generate_webgraph",
+    # metrics
+    "nmi_overlapping",
+    "omega_index",
+    "overlapping_f1",
+]

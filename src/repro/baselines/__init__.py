@@ -1,0 +1,14 @@
+"""Baseline detectors the paper compares against: SLPA (and LPA as sanity)."""
+
+from repro.baselines.lpa import lpa_detect
+from repro.baselines.slpa import SLPA, SLPAResult, slpa_detect
+from repro.baselines.slpa_fast import FastSLPA, fast_slpa_detect
+
+__all__ = [
+    "SLPA",
+    "SLPAResult",
+    "slpa_detect",
+    "FastSLPA",
+    "fast_slpa_detect",
+    "lpa_detect",
+]

@@ -1,0 +1,145 @@
+"""SLPA baseline — the original Speaker-Listener Label Propagation Algorithm.
+
+Section II-B of the paper (following Xie & Szymanski, PAKDD 2012).  Per
+iteration, synchronously:
+
+1. **label sending** — every vertex speaks one label, uniformly drawn from
+   its current memory, to *each* neighbour (O(|E|) labels per iteration —
+   the communication cost rSLPA improves on);
+2. **label selection** — every listener appends the most frequent received
+   label, ties broken uniformly (the plurality voting of Figure 2).
+
+After ``T`` iterations, memories of length ``T+1`` are thresholded: labels
+whose relative frequency is below ``τ`` are dropped, and each surviving
+label's holders form one community (the paper uses τ = 0.2 ≈ 1/om).
+
+Randomness is counter-based per (speaker, listener, iteration), so results
+are reproducible and partition-independent, exactly like the rSLPA engines.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.communities import Cover
+from repro.core.randomness import draw_position, draw_src_index, slot_hash
+from repro.graph.adjacency import Graph
+from repro.utils.validation import check_positive, check_probability, check_type
+
+__all__ = ["SLPA", "slpa_detect"]
+
+#: Paper defaults for the baseline (Section V-A2).
+DEFAULT_ITERATIONS = 100
+DEFAULT_THRESHOLD = 0.2
+
+# Domain separators for SLPA's two random sub-steps.
+_SEND = 0x5350_4131  # "SPA1"
+_TIE = 0x5350_4132  # "SPA2"
+
+
+@dataclass
+class SLPAResult:
+    """Memories plus the extracted cover."""
+
+    memories: Dict[int, List[int]]
+    cover: Cover
+    threshold: float
+
+
+class SLPA:
+    """The voting-based baseline, synchronous speaker-listener variant."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        iterations: int = DEFAULT_ITERATIONS,
+        threshold: float = DEFAULT_THRESHOLD,
+    ):
+        check_type(seed, int, "seed")
+        check_type(iterations, int, "iterations")
+        check_positive(iterations, "iterations")
+        check_probability(threshold, "threshold")
+        self.graph = graph
+        self.seed = seed
+        self.iterations = iterations
+        self.threshold = threshold
+        self.memories: Dict[int, List[int]] = {v: [v] for v in graph.vertices()}
+        self._t = 0
+        self._sorted_nbrs: Dict[int, List[int]] = {
+            v: sorted(graph.neighbors_view(v)) for v in graph.vertices()
+        }
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    def _spoken_label(self, speaker: int, listener: int, t: int) -> int:
+        """The label ``speaker`` sends to ``listener`` at iteration ``t``."""
+        h = slot_hash(self.seed ^ _SEND, speaker * 0x1F1F1F1F + listener, t, 0)
+        pos = draw_position(h, t)  # memory has length t at iteration t
+        return self.memories[speaker][pos]
+
+    def propagate(self, iterations: Optional[int] = None) -> Dict[int, List[int]]:
+        """Run the speaker-listener process for ``iterations`` supersteps."""
+        remaining = self.iterations if iterations is None else iterations
+        for _ in range(remaining):
+            self._t += 1
+            t = self._t
+            appended: List[Tuple[int, int]] = []
+            for listener, nbrs in self._sorted_nbrs.items():
+                if not nbrs:
+                    appended.append((listener, self.memories[listener][0]))
+                    continue
+                received = Counter(
+                    self._spoken_label(speaker, listener, t) for speaker in nbrs
+                )
+                best = max(received.values())
+                winners = sorted(
+                    label for label, count in received.items() if count == best
+                )
+                if len(winners) == 1:
+                    appended.append((listener, winners[0]))
+                else:
+                    h = slot_hash(self.seed ^ _TIE, listener, t, 0)
+                    appended.append(
+                        (listener, winners[draw_src_index(h, len(winners))])
+                    )
+            # Synchronous commit: memories grow only after all selections.
+            for listener, label in appended:
+                self.memories[listener].append(label)
+        return self.memories
+
+    # ------------------------------------------------------------------
+    # Thresholding (the SLPA post-processing)
+    # ------------------------------------------------------------------
+    def extract(self, threshold: Optional[float] = None) -> Cover:
+        """Per-vertex frequency thresholding at ``τ``; holders of a common
+        surviving label form one community (singletons dropped)."""
+        tau = self.threshold if threshold is None else threshold
+        check_probability(tau, "threshold")
+        holders: Dict[int, set] = {}
+        for v, memory in self.memories.items():
+            length = len(memory)
+            for label, count in Counter(memory).items():
+                if count / length >= tau:
+                    holders.setdefault(label, set()).add(v)
+        return Cover(c for c in holders.values() if len(c) >= 2)
+
+    def run(self) -> SLPAResult:
+        """Propagate for the configured horizon and extract the cover."""
+        self.propagate()
+        return SLPAResult(
+            memories=self.memories, cover=self.extract(), threshold=self.threshold
+        )
+
+
+def slpa_detect(
+    graph: Graph,
+    seed: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Cover:
+    """One-shot SLPA detection with the paper's defaults (T=100, τ=0.2)."""
+    return SLPA(graph, seed=seed, iterations=iterations, threshold=threshold).run().cover

@@ -1,0 +1,187 @@
+"""Vectorised SLPA — numpy implementation of the voting baseline.
+
+Semantically identical to :class:`repro.baselines.slpa.SLPA` (same speaker
+draws, same plurality selection with uniform tie-breaking, same counter-based
+randomness), but one iteration costs a handful of numpy passes over the
+directed-edge arrays instead of a Python loop over every (listener, speaker)
+pair.  The test-suite asserts bit-equality with the reference SLPA.
+
+The plurality mode per listener is computed without Python loops:
+
+1. every directed edge (speaker -> listener) carries its spoken label;
+2. ``lexsort`` groups (listener, label) runs; run lengths are the vote
+   counts;
+3. a per-run score ``count * 2^20 + tiebreak_hash`` is lex-sorted within each
+   listener, and the last run per listener wins — the tiebreak hash matches
+   the reference implementation's uniform pick among maximal labels only in
+   *distribution*, so bit-equality with the reference engine is guaranteed by
+   sharing the exact same tie-break draw (see ``_tie_break``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.slpa import _SEND, _TIE, DEFAULT_ITERATIONS, DEFAULT_THRESHOLD, SLPA
+from repro.core.communities import Cover
+from repro.core.fast import graph_to_csr
+from repro.core.randomness import (
+    _C_SRC,
+    _np_mix64,
+    draw_position_array,
+    slot_hash_array,
+)
+from repro.graph.adjacency import Graph
+from repro.utils.validation import check_positive, check_probability, check_type
+
+__all__ = ["FastSLPA", "fast_slpa_detect"]
+
+
+class FastSLPA:
+    """Vectorised speaker-listener propagation over a static snapshot."""
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        iterations: int = DEFAULT_ITERATIONS,
+        threshold: float = DEFAULT_THRESHOLD,
+    ):
+        check_type(seed, int, "seed")
+        check_type(iterations, int, "iterations")
+        check_positive(iterations, "iterations")
+        check_probability(threshold, "threshold")
+        self.graph = graph
+        self.seed = seed
+        self.iterations = iterations
+        self.threshold = threshold
+        self.indptr, self.indices = graph_to_csr(graph)
+        self.n = graph.num_vertices
+        degrees = np.diff(self.indptr)
+        # Directed-edge arrays: listeners[e] receives from speakers[e].
+        self.listeners = np.repeat(np.arange(self.n, dtype=np.int64), degrees)
+        self.speakers = self.indices
+        self.zero_degree = degrees == 0
+        self.memory = np.arange(self.n, dtype=np.int64)[np.newaxis, :].copy()
+        self._t = 0
+        # The reference implementation keys the speaker draw by
+        # speaker * 0x1F1F1F1F + listener; precompute that composite id.
+        self._edge_key = self.speakers * np.int64(0x1F1F1F1F) + self.listeners
+
+    @property
+    def num_iterations(self) -> int:
+        return self._t
+
+    def _tie_break(self, listeners_with_ties: np.ndarray, t: int) -> np.ndarray:
+        """The reference tie-break draw (index into the sorted winner list)."""
+        # Matches slpa.SLPA: h = slot_hash(seed ^ _TIE, listener, t, 0).
+        return slot_hash_array(self.seed ^ _TIE, listeners_with_ties, t, 0)
+
+    def propagate(self, iterations: Optional[int] = None) -> np.ndarray:
+        remaining = self.iterations if iterations is None else iterations
+        for _ in range(remaining):
+            self._t += 1
+            t = self._t
+            # --- label sending: one spoken label per directed edge --------
+            h = slot_hash_array(self.seed ^ _SEND, self._edge_key, t, 0)
+            pos = draw_position_array(h, t)
+            spoken = self.memory[pos, self.speakers]
+
+            # --- plurality selection per listener --------------------------
+            order = np.lexsort((spoken, self.listeners))
+            sorted_listener = self.listeners[order]
+            sorted_label = spoken[order]
+            new_run = np.empty(len(order), dtype=bool)
+            if len(order):
+                new_run[0] = True
+                new_run[1:] = (sorted_listener[1:] != sorted_listener[:-1]) | (
+                    sorted_label[1:] != sorted_label[:-1]
+                )
+            run_starts = np.flatnonzero(new_run)
+            run_listener = sorted_listener[run_starts]
+            run_label = sorted_label[run_starts]
+            run_counts = np.diff(np.append(run_starts, len(order)))
+
+            # Max votes per listener.
+            listener_first_run = np.empty(len(run_starts), dtype=bool)
+            if len(run_starts):
+                listener_first_run[0] = True
+                listener_first_run[1:] = run_listener[1:] != run_listener[:-1]
+            group_starts = np.flatnonzero(listener_first_run)
+            max_per_group = np.maximum.reduceat(run_counts, group_starts) if len(
+                group_starts
+            ) else np.array([], dtype=run_counts.dtype)
+            group_index = np.cumsum(listener_first_run) - 1
+            is_winner = run_counts == max_per_group[group_index]
+
+            # Winners per listener, in ascending label order (runs are label
+            # sorted within a listener): rank each winner within its group.
+            winner_rows = np.flatnonzero(is_winner)
+            winner_listener = run_listener[winner_rows]
+            winner_label = run_label[winner_rows]
+            # Group boundaries among winners.
+            first_winner = np.empty(len(winner_rows), dtype=bool)
+            if len(winner_rows):
+                first_winner[0] = True
+                first_winner[1:] = winner_listener[1:] != winner_listener[:-1]
+            winner_group_start = np.flatnonzero(first_winner)
+            winners_per_listener = np.diff(
+                np.append(winner_group_start, len(winner_rows))
+            )
+            rank_in_group = np.arange(len(winner_rows)) - np.repeat(
+                winner_group_start, winners_per_listener
+            )
+
+            # Reference tie-break: index = mix(h_tie) % num_winners.
+            unique_listeners = winner_listener[winner_group_start]
+            tie_h = self._tie_break(unique_listeners, t)
+            # draw_src_index(h, k) vectorised: mix64(h ^ C_SRC) % k.
+            chosen_rank = (
+                _np_mix64(tie_h ^ np.uint64(_C_SRC))
+                % winners_per_listener.astype(np.uint64)
+            ).astype(np.int64)
+            picked_mask = rank_in_group == np.repeat(chosen_rank, winners_per_listener)
+            picked_labels = winner_label[picked_mask]
+            picked_listeners = winner_listener[picked_mask]
+
+            new_row = self.memory[0].copy()  # degree-0 fallback: own label
+            new_row[picked_listeners] = picked_labels
+            self.memory = np.vstack([self.memory, new_row])
+        return self.memory
+
+    # ------------------------------------------------------------------
+    # Thresholding
+    # ------------------------------------------------------------------
+    def extract(self, threshold: Optional[float] = None) -> Cover:
+        """Same τ-thresholding as the reference SLPA."""
+        tau = self.threshold if threshold is None else threshold
+        check_probability(tau, "threshold")
+        length = self.memory.shape[0]
+        min_count = tau * length
+        holders: Dict[int, set] = {}
+        mem = self.memory
+        for v in range(self.n):
+            column = mem[:, v]
+            labels, counts = np.unique(column, return_counts=True)
+            for label, count in zip(labels.tolist(), counts.tolist()):
+                if count >= min_count:
+                    holders.setdefault(label, set()).add(v)
+        return Cover(c for c in holders.values() if len(c) >= 2)
+
+    def memories_as_dict(self) -> Dict[int, List[int]]:
+        """Memories in the reference engine's format (for equality tests)."""
+        return {v: self.memory[:, v].tolist() for v in range(self.n)}
+
+
+def fast_slpa_detect(
+    graph: Graph,
+    seed: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    threshold: float = DEFAULT_THRESHOLD,
+) -> Cover:
+    """One-shot vectorised SLPA detection."""
+    engine = FastSLPA(graph, seed=seed, iterations=iterations, threshold=threshold)
+    engine.propagate()
+    return engine.extract()

@@ -1,0 +1,182 @@
+"""Command-line interface: detect, update, and inspect without writing code.
+
+Three subcommands mirroring the library lifecycle::
+
+    python -m repro.cli detect graph.txt --seed 7 -T 200 \
+        --state state.json --cover cover.json
+    python -m repro.cli update state.json graph.txt edits.txt \
+        --seed 7 --cover cover.json
+    python -m repro.cli stats graph.txt
+
+``graph.txt`` is a whitespace edge list (directions/duplicates/self-loops
+normalised away, as in the paper's preprocessing); ``edits.txt`` uses the
+same format prefixed with ``+``/``-`` per line::
+
+    + 17 23
+    - 4 9
+
+The ``update`` subcommand loads a saved label state, applies the batch with
+Correction Propagation, saves the state back, and (optionally) re-extracts
+the communities — the paper's continuous-monitoring loop as a shell command.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional, Tuple
+
+from repro.core.detector import RSLPADetector
+from repro.core.incremental import CorrectionPropagator
+from repro.core.postprocess import extract_communities
+from repro.core.rslpa import ReferencePropagator
+from repro.core.serialize import load_state, save_cover, save_state
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.graph.io import read_edge_list
+
+__all__ = ["main", "build_parser", "parse_edit_file"]
+
+
+def parse_edit_file(path: str) -> EditBatch:
+    """Read a ``+/- u v`` edit file into a batch."""
+    insertions: List[Tuple[int, int]] = []
+    deletions: List[Tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, raw in enumerate(handle, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.split()
+            if len(parts) != 3 or parts[0] not in ("+", "-"):
+                raise ValueError(
+                    f"{path}:{lineno}: expected '+ u v' or '- u v', got {line!r}"
+                )
+            try:
+                u, v = int(parts[1]), int(parts[2])
+            except ValueError as exc:
+                raise ValueError(f"{path}:{lineno}: non-integer vertex id") from exc
+            (insertions if parts[0] == "+" else deletions).append((u, v))
+    return EditBatch.build(insertions=insertions, deletions=deletions)
+
+
+def _print_cover(cover, out) -> None:
+    payload = {
+        "num_communities": len(cover),
+        "sizes": cover.sizes(),
+        "overlapping_vertices": sorted(cover.overlapping_vertices()),
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+
+
+def _cmd_detect(args, out) -> int:
+    graph = read_edge_list(args.graph)
+    detector = RSLPADetector(
+        graph,
+        seed=args.seed,
+        iterations=args.iterations,
+        engine="reference",  # reference keeps records for later updates
+        tau_step=args.tau_step,
+    ).fit()
+    cover = detector.communities()
+    if args.state:
+        save_state(detector.label_state, args.state)
+        out.write(f"label state saved to {args.state}\n")
+    if args.cover:
+        save_cover(cover, args.cover)
+        out.write(f"cover saved to {args.cover}\n")
+    _print_cover(cover, out)
+    return 0
+
+
+def _cmd_update(args, out) -> int:
+    graph = read_edge_list(args.graph)
+    state = load_state(args.state)
+    propagator = ReferencePropagator.from_state(graph, args.seed, state)
+    corrector = CorrectionPropagator(propagator)
+    corrector.batch_epoch = args.batch_epoch - 1
+    batch = parse_edit_file(args.edits)
+    report = corrector.apply_batch(batch)
+    save_state(state, args.state)
+    out.write(
+        f"applied {batch.size} edits: {report.repicked} repicked, "
+        f"{report.touched_labels} labels touched; "
+        f"state saved to {args.state}\n"
+    )
+    if args.cover:
+        result = extract_communities(graph, state.labels, step=args.tau_step)
+        save_cover(result.cover, args.cover)
+        out.write(f"cover saved to {args.cover}\n")
+        _print_cover(result.cover, out)
+    return 0
+
+
+def _cmd_stats(args, out) -> int:
+    graph = read_edge_list(args.graph)
+    components = graph.connected_components()
+    payload = {
+        "vertices": graph.num_vertices,
+        "edges": graph.num_edges,
+        "average_degree": round(graph.average_degree(), 3),
+        "max_degree": graph.max_degree(),
+        "isolated_vertices": len(graph.isolated_vertices()),
+        "connected_components": len(components),
+        "largest_component": max((len(c) for c in components), default=0),
+    }
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="rSLPA overlapping community detection (ICDE 2018 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    detect = sub.add_parser("detect", help="run rSLPA on a static edge list")
+    detect.add_argument("graph", help="edge-list file")
+    detect.add_argument("--seed", type=int, default=0)
+    detect.add_argument("-T", "--iterations", type=int, default=200)
+    detect.add_argument("--tau-step", type=float, default=0.001)
+    detect.add_argument("--state", help="save the label state here (JSON)")
+    detect.add_argument("--cover", help="save the cover here (JSON)")
+    detect.set_defaults(func=_cmd_detect)
+
+    update = sub.add_parser(
+        "update", help="apply an edit batch to a saved state (Algorithm 2)"
+    )
+    update.add_argument("state", help="label-state JSON (updated in place)")
+    update.add_argument("graph", help="edge list of the PRE-batch graph")
+    update.add_argument("edits", help="edit file: '+ u v' / '- u v' lines")
+    update.add_argument("--seed", type=int, default=0,
+                        help="must match the seed used at detect time")
+    update.add_argument("--batch-epoch", type=int, default=1,
+                        help="1 for the first update after detect, then 2, ...")
+    update.add_argument("--tau-step", type=float, default=0.001)
+    update.add_argument("--cover", help="re-extract and save the cover here")
+    update.set_defaults(func=_cmd_update)
+
+    stats = sub.add_parser("stats", help="print normalised graph statistics")
+    stats.add_argument("graph", help="edge-list file")
+    stats.set_defaults(func=_cmd_stats)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args, out)
+    except (ValueError, OSError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

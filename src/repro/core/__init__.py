@@ -1,0 +1,80 @@
+"""Core rSLPA: label propagation, post-processing, incremental maintenance."""
+
+from repro.core.communities import Cover
+from repro.core.complexity import (
+    best_case_updates,
+    change_probability,
+    change_probability_paper_verbatim,
+    expected_updates,
+    survival_probabilities,
+    worst_case_updates,
+)
+from repro.core.detector import RSLPADetector, detect_communities
+from repro.core.fast import FastPropagator, graph_to_csr
+from repro.core.incremental import CorrectionPropagator, UpdateReport
+from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.postprocess import (
+    PostprocessResult,
+    edge_weights,
+    extract_communities,
+    sequence_similarity,
+    sweep_tau1,
+    weak_threshold,
+)
+from repro.core.rslpa import ReferencePropagator
+from repro.core.serialize import (
+    load_cover,
+    load_state,
+    save_cover,
+    save_state,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.core.tracking import CommunityEvent, CommunityTracker, TransitionReport, match_covers
+from repro.core.voting import (
+    distribution_levels,
+    max_win_probability,
+    plurality_win_distribution,
+    uniform_pick_distribution,
+    uniform_pick_from_multiset,
+)
+
+__all__ = [
+    "Cover",
+    "RSLPADetector",
+    "detect_communities",
+    "ReferencePropagator",
+    "FastPropagator",
+    "graph_to_csr",
+    "CorrectionPropagator",
+    "UpdateReport",
+    "LabelState",
+    "NO_SOURCE",
+    "PostprocessResult",
+    "extract_communities",
+    "edge_weights",
+    "sequence_similarity",
+    "sweep_tau1",
+    "weak_threshold",
+    "change_probability",
+    "change_probability_paper_verbatim",
+    "survival_probabilities",
+    "expected_updates",
+    "best_case_updates",
+    "worst_case_updates",
+    "plurality_win_distribution",
+    "uniform_pick_distribution",
+    "uniform_pick_from_multiset",
+    "max_win_probability",
+    "distribution_levels",
+    "save_state",
+    "load_state",
+    "state_to_dict",
+    "state_from_dict",
+    "save_cover",
+    "load_cover",
+    "CommunityTracker",
+    "CommunityEvent",
+    "TransitionReport",
+    "match_covers",
+]

@@ -1,0 +1,129 @@
+"""The :class:`Cover` datatype: a set of (possibly overlapping) communities.
+
+Detection algorithms return covers; metrics consume them.  A cover is an
+immutable collection of vertex sets plus a lazily-built membership index.
+"""
+
+from __future__ import annotations
+
+from typing import Collection, Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.metrics.entropy import size_entropy_from_sizes
+
+__all__ = ["Cover"]
+
+
+class Cover:
+    """An overlapping community assignment.
+
+    >>> cover = Cover([{0, 1, 2}, {2, 3}])
+    >>> sorted(cover.memberships_of(2))
+    [0, 1]
+    >>> cover.overlapping_vertices()
+    frozenset({2})
+    """
+
+    __slots__ = ("_communities", "_membership")
+
+    def __init__(self, communities: Iterable[Collection[int]]):
+        cleaned: List[FrozenSet[int]] = []
+        for community in communities:
+            fs = frozenset(community)
+            if fs:
+                cleaned.append(fs)
+        # Canonical deterministic order: by (-size, sorted members).
+        cleaned.sort(key=lambda c: (-len(c), tuple(sorted(c))))
+        self._communities: Tuple[FrozenSet[int], ...] = tuple(cleaned)
+        self._membership: Optional[Dict[int, Tuple[int, ...]]] = None
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def communities(self) -> Tuple[FrozenSet[int], ...]:
+        return self._communities
+
+    def __len__(self) -> int:
+        return len(self._communities)
+
+    def __iter__(self) -> Iterator[FrozenSet[int]]:
+        return iter(self._communities)
+
+    def __getitem__(self, index: int) -> FrozenSet[int]:
+        return self._communities[index]
+
+    def __bool__(self) -> bool:
+        return bool(self._communities)
+
+    def __eq__(self, other) -> bool:
+        """Covers are equal as *multisets* of communities."""
+        if not isinstance(other, Cover):
+            return NotImplemented
+        return sorted(map(sorted, self._communities)) == sorted(
+            map(sorted, other._communities)
+        )
+
+    def __repr__(self) -> str:
+        sizes = self.sizes()
+        preview = sizes[:6]
+        suffix = "..." if len(sizes) > 6 else ""
+        return f"Cover(k={len(self)}, sizes={preview}{suffix})"
+
+    # ------------------------------------------------------------------
+    # Derived structure
+    # ------------------------------------------------------------------
+    def _index(self) -> Dict[int, Tuple[int, ...]]:
+        if self._membership is None:
+            index: Dict[int, List[int]] = {}
+            for cid, community in enumerate(self._communities):
+                for v in community:
+                    index.setdefault(v, []).append(cid)
+            self._membership = {v: tuple(cids) for v, cids in index.items()}
+        return self._membership
+
+    def memberships_of(self, vertex: int) -> Tuple[int, ...]:
+        """Community indices containing ``vertex`` (empty tuple if none)."""
+        return self._index().get(vertex, ())
+
+    def covered_vertices(self) -> FrozenSet[int]:
+        return frozenset(self._index())
+
+    def overlapping_vertices(self) -> FrozenSet[int]:
+        """Vertices belonging to two or more communities."""
+        return frozenset(v for v, cids in self._index().items() if len(cids) > 1)
+
+    def sizes(self) -> List[int]:
+        return [len(c) for c in self._communities]
+
+    def size_entropy(self, num_vertices: int) -> float:
+        """Eq. 1 entropy of this cover's relative community sizes."""
+        return size_entropy_from_sizes(self.sizes(), num_vertices)
+
+    def membership_counts(self) -> Dict[int, int]:
+        """Vertex -> number of communities it belongs to."""
+        return {v: len(cids) for v, cids in self._index().items()}
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_membership(cls, membership: Dict[int, Iterable[int]]) -> "Cover":
+        """Build from a vertex -> community-ids mapping."""
+        groups: Dict[int, Set[int]] = {}
+        for vertex, cids in membership.items():
+            for cid in cids:
+                groups.setdefault(cid, set()).add(vertex)
+        return cls(groups.values())
+
+    def restricted_to(self, universe: Collection[int]) -> "Cover":
+        """Drop vertices outside ``universe`` (empty communities vanish)."""
+        keep = set(universe)
+        return Cover(c & keep for c in self._communities)
+
+    def without_smaller_than(self, min_size: int) -> "Cover":
+        """Drop communities with fewer than ``min_size`` members."""
+        return Cover(c for c in self._communities if len(c) >= min_size)
+
+    def as_sets(self) -> List[Set[int]]:
+        """Mutable copies of the communities (for metric functions)."""
+        return [set(c) for c in self._communities]

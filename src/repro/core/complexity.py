@@ -1,0 +1,129 @@
+"""Analytical cost model of Correction Propagation (Section IV-D).
+
+Implements the paper's Equations 3-12:
+
+* ``pc`` — probability that a label's chosen edge changed (Eq. 3);
+* ``Q(t)`` — probability a label picked at iteration ``t`` needs no update,
+  via the recursion ``Q(t) = (1 - pc/t) Q(t-1)`` (Eqs. 5-7);
+* ``expected_updates`` — ``η̂ = T|V| - |V| Σ_t Q(t)`` (Eq. 8);
+* ``best_case_updates`` — lower bound ``T|V|·pc`` (Eq. 10);
+* ``worst_case_updates`` — upper bound (Eq. 12).
+
+**Paper typo, corrected here** (see DESIGN.md): Eq. 3 as printed uses the
+Condition-(2) factor ``(|E|-m_d)/(|E|-m_d+m_a)``, which is the *keep*
+probability ``n_u/(n_u+n_a)`` from the Category-3 analysis — plugging in a
+tiny batch (``m_d = m_a = 1`` on a million-edge graph) would give
+``pc ≈ 1``, i.e. "every label needs an update", contradicting both the
+algorithm and Figure 9.  The switch probability is the complement,
+``n_a/(n_u+n_a) = m_a/(|E|-m_d+m_a)``, which is what
+:func:`change_probability` uses.  The verbatim expression is kept as
+:func:`change_probability_paper_verbatim` so the discrepancy can be plotted.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.utils.validation import check_non_negative, check_positive, check_type
+
+__all__ = [
+    "change_probability",
+    "change_probability_paper_verbatim",
+    "survival_probabilities",
+    "expected_updates",
+    "best_case_updates",
+    "worst_case_updates",
+]
+
+
+def _check_batch(num_edges: int, num_deleted: int, num_added: int) -> None:
+    check_type(num_edges, int, "num_edges")
+    check_type(num_deleted, int, "num_deleted")
+    check_type(num_added, int, "num_added")
+    check_positive(num_edges, "num_edges")
+    check_non_negative(num_deleted, "num_deleted")
+    check_non_negative(num_added, "num_added")
+    if num_deleted > num_edges:
+        raise ValueError(
+            f"num_deleted={num_deleted} exceeds num_edges={num_edges}"
+        )
+
+
+def change_probability(num_edges: int, num_deleted: int, num_added: int) -> float:
+    """``pc``: probability that one label's chosen edge changed (Eq. 3, fixed).
+
+    ``pc = m_d/|E| + (1 - m_d/|E|) * m_a / (|E| - m_d + m_a)``
+
+    Condition (1): the chosen edge was deleted.  Condition (2): it survived
+    but the Category-3 lottery switched the pick to a newly-inserted edge.
+    """
+    _check_batch(num_edges, num_deleted, num_added)
+    p_deleted = num_deleted / num_edges
+    remaining = num_edges - num_deleted
+    if remaining + num_added == 0:
+        return 1.0
+    p_switched = (1.0 - p_deleted) * (num_added / (remaining + num_added))
+    return p_deleted + p_switched
+
+
+def change_probability_paper_verbatim(
+    num_edges: int, num_deleted: int, num_added: int
+) -> float:
+    """Eq. 3 exactly as printed in the paper (documented typo; see module doc)."""
+    _check_batch(num_edges, num_deleted, num_added)
+    p_deleted = num_deleted / num_edges
+    remaining = num_edges - num_deleted
+    if remaining + num_added == 0:
+        return 1.0
+    second = (1.0 - p_deleted) * (remaining / (remaining + num_added))
+    return p_deleted + second
+
+
+def survival_probabilities(pc: float, iterations: int) -> List[float]:
+    """``[Q(0), Q(1), ..., Q(T)]`` via the recursion of Eq. 6 / Eq. 7.
+
+    ``Q(0) = 1`` (initial labels never change), ``Q(t) = (1 - pc/t) Q(t-1)``.
+    """
+    if not 0.0 <= pc <= 1.0:
+        raise ValueError(f"pc must be in [0, 1], got {pc}")
+    check_type(iterations, int, "iterations")
+    check_non_negative(iterations, "iterations")
+    q = [1.0]
+    for t in range(1, iterations + 1):
+        q.append(q[-1] * (1.0 - pc / t))
+    return q
+
+
+def expected_updates(
+    num_vertices: int, iterations: int, pc: float
+) -> float:
+    """``η̂ = T|V| - |V| Σ_{t=1..T} Q(t)`` (Eq. 8)."""
+    check_type(num_vertices, int, "num_vertices")
+    check_non_negative(num_vertices, "num_vertices")
+    q = survival_probabilities(pc, iterations)
+    return iterations * num_vertices - num_vertices * sum(q[1:])
+
+
+def best_case_updates(num_vertices: int, iterations: int, pc: float) -> float:
+    """Lower bound ``η >= T|V|·pc`` (Eq. 10): all propagation paths length 1."""
+    check_non_negative(num_vertices, "num_vertices")
+    check_non_negative(iterations, "iterations")
+    if not 0.0 <= pc <= 1.0:
+        raise ValueError(f"pc must be in [0, 1], got {pc}")
+    return iterations * num_vertices * pc
+
+
+def worst_case_updates(num_vertices: int, iterations: int, pc: float) -> float:
+    """Upper bound of Eq. 12: every label chains to the previous iteration.
+
+    ``η <= T|V| - |V| ((1-pc) - (1-pc)^{T+1}) / pc``; for ``pc = 0`` the
+    bound degenerates to 0 (nothing changes).
+    """
+    check_non_negative(num_vertices, "num_vertices")
+    check_non_negative(iterations, "iterations")
+    if not 0.0 <= pc <= 1.0:
+        raise ValueError(f"pc must be in [0, 1], got {pc}")
+    if pc == 0.0:
+        return 0.0
+    geometric_sum = ((1.0 - pc) - (1.0 - pc) ** (iterations + 1)) / pc
+    return iterations * num_vertices - num_vertices * geometric_sum

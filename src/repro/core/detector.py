@@ -1,0 +1,187 @@
+"""High-level rSLPA detector: fit / update / communities lifecycle.
+
+This is the public face of the library.  Typical use::
+
+    from repro import RSLPADetector
+
+    detector = RSLPADetector(graph, seed=7, iterations=200)
+    detector.fit()                      # Algorithm 1
+    cover = detector.communities()      # Section III-B post-processing
+
+    report = detector.update(batch)     # Algorithm 2 (Correction Propagation)
+    cover = detector.communities()      # re-extract on the maintained state
+
+``fit`` uses the vectorised engine when the graph has contiguous ids (and
+converts its output to a fully-recorded label state); ``update`` is always
+the event-driven pure-Python Correction Propagation.  Both paths yield
+bit-identical label states for the same seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.core.communities import Cover
+from repro.core.fast import FastPropagator
+from repro.core.incremental import CorrectionPropagator, UpdateReport
+from repro.core.labels import LabelState
+from repro.core.postprocess import PostprocessResult, extract_communities
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.utils.validation import check_positive, check_type
+
+__all__ = ["RSLPADetector", "detect_communities"]
+
+#: Paper default for rSLPA (Section V-A3: stable for T >= 200).
+DEFAULT_ITERATIONS = 200
+
+
+class RSLPADetector:
+    """Overlapping community detection with incremental maintenance.
+
+    Parameters
+    ----------
+    graph:
+        The graph to monitor.  The detector takes ownership of a private
+        copy, so the caller's graph is never mutated by updates.
+    seed:
+        Randomness seed (counter-based; identical results per seed).
+    iterations:
+        The propagation horizon T (paper default 200 for rSLPA).
+    engine:
+        ``"auto"`` (vectorised when ids are contiguous), ``"fast"`` or
+        ``"reference"``.
+    tau_step:
+        Grid step of the τ1 entropy sweep (paper suggests 0.001).
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        seed: int = 0,
+        iterations: int = DEFAULT_ITERATIONS,
+        engine: str = "auto",
+        tau_step: float = 0.001,
+    ):
+        check_type(seed, int, "seed")
+        check_type(iterations, int, "iterations")
+        check_positive(iterations, "iterations")
+        check_positive(tau_step, "tau_step")
+        if engine not in ("auto", "fast", "reference"):
+            raise ValueError(
+                f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
+            )
+        self.graph = graph.copy()
+        self.seed = seed
+        self.iterations = iterations
+        self.engine = engine
+        self.tau_step = tau_step
+        self._propagator: Optional[ReferencePropagator] = None
+        self._corrector: Optional[CorrectionPropagator] = None
+        self._postprocess_cache: Optional[PostprocessResult] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def is_fitted(self) -> bool:
+        return self._propagator is not None
+
+    def _ids_contiguous(self) -> bool:
+        n = self.graph.num_vertices
+        return sorted(self.graph.vertices()) == list(range(n))
+
+    def fit(self) -> "RSLPADetector":
+        """Run Algorithm 1 from scratch on the current graph."""
+        use_fast = self.engine == "fast" or (
+            self.engine == "auto" and self._ids_contiguous()
+        )
+        if use_fast and not self._ids_contiguous():
+            raise ValueError(
+                "engine='fast' requires contiguous vertex ids 0..n-1; "
+                "use repro.graph.relabel_to_integers or engine='reference'"
+            )
+        propagator = ReferencePropagator(self.graph, seed=self.seed)
+        if use_fast and self.graph.num_vertices > 0:
+            fast = FastPropagator(self.graph, seed=self.seed)
+            fast.propagate(self.iterations)
+            propagator.state = fast.to_label_state()
+        else:
+            propagator.propagate(self.iterations)
+        self._propagator = propagator
+        self._corrector = CorrectionPropagator(propagator)
+        self._postprocess_cache = None
+        return self
+
+    def _require_fitted(self) -> None:
+        if self._propagator is None:
+            raise RuntimeError("detector is not fitted; call fit() first")
+
+    # ------------------------------------------------------------------
+    # Dynamic maintenance
+    # ------------------------------------------------------------------
+    def update(self, batch: EditBatch) -> UpdateReport:
+        """Incrementally apply an edit batch (Algorithm 2)."""
+        self._require_fitted()
+        check_type(batch, EditBatch, "batch")
+        report = self._corrector.apply_batch(batch)
+        self._postprocess_cache = None
+        return report
+
+    def update_many(self, batches: Iterable[EditBatch]) -> List[UpdateReport]:
+        """Apply several batches in order."""
+        return [self.update(batch) for batch in batches]
+
+    def remove_vertex(self, vertex: int) -> UpdateReport:
+        """Delete a vertex and all incident edges, maintaining the state."""
+        self._require_fitted()
+        report = self._corrector.remove_vertex(vertex)
+        self._postprocess_cache = None
+        return report
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    @property
+    def label_state(self) -> LabelState:
+        """The maintained label sequences (read-only by convention)."""
+        self._require_fitted()
+        return self._propagator.state
+
+    def postprocess(self) -> PostprocessResult:
+        """Run (or reuse) the Section III-B extraction on the current state."""
+        self._require_fitted()
+        if self._postprocess_cache is None:
+            self._postprocess_cache = extract_communities(
+                self.graph, self._propagator.state.labels, step=self.tau_step
+            )
+        return self._postprocess_cache
+
+    def communities(self) -> Cover:
+        """The current overlapping communities."""
+        return self.postprocess().cover
+
+    def __repr__(self) -> str:
+        status = f"T={self.iterations}" if self.is_fitted else "unfitted"
+        return f"RSLPADetector(seed={self.seed}, {status}, graph={self.graph!r})"
+
+
+def detect_communities(
+    graph: Graph,
+    seed: int = 0,
+    iterations: int = DEFAULT_ITERATIONS,
+    tau_step: float = 0.001,
+) -> Cover:
+    """One-shot static detection: fit rSLPA and extract the cover.
+
+    >>> from repro.graph import ring_of_cliques
+    >>> cover = detect_communities(ring_of_cliques(4, 5), seed=1, iterations=60)
+    >>> len(cover) >= 2
+    True
+    """
+    detector = RSLPADetector(
+        graph, seed=seed, iterations=iterations, tau_step=tau_step
+    )
+    return detector.fit().communities()

@@ -1,0 +1,157 @@
+"""rSLPA randomized label propagation — reference engine (Algorithm 1).
+
+In iteration ``t`` every vertex ``v_i``:
+
+1. uniformly picks a source neighbour ``src_i ∈ N_i`` and a position
+   ``pos_i ∈ {0, ..., t-1}`` (both via the counter-based slot hash, so every
+   backend agrees on the pick);
+2. appends ``L_src[pos]`` to its own sequence, and the reverse record
+   ``(i, t)`` is registered at ``(src, pos)``.
+
+This is the pure-Python engine that maintains full provenance and reverse
+records, which is what the incremental Correction Propagation (Algorithm 2)
+needs.  For large static runs use :class:`repro.core.fast.FastPropagator`,
+which produces bit-identical output without records.
+
+Degree-0 convention (the paper leaves it unspecified): a vertex with no
+neighbours re-appends its own initial label with sentinel provenance; it can
+never join a community, matching the post-processing's treatment of
+isolated vertices.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.randomness import draw_position, draw_src_index, slot_hash
+from repro.graph.adjacency import Graph
+from repro.utils.validation import check_non_negative, check_type
+
+__all__ = ["ReferencePropagator"]
+
+
+class ReferencePropagator:
+    """Runs Algorithm 1 and owns the resulting :class:`LabelState`.
+
+    Parameters
+    ----------
+    graph:
+        The (live) graph to propagate on.  The propagator does not copy it;
+        the owner (usually :class:`repro.core.detector.RSLPADetector`)
+        coordinates mutation.
+    seed:
+        Seed of the counter-based randomness.
+    """
+
+    def __init__(self, graph: Graph, seed: int = 0):
+        check_type(seed, int, "seed")
+        self.graph = graph
+        self.seed = seed
+        self.state = LabelState()
+        self.state.init_vertices(graph.vertices())
+        # Sorted adjacency cache: pick index -> neighbour must be stable and
+        # identical across engines, so everything indexes sorted neighbour
+        # lists.  Invalidated per vertex by the incremental module.
+        self._sorted_nbrs: Dict[int, List[int]] = {}
+
+    @classmethod
+    def from_state(cls, graph: Graph, seed: int, state: LabelState) -> "ReferencePropagator":
+        """Adopt an existing label state (loaded from disk, or exported by
+        the fast engine) so propagation/incremental updating can continue.
+
+        The state must cover exactly the graph's vertices; it is validated
+        against the graph before adoption.
+        """
+        if set(state.vertices()) != set(graph.vertices()):
+            raise ValueError("label state vertices do not match the graph")
+        state.validate(graph)
+        propagator = cls.__new__(cls)
+        propagator.graph = graph
+        propagator.seed = check_type(seed, int, "seed")
+        propagator.state = state
+        propagator._sorted_nbrs = {}
+        return propagator
+
+    # ------------------------------------------------------------------
+    # Adjacency cache
+    # ------------------------------------------------------------------
+    def sorted_neighbors(self, v: int) -> List[int]:
+        """The cached sorted neighbour list of ``v``."""
+        cached = self._sorted_nbrs.get(v)
+        if cached is None:
+            cached = sorted(self.graph.neighbors_view(v))
+            self._sorted_nbrs[v] = cached
+        return cached
+
+    def invalidate_neighbors(self, v: int) -> None:
+        """Drop the adjacency cache of ``v`` (after its edges changed)."""
+        self._sorted_nbrs.pop(v, None)
+
+    # ------------------------------------------------------------------
+    # Propagation
+    # ------------------------------------------------------------------
+    @property
+    def num_iterations(self) -> int:
+        return self.state.num_iterations
+
+    def propagate(self, iterations: int) -> LabelState:
+        """Run ``iterations`` further supersteps of Algorithm 1.
+
+        May be called repeatedly; iteration indices continue where the
+        previous call stopped (label sequences just keep growing, exactly as
+        in the paper where T is a tunable horizon).
+        """
+        check_type(iterations, int, "iterations")
+        check_non_negative(iterations, "iterations")
+        state = self.state
+        labels = state.labels
+        for _ in range(iterations):
+            t = state.begin_iteration()
+            for v in labels:
+                nbrs = self.sorted_neighbors(v)
+                degree = len(nbrs)
+                if degree == 0:
+                    state.append_pick(v, labels[v][0], NO_SOURCE, NO_SOURCE)
+                    continue
+                h = slot_hash(self.seed, v, t, 0)
+                src = nbrs[draw_src_index(h, degree)]
+                pos = draw_position(h, t)
+                # pos < t, so labels[src][pos] was finalised in an earlier
+                # iteration: a single in-order pass is safe (appends never
+                # touch earlier entries).
+                state.append_pick(v, labels[src][pos], src, pos)
+        return state
+
+    # ------------------------------------------------------------------
+    # Vertex lifecycle (used by the incremental module)
+    # ------------------------------------------------------------------
+    def add_vertex_state(self, v: int) -> None:
+        """Initialise state for a vertex added after propagation started.
+
+        The new vertex gets its initial label plus one fallback slot per
+        completed iteration; the incremental algorithm then repicks every
+        slot against the vertex's actual neighbours (Section IV premises:
+        a new vertex behaves like an old vertex whose previous neighbours
+        were all removed).
+        """
+        if self.state.has_vertex(v):
+            raise ValueError(f"vertex {v} already has label state")
+        self.state.init_vertex(v)
+        for _ in range(self.state.num_iterations):
+            self.state.labels[v].append(v)
+            self.state.srcs[v].append(NO_SOURCE)
+            self.state.poss[v].append(NO_SOURCE)
+            self.state.epochs[v].append(0)
+        self.invalidate_neighbors(v)
+
+    def drop_vertex_state(self, v: int) -> None:
+        """Remove all state of a deleted vertex (sources must be detached)."""
+        self.state.drop_vertex(v)
+        self.invalidate_neighbors(v)
+
+    def __repr__(self) -> str:
+        return (
+            f"ReferencePropagator(seed={self.seed}, T={self.num_iterations}, "
+            f"graph={self.graph!r})"
+        )

@@ -1,0 +1,156 @@
+"""Persistence for detector state: save/load label states and covers.
+
+The paper's operating mode keeps a long-lived label state that absorbs edit
+batches for hours (Section V-B3).  A production deployment needs to survive
+restarts, so this module serialises the full :class:`LabelState` —
+sequences, provenance, epochs — to a compact JSON document.  Reverse
+records are *not* stored: they are a pure function of the provenance and
+are rebuilt on load (smaller files, no consistency risk).
+
+The format is versioned and validated on load; covers serialise alongside
+for snapshotting extraction results.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO, Dict, List, Union
+
+from repro.core.communities import Cover
+from repro.core.labels import NO_SOURCE, LabelState
+
+__all__ = [
+    "state_to_dict",
+    "state_from_dict",
+    "save_state",
+    "load_state",
+    "cover_to_dict",
+    "cover_from_dict",
+    "save_cover",
+    "load_cover",
+]
+
+FORMAT_VERSION = 1
+
+
+def state_to_dict(state: LabelState) -> dict:
+    """Serialise a label state to a JSON-compatible dict."""
+    return {
+        "format": "repro.label_state",
+        "version": FORMAT_VERSION,
+        "iterations": state.num_iterations,
+        "vertices": {
+            # JSON keys must be strings; vertex ids are ints.
+            str(v): {
+                "labels": state.labels[v],
+                "srcs": state.srcs[v],
+                "poss": state.poss[v],
+                "epochs": state.epochs[v],
+            }
+            for v in state.vertices()
+        },
+    }
+
+
+def state_from_dict(payload: dict) -> LabelState:
+    """Rebuild a label state (including reverse records) from a dict.
+
+    Raises ``ValueError`` on version/format mismatches or structural
+    corruption (the rebuilt state is fully validated).
+    """
+    if payload.get("format") != "repro.label_state":
+        raise ValueError(f"not a label-state document: {payload.get('format')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported version {payload.get('version')!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    state = LabelState()
+    iterations = payload["iterations"]
+    for key, record in payload["vertices"].items():
+        v = int(key)
+        labels = list(record["labels"])
+        srcs = list(record["srcs"])
+        poss = list(record["poss"])
+        epochs = list(record["epochs"])
+        if not (len(labels) == len(srcs) == len(poss) == len(epochs)):
+            raise ValueError(f"vertex {v}: ragged arrays in document")
+        if len(labels) != iterations + 1:
+            raise ValueError(
+                f"vertex {v}: sequence length {len(labels)} != T+1 = {iterations + 1}"
+            )
+        state.labels[v] = labels
+        state.srcs[v] = srcs
+        state.poss[v] = poss
+        state.epochs[v] = epochs
+        state.receivers[v] = {}
+    # Rebuild the reverse records from provenance.
+    for v in state.labels:
+        srcs = state.srcs[v]
+        poss = state.poss[v]
+        for t in range(1, len(srcs)):
+            src = srcs[t]
+            if src != NO_SOURCE:
+                if src not in state.receivers:
+                    raise ValueError(
+                        f"vertex {v} iteration {t}: unknown source {src}"
+                    )
+                state.receivers[src].setdefault(poss[t], set()).add((v, t))
+    state.set_num_iterations(iterations)
+    state.validate()
+    return state
+
+
+def save_state(state: LabelState, target: Union[str, IO[str]]) -> None:
+    """Write a label state to a path or text file object."""
+    payload = state_to_dict(state)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+    else:
+        json.dump(payload, target, separators=(",", ":"))
+
+
+def load_state(source: Union[str, IO[str]]) -> LabelState:
+    """Read a label state from a path or text file object."""
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return state_from_dict(payload)
+
+
+def cover_to_dict(cover: Cover) -> dict:
+    """Serialise a cover (communities as sorted member lists)."""
+    return {
+        "format": "repro.cover",
+        "version": FORMAT_VERSION,
+        "communities": [sorted(c) for c in cover],
+    }
+
+
+def cover_from_dict(payload: dict) -> Cover:
+    if payload.get("format") != "repro.cover":
+        raise ValueError(f"not a cover document: {payload.get('format')!r}")
+    if payload.get("version") != FORMAT_VERSION:
+        raise ValueError(f"unsupported version {payload.get('version')!r}")
+    return Cover(set(members) for members in payload["communities"])
+
+
+def save_cover(cover: Cover, target: Union[str, IO[str]]) -> None:
+    payload = cover_to_dict(cover)
+    if isinstance(target, str):
+        with open(target, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, separators=(",", ":"))
+    else:
+        json.dump(payload, target, separators=(",", ":"))
+
+
+def load_cover(source: Union[str, IO[str]]) -> Cover:
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        payload = json.load(source)
+    return cover_from_dict(payload)

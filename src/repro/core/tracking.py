@@ -1,0 +1,225 @@
+"""Community evolution tracking across dynamic snapshots.
+
+The paper's motivation is to *monitor the evolution of communities* upon
+graph updates (Section I).  The detector maintains the label state; this
+module adds the monitoring layer on top: matching the covers extracted at
+consecutive points in time and classifying what happened to each community
+— continuation, growth/shrinkage, birth, death, merge, and split.
+
+Matching uses maximum Jaccard overlap with a threshold, the standard
+approach in the community-evolution literature (e.g. Greene et al. 2010),
+which fits the paper's streaming operating mode (Section V-B3: update
+continuously, extract periodically).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+from repro.core.communities import Cover
+from repro.utils.validation import check_fraction
+
+__all__ = ["CommunityEvent", "TransitionReport", "match_covers", "CommunityTracker"]
+
+
+def _jaccard(a: FrozenSet[int], b: FrozenSet[int]) -> float:
+    if not a and not b:
+        return 1.0
+    union = len(a | b)
+    return len(a & b) / union if union else 0.0
+
+
+@dataclass(frozen=True)
+class CommunityEvent:
+    """One lifecycle event between two consecutive extractions.
+
+    ``kind`` is one of ``continued``, ``grown``, ``shrunk``, ``born``,
+    ``died``, ``merged``, ``split``.  ``before``/``after`` hold the indices
+    of the involved communities in the old/new cover.
+    """
+
+    kind: str
+    before: Tuple[int, ...]
+    after: Tuple[int, ...]
+    similarity: float = 0.0
+
+
+@dataclass
+class TransitionReport:
+    """All events between two covers, plus a continuity score."""
+
+    events: List[CommunityEvent] = field(default_factory=list)
+
+    def of_kind(self, kind: str) -> List[CommunityEvent]:
+        return [e for e in self.events if e.kind == kind]
+
+    @property
+    def num_born(self) -> int:
+        return len(self.of_kind("born"))
+
+    @property
+    def num_died(self) -> int:
+        return len(self.of_kind("died"))
+
+    def continuity(self) -> float:
+        """Mean match similarity over surviving communities (1.0 = frozen)."""
+        survivors = [
+            e.similarity
+            for e in self.events
+            if e.kind in ("continued", "grown", "shrunk")
+        ]
+        if not survivors:
+            return 0.0
+        return sum(survivors) / len(survivors)
+
+    def summary(self) -> str:
+        counts: Dict[str, int] = {}
+        for event in self.events:
+            counts[event.kind] = counts.get(event.kind, 0) + 1
+        parts = [f"{kind}={count}" for kind, count in sorted(counts.items())]
+        return ", ".join(parts) if parts else "no communities"
+
+
+def match_covers(
+    old: Cover,
+    new: Cover,
+    match_threshold: float = 0.3,
+    drift_tolerance: float = 0.1,
+) -> TransitionReport:
+    """Classify the transition from ``old`` to ``new``.
+
+    A new community matches the old one with which it has the largest
+    Jaccard overlap, provided it clears ``match_threshold``.  Old
+    communities matched by several new ones are *splits*; new communities
+    that are the best match of several old ones are *merges*.  Surviving
+    matches are classified by relative size change against
+    ``drift_tolerance``.
+    """
+    check_fraction(match_threshold, "match_threshold")
+    if not 0 <= drift_tolerance < 1:
+        raise ValueError(f"drift_tolerance must be in [0, 1), got {drift_tolerance}")
+
+    report = TransitionReport()
+
+    # Best match in each direction, gated by the threshold.
+    def best_match(community, candidates) -> Tuple[int, float]:
+        best_idx, best_sim = -1, 0.0
+        for idx, candidate in enumerate(candidates):
+            sim = _jaccard(community, candidate)
+            if sim > best_sim:
+                best_idx, best_sim = idx, sim
+        return (best_idx, best_sim) if best_sim >= match_threshold else (-1, 0.0)
+
+    fwd: Dict[int, Tuple[int, float]] = {}  # old i -> best new j
+    for i, old_c in enumerate(old):
+        j, sim = best_match(old_c, list(new))
+        if j >= 0:
+            fwd[i] = (j, sim)
+    bwd: Dict[int, Tuple[int, float]] = {}  # new j -> best old i
+    for j, new_c in enumerate(new):
+        i, sim = best_match(new_c, list(old))
+        if i >= 0:
+            bwd[j] = (i, sim)
+
+    consumed_old: set = set()
+    consumed_new: set = set()
+
+    # Merges: several old communities all point at the same new one.
+    merge_groups: Dict[int, List[int]] = {}
+    for i, (j, _sim) in fwd.items():
+        merge_groups.setdefault(j, []).append(i)
+    for j, olds in sorted(merge_groups.items()):
+        if len(olds) > 1:
+            sim = max(fwd[i][1] for i in olds)
+            report.events.append(
+                CommunityEvent("merged", tuple(sorted(olds)), (j,), sim)
+            )
+            consumed_old.update(olds)
+            consumed_new.add(j)
+
+    # Splits: several new communities all point back at the same old one.
+    split_groups: Dict[int, List[int]] = {}
+    for j, (i, _sim) in bwd.items():
+        if j not in consumed_new:
+            split_groups.setdefault(i, []).append(j)
+    for i, news in sorted(split_groups.items()):
+        if i in consumed_old:
+            continue
+        if len(news) > 1:
+            sim = max(bwd[j][1] for j in news)
+            report.events.append(
+                CommunityEvent("split", (i,), tuple(sorted(news)), sim)
+            )
+            consumed_old.add(i)
+            consumed_new.update(news)
+
+    # Survivals: remaining forward matches.
+    for i, (j, sim) in sorted(fwd.items()):
+        if i in consumed_old or j in consumed_new:
+            continue
+        old_size, new_size = len(old[i]), len(new[j])
+        if new_size > old_size * (1 + drift_tolerance):
+            kind = "grown"
+        elif new_size < old_size * (1 - drift_tolerance):
+            kind = "shrunk"
+        else:
+            kind = "continued"
+        report.events.append(CommunityEvent(kind, (i,), (j,), sim))
+        consumed_old.add(i)
+        consumed_new.add(j)
+
+    # Everything unmatched is a death (old side) or birth (new side).
+    for i in range(len(old)):
+        if i not in consumed_old:
+            report.events.append(CommunityEvent("died", (i,), ()))
+    for j in range(len(new)):
+        if j not in consumed_new:
+            report.events.append(CommunityEvent("born", (), (j,)))
+
+    return report
+
+
+class CommunityTracker:
+    """Rolling tracker: feed covers over time, receive transition reports.
+
+    >>> tracker = CommunityTracker()
+    >>> first = tracker.observe(Cover([{0, 1, 2}]))
+    >>> first is None   # nothing to compare against yet
+    True
+    >>> report = tracker.observe(Cover([{0, 1, 2, 3}]))
+    >>> report.summary()
+    'grown=1'
+    """
+
+    def __init__(self, match_threshold: float = 0.3, drift_tolerance: float = 0.1):
+        self.match_threshold = match_threshold
+        self.drift_tolerance = drift_tolerance
+        self.history: List[Cover] = []
+        self.reports: List[TransitionReport] = []
+
+    @property
+    def current(self) -> Optional[Cover]:
+        return self.history[-1] if self.history else None
+
+    def observe(self, cover: Cover) -> Optional[TransitionReport]:
+        """Record a new extraction; returns the transition from the last one."""
+        previous = self.current
+        self.history.append(cover)
+        if previous is None:
+            return None
+        report = match_covers(
+            previous,
+            cover,
+            match_threshold=self.match_threshold,
+            drift_tolerance=self.drift_tolerance,
+        )
+        self.reports.append(report)
+        return report
+
+    def lifetime_of(self, vertex: int) -> List[Tuple[int, int]]:
+        """``(snapshot index, membership count)`` history for one vertex."""
+        return [
+            (idx, len(cover.memberships_of(vertex)))
+            for idx, cover in enumerate(self.history)
+        ]

@@ -1,0 +1,117 @@
+"""Exact analysis of the SLPA voting process vs rSLPA uniform picking.
+
+Section III-A motivates rSLPA by contrasting two ways a listener can choose
+among received labels:
+
+* **plurality voting** (SLPA): each neighbour uniformly speaks one label
+  from its sequence; the listener takes the most frequent received label,
+  ties broken uniformly.  The win distribution is discontinuous in the
+  voters' label populations (Example 1 / Figure 2).
+* **uniform picking** (rSLPA): the listener picks uniformly from the
+  received multiset — equivalently from the union of the neighbours'
+  sequences (Theorem 2), equivalently via one uniform (src, pos) draw
+  (Theorem 3).
+
+This module computes both distributions *exactly* (enumerating speaker
+choices), which powers the Figure 2/3 reproduction bench and the numerical
+verification of Theorems 1-3 in the test suite.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from fractions import Fraction
+from itertools import product
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "plurality_win_distribution",
+    "uniform_pick_distribution",
+    "uniform_pick_from_multiset",
+    "max_win_probability",
+    "distribution_levels",
+]
+
+Distribution = Dict[int, Fraction]
+
+
+def _normalise(sequences: Sequence[Sequence[int]]) -> List[Tuple[int, ...]]:
+    seqs = [tuple(seq) for seq in sequences]
+    if any(len(seq) == 0 for seq in seqs):
+        raise ValueError("every voter sequence must be non-empty")
+    return seqs
+
+
+def plurality_win_distribution(
+    sequences: Sequence[Sequence[int]],
+) -> Distribution:
+    """Exact distribution of the plurality-vote winner (SLPA selection).
+
+    Each voter ``i`` contributes one label drawn uniformly from its sequence;
+    the most frequent label wins, with uniform tie-breaking.  Exact over all
+    ``prod(len(seq))`` speaker outcomes — intended for the small instances of
+    Figures 2-3, not for production use.
+
+    >>> dist = plurality_win_distribution([(1, 2), (1, 2), (1, 1)])
+    >>> dist[1] > dist[2]
+    True
+    """
+    seqs = _normalise(sequences)
+    total_outcomes = 1
+    for seq in seqs:
+        total_outcomes *= len(seq)
+    result: Dict[int, Fraction] = {}
+    weight = Fraction(1, total_outcomes)
+    for outcome in product(*seqs):
+        counts = Counter(outcome)
+        best = max(counts.values())
+        winners = [label for label, count in counts.items() if count == best]
+        share = weight / len(winners)
+        for label in winners:
+            result[label] = result.get(label, Fraction(0)) + share
+    return result
+
+
+def uniform_pick_from_multiset(multiset: Iterable[int]) -> Distribution:
+    """Distribution of a uniform pick from a label multiset ``M_i``."""
+    counts = Counter(multiset)
+    total = sum(counts.values())
+    if total == 0:
+        raise ValueError("multiset must be non-empty")
+    return {label: Fraction(count, total) for label, count in counts.items()}
+
+
+def uniform_pick_distribution(sequences: Sequence[Sequence[int]]) -> Distribution:
+    """Distribution of the rSLPA uniform-picking result (Theorem 2).
+
+    Picking uniformly from the received multiset equals picking uniformly
+    from the *union* of the voters' sequences when all sequences share one
+    length; for ragged sequences each voter still contributes total mass
+    ``1/n`` spread over its own labels, which this computes directly.
+    """
+    seqs = _normalise(sequences)
+    n = len(seqs)
+    result: Dict[int, Fraction] = {}
+    for seq in seqs:
+        m = len(seq)
+        for label, count in Counter(seq).items():
+            result[label] = result.get(label, Fraction(0)) + Fraction(count, n * m)
+    return result
+
+
+def max_win_probability(distribution: Distribution) -> Fraction:
+    """The largest single-label win probability (Theorem 1's quantity)."""
+    if not distribution:
+        raise ValueError("empty distribution")
+    return max(distribution.values())
+
+
+def distribution_levels(distribution: Distribution) -> int:
+    """Number of distinct non-zero probability levels.
+
+    Section III-A observes that plurality voting yields a *two-level*
+    distribution (winners share one level, all else zero) whereas uniform
+    picking is proportional to population and can have many levels — the
+    "smoothness" rSLPA exploits.
+    """
+    return len({p for p in distribution.values() if p > 0})

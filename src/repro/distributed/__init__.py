@@ -1,0 +1,45 @@
+"""Distributed substrate: BSP engine, vertex programs, comm accounting."""
+
+from repro.distributed.cluster import (
+    run_distributed_postprocess,
+    run_distributed_rslpa,
+    run_distributed_slpa,
+    run_distributed_update,
+)
+from repro.distributed.components import (
+    HashToMinProgram,
+    distributed_connected_components,
+)
+from repro.distributed.engine import BSPEngine, MessageContext, WorkerProgram
+from repro.distributed.message import Message, message_size_bytes, payload_size_bytes
+from repro.distributed.metrics import CommStats, SuperstepStats
+from repro.distributed.multiprocess import MultiprocessBSPEngine
+from repro.distributed.programs import (
+    CorrectionPropagationProgram,
+    RSLPAPropagationProgram,
+    SLPAPropagationProgram,
+)
+from repro.distributed.worker import WorkerShard, build_shards
+
+__all__ = [
+    "BSPEngine",
+    "MessageContext",
+    "WorkerProgram",
+    "WorkerShard",
+    "build_shards",
+    "Message",
+    "message_size_bytes",
+    "payload_size_bytes",
+    "CommStats",
+    "SuperstepStats",
+    "RSLPAPropagationProgram",
+    "SLPAPropagationProgram",
+    "CorrectionPropagationProgram",
+    "HashToMinProgram",
+    "distributed_connected_components",
+    "MultiprocessBSPEngine",
+    "run_distributed_rslpa",
+    "run_distributed_slpa",
+    "run_distributed_update",
+    "run_distributed_postprocess",
+]

@@ -1,0 +1,205 @@
+"""High-level distributed runs: one-call wrappers over the BSP engine.
+
+These functions mirror the sequential APIs but execute on the simulated
+cluster, returning both the result and the :class:`CommStats` needed by the
+communication-cost experiments:
+
+* :func:`run_distributed_rslpa` — Algorithm 1, 2 supersteps/iteration,
+  ``O(|V|)`` messages per iteration;
+* :func:`run_distributed_slpa` — the baseline, 1 superstep/iteration,
+  ``O(|E|)`` messages per iteration;
+* :func:`run_distributed_update` — Algorithm 2 over workers, ``O(η)``
+  messages total;
+* :func:`run_distributed_postprocess` — weights + τ2 locally per worker,
+  τ1 sweep on the driver, communities via distributed hash-to-min CC.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.communities import Cover
+from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.postprocess import edge_weights, sweep_tau1, weak_threshold
+from repro.distributed.components import distributed_connected_components
+from repro.distributed.engine import BSPEngine
+from repro.distributed.metrics import CommStats
+from repro.distributed.programs import (
+    CorrectionPropagationProgram,
+    RSLPAPropagationProgram,
+    SLPAPropagationProgram,
+)
+from repro.distributed.worker import build_shards
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch, apply_batch
+from repro.graph.partition import HashPartitioner, Partitioner
+
+__all__ = [
+    "run_distributed_rslpa",
+    "run_distributed_slpa",
+    "run_distributed_update",
+    "run_distributed_postprocess",
+]
+
+
+def _resolve_partitioner(
+    partitioner: Optional[Partitioner], num_workers: int
+) -> Partitioner:
+    return partitioner or HashPartitioner(num_workers)
+
+
+def run_distributed_rslpa(
+    graph: Graph,
+    seed: int = 0,
+    iterations: int = 200,
+    num_workers: int = 4,
+    partitioner: Optional[Partitioner] = None,
+) -> Tuple[LabelState, CommStats]:
+    """Algorithm 1 on the simulated cluster; returns (state, comm stats).
+
+    The returned state is fully recorded (provenance + reverse records) and
+    bit-identical to a sequential :class:`ReferencePropagator` run.
+    """
+    part = _resolve_partitioner(partitioner, num_workers)
+    shards = build_shards(graph, part)
+    engine = BSPEngine(shards, part)
+    programs = [
+        RSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
+        for shard in shards
+    ]
+    engine.run(programs)
+
+    state = LabelState()
+    collected: Dict[int, tuple] = {}
+    for program in programs:
+        collected.update(program.collect())
+    for v, (labels, srcs, poss) in collected.items():
+        state.labels[v] = list(labels)
+        state.srcs[v] = list(srcs)
+        state.poss[v] = list(poss)
+        state.epochs[v] = [0] * len(labels)
+        state.receivers[v] = {}
+    for v, (labels, srcs, poss) in collected.items():
+        for t in range(1, len(labels)):
+            src = srcs[t]
+            if src != NO_SOURCE:
+                state.receivers[src].setdefault(poss[t], set()).add((v, t))
+    state.set_num_iterations(iterations)
+    return state, engine.stats
+
+
+def run_distributed_slpa(
+    graph: Graph,
+    seed: int = 0,
+    iterations: int = 100,
+    num_workers: int = 4,
+    partitioner: Optional[Partitioner] = None,
+) -> Tuple[Dict[int, List[int]], CommStats]:
+    """The SLPA baseline on the simulated cluster; returns (memories, stats)."""
+    part = _resolve_partitioner(partitioner, num_workers)
+    shards = build_shards(graph, part)
+    engine = BSPEngine(shards, part)
+    programs = [
+        SLPAPropagationProgram(shard, seed=seed, iterations=iterations)
+        for shard in shards
+    ]
+    engine.run(programs)
+    memories: Dict[int, List[int]] = {}
+    for program in programs:
+        memories.update(program.collect())
+    return memories, engine.stats
+
+
+def run_distributed_update(
+    graph: Graph,
+    state: LabelState,
+    batch: EditBatch,
+    seed: int = 0,
+    batch_epoch: int = 1,
+    num_workers: int = 4,
+    partitioner: Optional[Partitioner] = None,
+) -> Tuple[Graph, LabelState, CommStats]:
+    """Algorithm 2 on the simulated cluster.
+
+    Takes the *pre-batch* graph and label state; returns the updated graph,
+    the repaired state (same object, mutated), and communication stats.
+    ``batch_epoch`` must count batches the same way the sequential
+    :class:`CorrectionPropagator` does for the randomness to line up.
+    """
+    batch.validate_against(graph)
+    new_graph = apply_batch(graph, batch)
+    added = batch.added_neighbors()
+    removed = batch.removed_neighbors()
+    for v in set(added) | set(removed):
+        if not state.has_vertex(v):
+            state.init_vertex(v)
+            for _ in range(state.num_iterations):
+                state.labels[v].append(v)
+                state.srcs[v].append(NO_SOURCE)
+                state.poss[v].append(NO_SOURCE)
+                state.epochs[v].append(0)
+
+    part = _resolve_partitioner(partitioner, num_workers)
+    shards = build_shards(new_graph, part)
+    engine = BSPEngine(shards, part)
+    programs = []
+    for shard in shards:
+        local = shard.vertices
+        programs.append(
+            CorrectionPropagationProgram(
+                shard,
+                seed=seed,
+                iterations=state.num_iterations,
+                labels={v: state.labels[v] for v in local},
+                srcs={v: state.srcs[v] for v in local},
+                poss={v: state.poss[v] for v in local},
+                epochs={v: state.epochs[v] for v in local},
+                receivers={v: state.receivers[v] for v in local},
+                added={v: s for v, s in added.items() if v in local},
+                removed={v: s for v, s in removed.items() if v in local},
+                batch_epoch=batch_epoch,
+            )
+        )
+    engine.run(programs)
+    # Worker slices alias the state's own lists/dicts, so the state is
+    # already repaired in place; nothing to merge back.
+    return new_graph, state, engine.stats
+
+
+def run_distributed_postprocess(
+    graph: Graph,
+    state: LabelState,
+    num_workers: int = 4,
+    step: float = 0.001,
+) -> Tuple[Cover, CommStats]:
+    """Section III-B extraction with the CC stage on the cluster.
+
+    Edge weights and τ2 are cheap one-round aggregations (computed directly
+    here); the connected-components stage — the round-dominant part the
+    paper discusses — runs distributed, and its stats are returned.
+    """
+    weights = edge_weights(graph, state.labels)
+    tau2 = weak_threshold(graph, weights)
+    tau1, _entropy, _curve = sweep_tau1(graph, weights, tau2, step=step)
+    components, stats = distributed_connected_components(
+        graph, num_workers=num_workers, weights=weights, tau=tau1
+    )
+    strong = [c for c in components if len(c) >= 2]
+    strong_members: Set[int] = set()
+    community_of: Dict[int, int] = {}
+    communities: List[Set[int]] = []
+    for cid, component in enumerate(strong):
+        communities.append(set(component))
+        strong_members.update(component)
+        for v in component:
+            community_of[v] = cid
+    for v in graph.vertices():
+        if v in strong_members:
+            continue
+        for u in graph.neighbors_view(v):
+            if u not in strong_members:
+                continue
+            edge = (u, v) if u < v else (v, u)
+            if weights[edge] >= tau2 - 1e-12:
+                communities[community_of[u]].add(v)
+    return Cover(communities), stats

@@ -1,0 +1,40 @@
+"""Message representation and size accounting for the BSP engine.
+
+Messages are plain ``(dst_vertex, payload)`` pairs — the payload is a tuple
+of ints/strs.  Keeping them as tuples (instead of a dataclass) matters: the
+engine routes millions of them in the larger benches.
+
+:func:`payload_size_bytes` provides the byte estimate used by the
+communication-cost accounting (8 bytes per integer field, UTF-8 length for
+strings, plus an 8-byte vertex address) — a deliberately simple serialised
+size model matching how the paper counts "labels passing through the graph".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+__all__ = ["Message", "payload_size_bytes", "message_size_bytes"]
+
+# A message is (dst_vertex, payload-tuple).
+Message = Tuple[int, tuple]
+
+_ADDRESS_BYTES = 8
+
+
+def payload_size_bytes(payload: tuple) -> int:
+    """Estimated wire size of a payload tuple."""
+    size = 0
+    for field in payload:
+        if isinstance(field, str):
+            size += len(field.encode("utf-8"))
+        elif isinstance(field, (tuple, list, frozenset, set)):
+            size += payload_size_bytes(tuple(field))
+        else:
+            size += 8
+    return size
+
+
+def message_size_bytes(message: Message) -> int:
+    """Estimated wire size of a full message (address + payload)."""
+    return _ADDRESS_BYTES + payload_size_bytes(message[1])

@@ -1,0 +1,71 @@
+"""Communication-cost accounting for the BSP engine.
+
+The paper's efficiency argument is about *communication volume*: rSLPA's
+fetch protocol moves ``O(|V|)`` labels per iteration where SLPA moves
+``O(|E|)`` (Section III-A), and Correction Propagation moves ``O(η)``
+(Section IV-D).  :class:`CommStats` measures exactly those quantities —
+messages and bytes per superstep, split into worker-local and remote.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List
+
+__all__ = ["SuperstepStats", "CommStats"]
+
+
+@dataclass
+class SuperstepStats:
+    """Counters for one superstep."""
+
+    superstep: int
+    messages: int = 0
+    remote_messages: int = 0
+    bytes: int = 0
+    remote_bytes: int = 0
+
+    @property
+    def local_messages(self) -> int:
+        return self.messages - self.remote_messages
+
+
+@dataclass
+class CommStats:
+    """Aggregated counters for one engine run."""
+
+    per_superstep: List[SuperstepStats] = field(default_factory=list)
+
+    def record(self, stats: SuperstepStats) -> None:
+        self.per_superstep.append(stats)
+
+    @property
+    def supersteps(self) -> int:
+        return len(self.per_superstep)
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages for s in self.per_superstep)
+
+    @property
+    def total_remote_messages(self) -> int:
+        return sum(s.remote_messages for s in self.per_superstep)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes for s in self.per_superstep)
+
+    @property
+    def total_remote_bytes(self) -> int:
+        return sum(s.remote_bytes for s in self.per_superstep)
+
+    def messages_per_superstep(self) -> List[int]:
+        return [s.messages for s in self.per_superstep]
+
+    def summary(self) -> str:
+        """One-line human-readable summary (used by the examples)."""
+        return (
+            f"{self.supersteps} supersteps, {self.total_messages} messages "
+            f"({self.total_remote_messages} remote), "
+            f"{self.total_bytes} bytes ({self.total_remote_bytes} remote)"
+        )

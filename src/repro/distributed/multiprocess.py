@@ -1,0 +1,175 @@
+"""True multi-process execution of BSP programs (one machine, N processes).
+
+The in-process :class:`BSPEngine` simulates the cluster deterministically;
+this backend demonstrates the same programs running with *real* parallelism,
+one OS process per worker, pipes for message exchange, and the driver acting
+as the synchronisation barrier — the closest single-machine analogue to the
+paper's 7-node Spark deployment.
+
+Programs must be picklable (all programs in :mod:`repro.distributed.programs`
+are, as long as their state dictionaries are plain builtins).  Mutations a
+program makes to its state stay inside its process; results come back via
+``collect()``, so this backend suits the *propagation* programs (whose
+results are collected), not the in-place correction program.
+
+Usage::
+
+    with MultiprocessBSPEngine(shards, partitioner, factory) as engine:
+        engine.run()
+        results = engine.collect()
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.distributed.engine import MessageContext, WorkerProgram
+from repro.distributed.message import Message, message_size_bytes
+from repro.distributed.metrics import CommStats, SuperstepStats
+from repro.distributed.worker import WorkerShard
+from repro.graph.partition import Partitioner
+
+__all__ = ["MultiprocessBSPEngine"]
+
+ProgramFactory = Callable[[WorkerShard], WorkerProgram]
+
+
+def _worker_main(conn, shard: WorkerShard, factory: ProgramFactory) -> None:
+    """Child-process loop: execute one program over commands from the driver."""
+    program = factory(shard)
+    try:
+        while True:
+            command = conn.recv()
+            verb = command[0]
+            if verb == "start":
+                ctx = MessageContext()
+                program.on_start(ctx)
+                conn.send(ctx.outbox)
+            elif verb == "step":
+                _verb, superstep, inbox = command
+                ctx = MessageContext()
+                program.on_superstep(ctx, superstep, inbox)
+                conn.send(ctx.outbox)
+            elif verb == "collect":
+                conn.send(program.collect())
+            elif verb == "stop":
+                break
+            else:  # pragma: no cover - protocol violation
+                raise ValueError(f"unknown command {verb!r}")
+    finally:
+        conn.close()
+
+
+class MultiprocessBSPEngine:
+    """Drives persistent worker processes through synchronous supersteps."""
+
+    def __init__(
+        self,
+        shards: Sequence[WorkerShard],
+        partitioner: Partitioner,
+        factory: ProgramFactory,
+        mp_context: Optional[str] = None,
+    ):
+        if len(shards) != partitioner.num_partitions:
+            raise ValueError(
+                f"{len(shards)} shards but partitioner has "
+                f"{partitioner.num_partitions} partitions"
+            )
+        self.partitioner = partitioner
+        self.stats = CommStats()
+        ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
+        self._connections = []
+        self._processes = []
+        self._worker_ids = [shard.worker_id for shard in shards]
+        for shard in shards:
+            parent_conn, child_conn = ctx.Pipe()
+            process = ctx.Process(
+                target=_worker_main, args=(child_conn, shard, factory), daemon=True
+            )
+            process.start()
+            child_conn.close()
+            self._connections.append(parent_conn)
+            self._processes.append(process)
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Superstep loop
+    # ------------------------------------------------------------------
+    def _route(
+        self, outboxes: Dict[int, List[Message]], superstep: int
+    ) -> Dict[int, List[tuple]]:
+        step_stats = SuperstepStats(superstep=superstep)
+        inboxes: Dict[int, List[tuple]] = {wid: [] for wid in self._worker_ids}
+        for sender_id, outbox in outboxes.items():
+            for dst_vertex, payload in outbox:
+                owner = self.partitioner.owner(dst_vertex)
+                size = message_size_bytes((dst_vertex, payload))
+                step_stats.messages += 1
+                step_stats.bytes += size
+                if owner != sender_id:
+                    step_stats.remote_messages += 1
+                    step_stats.remote_bytes += size
+                inboxes[owner].append((dst_vertex,) + payload)
+        for inbox in inboxes.values():
+            inbox.sort()
+        self.stats.record(step_stats)
+        return inboxes
+
+    def run(self, max_supersteps: int = 100_000) -> CommStats:
+        """Run until message quiescence; returns the communication stats."""
+        if self._closed:
+            raise RuntimeError("engine already shut down")
+        for conn in self._connections:
+            conn.send(("start",))
+        outboxes = {
+            wid: conn.recv()
+            for wid, conn in zip(self._worker_ids, self._connections)
+        }
+        superstep = 0
+        while any(outboxes.values()):
+            superstep += 1
+            if superstep > max_supersteps:
+                raise RuntimeError(
+                    f"program did not quiesce within {max_supersteps} supersteps"
+                )
+            inboxes = self._route(outboxes, superstep)
+            for wid, conn in zip(self._worker_ids, self._connections):
+                conn.send(("step", superstep, inboxes[wid]))
+            outboxes = {
+                wid: conn.recv()
+                for wid, conn in zip(self._worker_ids, self._connections)
+            }
+        return self.stats
+
+    def collect(self) -> List[dict]:
+        """Gather each worker program's final results."""
+        if self._closed:
+            raise RuntimeError("engine already shut down")
+        for conn in self._connections:
+            conn.send(("collect",))
+        return [conn.recv() for conn in self._connections]
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def shutdown(self) -> None:
+        if self._closed:
+            return
+        for conn in self._connections:
+            try:
+                conn.send(("stop",))
+                conn.close()
+            except (BrokenPipeError, OSError):  # worker already gone
+                pass
+        for process in self._processes:
+            process.join(timeout=10)
+            if process.is_alive():  # pragma: no cover - stuck worker
+                process.terminate()
+        self._closed = True
+
+    def __enter__(self) -> "MultiprocessBSPEngine":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.shutdown()

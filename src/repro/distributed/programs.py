@@ -1,0 +1,369 @@
+"""Distributed vertex programs: Algorithms 1 and 2 over the BSP engine.
+
+Three programs, all bit-compatible with their sequential counterparts (the
+test suite asserts exact state equality):
+
+* :class:`RSLPAPropagationProgram` — Algorithm 1's fetch protocol.  Each
+  iteration is two supersteps: every vertex sends one ``(src, pos)`` request
+  and receives one label back, so the per-iteration message volume is
+  ``2·|V|`` — the paper's ``O(|V|)`` communication claim (Section III-A).
+* :class:`SLPAPropagationProgram` — the baseline's push protocol: one spoken
+  label per *directed edge* per iteration, ``2·|E|`` messages — the
+  ``O(|E|)`` cost rSLPA improves on.
+* :class:`CorrectionPropagationProgram` — Algorithm 2: repick requests,
+  record maintenance (register/unregister), label fetches and correction
+  cascades, quiescing when every buffer drains (message volume ``O(η)``).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.baselines.slpa import _SEND, _TIE
+from repro.core.incremental import keep_lottery_uniform, repick_draw
+from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.randomness import draw_position, draw_src_index, slot_hash
+from repro.distributed.engine import MessageContext, WorkerProgram
+from repro.distributed.worker import WorkerShard
+from repro.graph.edits import EditBatch
+
+__all__ = [
+    "RSLPAPropagationProgram",
+    "SLPAPropagationProgram",
+    "CorrectionPropagationProgram",
+]
+
+
+class RSLPAPropagationProgram(WorkerProgram):
+    """Algorithm 1 as mappers/reducers (fetch protocol).
+
+    Message kinds:
+      ``(dst, "req", pos, requester, t)`` — requester asks dst for l_dst^pos;
+      ``(dst, "lab", label, src, pos, t)`` — the reply, appended at dst.
+    """
+
+    def __init__(self, shard: WorkerShard, seed: int, iterations: int):
+        super().__init__(shard)
+        self.seed = seed
+        self.iterations = iterations
+        self.labels: Dict[int, List[int]] = {v: [v] for v in shard.vertices}
+        self.srcs: Dict[int, List[int]] = {v: [NO_SOURCE] for v in shard.vertices}
+        self.poss: Dict[int, List[int]] = {v: [NO_SOURCE] for v in shard.vertices}
+
+    def _send_requests(self, ctx: MessageContext, t: int) -> None:
+        for v in sorted(self.shard.vertices):
+            nbrs = self.shard.neighbors(v)
+            if not nbrs:
+                continue  # fallback slots are padded at collect()
+            h = slot_hash(self.seed, v, t, 0)
+            src = nbrs[draw_src_index(h, len(nbrs))]
+            pos = draw_position(h, t)
+            ctx.send(src, ("req", pos, v, t))
+
+    def on_start(self, ctx: MessageContext) -> None:
+        if self.iterations >= 1:
+            self._send_requests(ctx, 1)
+
+    def on_superstep(
+        self, ctx: MessageContext, superstep: int, inbox: Sequence[tuple]
+    ) -> None:
+        advanced_t: Optional[int] = None
+        for message in inbox:
+            kind = message[1]
+            if kind == "lab":
+                dst, _kind, label, src, pos, t = message
+                self.labels[dst].append(label)
+                self.srcs[dst].append(src)
+                self.poss[dst].append(pos)
+                advanced_t = t
+            elif kind == "req":
+                dst, _kind, pos, requester, t = message
+                ctx.send(requester, ("lab", self.labels[dst][pos], dst, pos, t))
+            else:  # pragma: no cover - protocol violation
+                raise ValueError(f"unknown message kind {kind!r}")
+        if advanced_t is not None and advanced_t < self.iterations:
+            self._send_requests(ctx, advanced_t + 1)
+
+    def collect(self) -> dict:
+        """Per-vertex (labels, srcs, poss), degree-0 vertices padded."""
+        result = {}
+        for v in self.shard.vertices:
+            labels, srcs, poss = self.labels[v], self.srcs[v], self.poss[v]
+            while len(labels) < self.iterations + 1:  # degree-0 fallback
+                labels.append(labels[0])
+                srcs.append(NO_SOURCE)
+                poss.append(NO_SOURCE)
+            result[v] = (labels, srcs, poss)
+        return result
+
+
+class SLPAPropagationProgram(WorkerProgram):
+    """The SLPA baseline's push protocol (one label per directed edge).
+
+    Message kind: ``(listener, "spk", label, t)``.  Speaker draws and the
+    plurality tie-break reuse the exact counter-based hashes of
+    :class:`repro.baselines.slpa.SLPA`, so memories match bit-for-bit.
+    """
+
+    def __init__(self, shard: WorkerShard, seed: int, iterations: int):
+        super().__init__(shard)
+        self.seed = seed
+        self.iterations = iterations
+        self.memories: Dict[int, List[int]] = {v: [v] for v in shard.vertices}
+
+    def _speak(self, ctx: MessageContext, t: int) -> None:
+        for speaker in sorted(self.shard.vertices):
+            memory = self.memories[speaker]
+            for listener in self.shard.neighbors(speaker):
+                h = slot_hash(
+                    self.seed ^ _SEND, speaker * 0x1F1F1F1F + listener, t, 0
+                )
+                pos = draw_position(h, t)
+                ctx.send(listener, ("spk", memory[pos], t))
+
+    def on_start(self, ctx: MessageContext) -> None:
+        if self.iterations >= 1:
+            self._speak(ctx, 1)
+
+    def on_superstep(
+        self, ctx: MessageContext, superstep: int, inbox: Sequence[tuple]
+    ) -> None:
+        if not inbox:
+            return
+        received: Dict[int, List[int]] = {}
+        t = inbox[0][3]
+        for listener, _kind, label, msg_t in inbox:
+            if msg_t != t:  # pragma: no cover - protocol violation
+                raise ValueError("mixed-iteration SLPA inbox")
+            received.setdefault(listener, []).append(label)
+        for listener, labels in received.items():
+            counts = Counter(labels)
+            best = max(counts.values())
+            winners = sorted(l for l, c in counts.items() if c == best)
+            if len(winners) == 1:
+                choice = winners[0]
+            else:
+                h = slot_hash(self.seed ^ _TIE, listener, t, 0)
+                choice = winners[draw_src_index(h, len(winners))]
+            self.memories[listener].append(choice)
+        if t < self.iterations:
+            self._speak(ctx, t + 1)
+
+    def collect(self) -> dict:
+        result = {}
+        for v in self.shard.vertices:
+            memory = self.memories[v]
+            while len(memory) < self.iterations + 1:  # degree-0 fallback
+                memory.append(memory[0])
+            result[v] = memory
+        return result
+
+
+class CorrectionPropagationProgram(WorkerProgram):
+    """Algorithm 2 over workers: incremental repair after an edit batch.
+
+    The shard's adjacency must reflect the *new* graph.  Each worker holds
+    the label-state slice (labels/srcs/poss/epochs/receivers) of its local
+    vertices; ``added``/``removed`` give the per-local-vertex neighbour
+    deltas of the batch.
+
+    Message kinds:
+      ``(old_src, "unreg", pos, tar, k)``             — detach a stale record;
+      ``(new_src, "fetch", pos, tar, k)``             — register + request;
+      ``(tar, "fval", label, k, src, pos, version)``  — fetch reply;
+      ``(tar, "corr", label, k, src, pos, version)``  — cascade correction.
+
+    Two safeguards make the unsynchronised cascade converge to exactly the
+    sequential fixpoint (asserted by the tests):
+
+    * every value-carrying message is tagged with the provenance
+      ``(src, pos)`` it derives from, and receivers drop updates that do not
+      match their slot's *current* provenance — corrections from stale
+      records (whose unregister is still in flight) are harmless;
+    * every source slot carries a monotone ``version`` bumped on each value
+      change, and receivers drop updates older than the newest seen — so
+      two corrections for the same slot arriving in one superstep cannot be
+      applied out of causal order.
+    """
+
+    def __init__(
+        self,
+        shard: WorkerShard,
+        seed: int,
+        iterations: int,
+        labels: Dict[int, List[int]],
+        srcs: Dict[int, List[int]],
+        poss: Dict[int, List[int]],
+        epochs: Dict[int, List[int]],
+        receivers: Dict[int, Dict[int, Set[Tuple[int, int]]]],
+        added: Dict[int, Set[int]],
+        removed: Dict[int, Set[int]],
+        batch_epoch: int,
+    ):
+        super().__init__(shard)
+        self.seed = seed
+        self.iterations = iterations
+        self.labels = labels
+        self.srcs = srcs
+        self.poss = poss
+        self.epochs = epochs
+        self.receivers = receivers
+        self.added = added
+        self.removed = removed
+        self.batch_epoch = batch_epoch
+        self.touched_slots: Set[Tuple[int, int]] = set()
+        # versions[(v, t)]: bumped whenever local slot (v, t) changes value.
+        self.versions: Dict[Tuple[int, int], int] = {}
+        # last_seen[(v, t)]: newest source version applied to local slot.
+        self.last_seen: Dict[Tuple[int, int], int] = {}
+
+    # -- classification (local part of Algorithm 2 lines 1-7) -------------
+    def on_start(self, ctx: MessageContext) -> None:
+        for v in sorted(set(self.added) | set(self.removed)):
+            if not self.shard.owns(v):
+                continue
+            removed_here = self.removed.get(v, set())
+            added_here = self.added.get(v, set())
+            current = self.shard.neighbors(v)
+            n_added = len(added_here)
+            n_unchanged = len(current) - n_added
+            for t in range(1, self.iterations + 1):
+                src = self.srcs[v][t]
+                if src == NO_SOURCE:
+                    if n_added > 0:
+                        self._repick(ctx, v, t, current)
+                    continue
+                if src in removed_here:
+                    self._repick(ctx, v, t, current)
+                    continue
+                if n_added == 0:
+                    continue
+                lottery = keep_lottery_uniform(self.seed, v, t, self.batch_epoch)
+                if lottery < n_added / (n_unchanged + n_added):
+                    self._repick(ctx, v, t, tuple(sorted(added_here)))
+
+    def _repick(
+        self, ctx: MessageContext, v: int, t: int, candidates: Sequence[int]
+    ) -> None:
+        old_src, old_pos = self.srcs[v][t], self.poss[v][t]
+        if old_src != NO_SOURCE:
+            if self.shard.owns(old_src):
+                self._do_unregister(old_src, old_pos, v, t)
+            else:
+                ctx.send(old_src, ("unreg", old_pos, v, t))
+        epoch = self.epochs[v][t] + 1
+        self.epochs[v][t] = epoch
+        self.touched_slots.add((v, t))
+        self.last_seen.pop((v, t), None)  # new provenance: reset staleness gate
+        if not candidates:
+            old_label = self.labels[v][t]
+            self.labels[v][t] = self.labels[v][0]
+            self.srcs[v][t] = NO_SOURCE
+            self.poss[v][t] = NO_SOURCE
+            if self.labels[v][t] != old_label:
+                self.versions[(v, t)] = self.versions.get((v, t), 0) + 1
+                self._broadcast_correction(ctx, v, t)
+            return
+        idx, pos = repick_draw(self.seed, v, t, epoch, len(candidates))
+        src = candidates[idx]
+        self.srcs[v][t] = src
+        self.poss[v][t] = pos
+        if self.shard.owns(src):
+            self._do_register(src, pos, v, t)
+            self._install_value(
+                ctx, v, t, self.labels[src][pos], src, pos,
+                self.versions.get((src, pos), 0),
+            )
+        else:
+            ctx.send(src, ("fetch", pos, v, t))
+
+    # -- record bookkeeping ------------------------------------------------
+    def _do_unregister(self, src: int, pos: int, tar: int, k: int) -> None:
+        bucket = self.receivers[src].get(pos)
+        if bucket is None or (tar, k) not in bucket:
+            raise AssertionError(
+                f"unreg of unknown record ({src}, {pos}) -> ({tar}, {k})"
+            )
+        bucket.discard((tar, k))
+        if not bucket:
+            del self.receivers[src][pos]
+
+    def _do_register(self, src: int, pos: int, tar: int, k: int) -> None:
+        self.receivers[src].setdefault(pos, set()).add((tar, k))
+
+    # -- value updates -----------------------------------------------------
+    def _install_value(
+        self,
+        ctx: MessageContext,
+        v: int,
+        t: int,
+        label: int,
+        src: int,
+        pos: int,
+        version: int,
+    ) -> None:
+        """Accept an update only if provenance matches and it is not stale."""
+        if self.srcs[v][t] != src or self.poss[v][t] != pos:
+            return  # stale update from a record whose unregister is in flight
+        if version <= self.last_seen.get((v, t), -1):
+            return  # an update from a newer source state already applied
+        self.last_seen[(v, t)] = version
+        if self.labels[v][t] == label:
+            return
+        self.labels[v][t] = label
+        self.versions[(v, t)] = self.versions.get((v, t), 0) + 1
+        self.touched_slots.add((v, t))
+        self._broadcast_correction(ctx, v, t)
+
+    def _broadcast_correction(self, ctx: MessageContext, v: int, t: int) -> None:
+        label = self.labels[v][t]
+        version = self.versions.get((v, t), 0)
+        for tar, k in sorted(self.receivers[v].get(t, ())):
+            if self.shard.owns(tar):
+                # Local receiver: apply immediately (forward in iteration,
+                # so the recursion is bounded by T).
+                self._install_value(ctx, tar, k, label, v, t, version)
+            else:
+                ctx.send(tar, ("corr", label, k, v, t, version))
+
+    # -- superstep dispatch --------------------------------------------------
+    _ORDER = {"unreg": 0, "fval": 1, "corr": 2, "fetch": 3}
+
+    def on_superstep(
+        self, ctx: MessageContext, superstep: int, inbox: Sequence[tuple]
+    ) -> None:
+        for message in sorted(inbox, key=lambda m: (self._ORDER[m[1]], m)):
+            kind = message[1]
+            if kind == "unreg":
+                dst, _kind, pos, tar, k = message
+                self._do_unregister(dst, pos, tar, k)
+            elif kind in ("fval", "corr"):
+                dst, _kind, label, k, src, pos, version = message
+                self._install_value(ctx, dst, k, label, src, pos, version)
+            elif kind == "fetch":
+                dst, _kind, pos, tar, k = message
+                self._do_register(dst, pos, tar, k)
+                ctx.send(
+                    tar,
+                    (
+                        "fval",
+                        self.labels[dst][pos],
+                        k,
+                        dst,
+                        pos,
+                        self.versions.get((dst, pos), 0),
+                    ),
+                )
+            else:  # pragma: no cover - protocol violation
+                raise ValueError(f"unknown message kind {kind!r}")
+
+    def collect(self) -> dict:
+        return {
+            "labels": self.labels,
+            "srcs": self.srcs,
+            "poss": self.poss,
+            "epochs": self.epochs,
+            "receivers": self.receivers,
+            "touched": self.touched_slots,
+        }

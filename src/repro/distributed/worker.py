@@ -1,0 +1,62 @@
+"""Worker shards: the per-machine state of the simulated cluster.
+
+A :class:`WorkerShard` owns a set of vertices and their adjacency (the
+outgoing half of every incident edge, as in an edge-cut partitioning — each
+worker can enumerate its vertices' neighbours locally but must message the
+neighbour's owner to touch its state, exactly the Spark/Pregel model the
+paper runs on).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List
+
+from repro.graph.adjacency import Graph
+from repro.graph.partition import Partitioner
+
+__all__ = ["WorkerShard", "build_shards"]
+
+
+class WorkerShard:
+    """One worker's slice of the graph (picklable for the MP backend)."""
+
+    __slots__ = ("worker_id", "vertices", "adjacency")
+
+    def __init__(self, worker_id: int, vertices: FrozenSet[int], adjacency: Dict[int, List[int]]):
+        self.worker_id = worker_id
+        self.vertices = vertices
+        self.adjacency = adjacency  # vertex -> sorted neighbour list
+
+    def degree(self, v: int) -> int:
+        return len(self.adjacency[v])
+
+    def neighbors(self, v: int) -> List[int]:
+        """Sorted neighbour list (do not mutate)."""
+        return self.adjacency[v]
+
+    def owns(self, v: int) -> bool:
+        return v in self.vertices
+
+    @property
+    def num_vertices(self) -> int:
+        return len(self.vertices)
+
+    def local_edges(self) -> int:
+        """Incident edge endpoints stored on this worker."""
+        return sum(len(nbrs) for nbrs in self.adjacency.values())
+
+    def __repr__(self) -> str:
+        return f"WorkerShard(id={self.worker_id}, |V|={self.num_vertices})"
+
+
+def build_shards(graph: Graph, partitioner: Partitioner) -> List[WorkerShard]:
+    """Partition a graph into worker shards (sorted adjacency per vertex)."""
+    groups = partitioner.partition(graph.vertices())
+    shards: List[WorkerShard] = []
+    for worker_id in range(partitioner.num_partitions):
+        local = groups.get(worker_id, [])
+        adjacency = {v: sorted(graph.neighbors_view(v)) for v in local}
+        shards.append(
+            WorkerShard(worker_id, frozenset(local), adjacency)
+        )
+    return shards

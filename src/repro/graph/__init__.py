@@ -1,0 +1,60 @@
+"""Graph substrate: dynamic binary graphs, edits, partitioning, generators, I/O."""
+
+from repro.graph.adjacency import Graph, normalize_edge
+from repro.graph.edits import EditBatch, apply_batch, diff_graphs
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_degree_sequence,
+    random_regular_ish,
+    ring_of_cliques,
+)
+from repro.graph.io import (
+    from_networkx,
+    parse_edge_lines,
+    read_edge_list,
+    relabel_to_integers,
+    to_networkx,
+    write_edge_list,
+)
+from repro.graph.partition import (
+    ContiguousPartitioner,
+    HashPartitioner,
+    Partitioner,
+    partition_counts,
+)
+from repro.graph.transform import (
+    aggregate_weights,
+    binarize,
+    binarize_top_k,
+    quantile_threshold,
+)
+
+__all__ = [
+    "Graph",
+    "normalize_edge",
+    "EditBatch",
+    "apply_batch",
+    "diff_graphs",
+    "erdos_renyi",
+    "random_regular_ish",
+    "chung_lu",
+    "powerlaw_degree_sequence",
+    "ring_of_cliques",
+    "planted_partition",
+    "Partitioner",
+    "HashPartitioner",
+    "ContiguousPartitioner",
+    "partition_counts",
+    "read_edge_list",
+    "write_edge_list",
+    "parse_edge_lines",
+    "to_networkx",
+    "from_networkx",
+    "relabel_to_integers",
+    "binarize",
+    "binarize_top_k",
+    "quantile_threshold",
+    "aggregate_weights",
+]

@@ -1,0 +1,157 @@
+"""Edit batches: the unit of change for the dynamic algorithms.
+
+Section IV of the paper studies *batched* edge insertions and deletions
+("we generate the graph edit batch by randomly selecting edges for insertion
+and deletion", Section V-B1).  :class:`EditBatch` is the normalised
+description of such a batch, and :func:`diff_graphs` recovers a batch from
+two graph snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+
+from repro.graph.adjacency import Graph, normalize_edge
+
+__all__ = ["EditBatch", "diff_graphs", "apply_batch"]
+
+Edge = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class EditBatch:
+    """A batch of edge insertions and deletions (canonicalised, disjoint).
+
+    ``insertions`` and ``deletions`` are frozensets of canonical edges; an
+    edge may not appear in both.  Construct via :meth:`build` to get
+    canonicalisation for free.
+    """
+
+    insertions: FrozenSet[Edge] = field(default_factory=frozenset)
+    deletions: FrozenSet[Edge] = field(default_factory=frozenset)
+
+    def __post_init__(self):
+        overlap = self.insertions & self.deletions
+        if overlap:
+            raise ValueError(f"edges both inserted and deleted: {sorted(overlap)[:5]}")
+        for u, v in self.insertions | self.deletions:
+            if u >= v:
+                raise ValueError(f"edge ({u}, {v}) is not in canonical (min, max) form")
+
+    @classmethod
+    def build(
+        cls,
+        insertions: Iterable[Edge] = (),
+        deletions: Iterable[Edge] = (),
+    ) -> "EditBatch":
+        """Canonicalise raw edge pairs and build a batch.
+
+        An edge listed in both directions counts once.  An edge appearing in
+        both roles is rejected (apply order would be ambiguous).
+        """
+        ins = frozenset(normalize_edge(u, v) for u, v in insertions)
+        dels = frozenset(normalize_edge(u, v) for u, v in deletions)
+        return cls(insertions=ins, deletions=dels)
+
+    @classmethod
+    def empty(cls) -> "EditBatch":
+        return cls()
+
+    @property
+    def size(self) -> int:
+        """Total number of edge edits in the batch."""
+        return len(self.insertions) + len(self.deletions)
+
+    def __bool__(self) -> bool:
+        return self.size > 0
+
+    def touched_vertices(self) -> FrozenSet[int]:
+        """All endpoints of edited edges."""
+        touched: Set[int] = set()
+        for u, v in self.insertions | self.deletions:
+            touched.add(u)
+            touched.add(v)
+        return frozenset(touched)
+
+    def added_neighbors(self) -> Dict[int, Set[int]]:
+        """Map vertex -> set of neighbours gained by this batch."""
+        gained: Dict[int, Set[int]] = {}
+        for u, v in self.insertions:
+            gained.setdefault(u, set()).add(v)
+            gained.setdefault(v, set()).add(u)
+        return gained
+
+    def removed_neighbors(self) -> Dict[int, Set[int]]:
+        """Map vertex -> set of neighbours lost by this batch."""
+        lost: Dict[int, Set[int]] = {}
+        for u, v in self.deletions:
+            lost.setdefault(u, set()).add(v)
+            lost.setdefault(v, set()).add(u)
+        return lost
+
+    def inverse(self) -> "EditBatch":
+        """The batch that undoes this one."""
+        return EditBatch(insertions=self.deletions, deletions=self.insertions)
+
+    def merged_with(self, later: "EditBatch") -> "EditBatch":
+        """Compose with a ``later`` batch applied after this one.
+
+        Cancelling pairs (insert then delete, or delete then insert) drop
+        out, matching the net effect on the graph.
+        """
+        ins = set(self.insertions)
+        dels = set(self.deletions)
+        for edge in later.insertions:
+            if edge in dels:
+                dels.discard(edge)
+            else:
+                ins.add(edge)
+        for edge in later.deletions:
+            if edge in ins:
+                ins.discard(edge)
+            else:
+                dels.add(edge)
+        return EditBatch(insertions=frozenset(ins), deletions=frozenset(dels))
+
+    def validate_against(self, graph: Graph) -> None:
+        """Raise ``ValueError`` if the batch cannot apply cleanly to ``graph``.
+
+        Insertions must be absent from the graph; deletions must be present.
+        """
+        bad_ins = [e for e in self.insertions if graph.has_edge(*e)]
+        if bad_ins:
+            raise ValueError(f"insertions already present: {sorted(bad_ins)[:5]}")
+        bad_dels = [e for e in self.deletions if not graph.has_edge(*e)]
+        if bad_dels:
+            raise ValueError(f"deletions not present: {sorted(bad_dels)[:5]}")
+
+
+def apply_batch(graph: Graph, batch: EditBatch, strict: bool = True) -> Graph:
+    """Apply ``batch`` to ``graph`` in place and return it.
+
+    With ``strict=True`` (default) the batch is validated first, so a failed
+    apply leaves the graph untouched.
+    """
+    if strict:
+        batch.validate_against(graph)
+    for u, v in batch.deletions:
+        graph.remove_edge(u, v)
+    for u, v in batch.insertions:
+        graph.add_edge(u, v)
+    return graph
+
+
+def diff_graphs(old: Graph, new: Graph) -> EditBatch:
+    """Recover the edit batch that transforms ``old`` into ``new``.
+
+    Only edge differences are reported; isolated-vertex changes are not part
+    of a batch (the incremental algorithm treats vertices through their
+    incident edges, per Section IV premises).
+    """
+    old_edges = set(old.edges())
+    new_edges = set(new.edges())
+    return EditBatch(
+        insertions=frozenset(new_edges - old_edges),
+        deletions=frozenset(old_edges - new_edges),
+    )

@@ -1,0 +1,209 @@
+"""Basic random-graph generators.
+
+These serve two roles: fixtures for tests, and building blocks for the
+workload generators (``repro.workloads``).  All generators take an explicit
+``seed`` and return :class:`repro.graph.adjacency.Graph`.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_non_negative, check_positive, check_type
+
+__all__ = [
+    "erdos_renyi",
+    "random_regular_ish",
+    "chung_lu",
+    "powerlaw_degree_sequence",
+    "ring_of_cliques",
+    "planted_partition",
+]
+
+
+def erdos_renyi(n: int, p: float, seed: int = 0) -> Graph:
+    """G(n, p) with expected ``p * n * (n-1) / 2`` edges.
+
+    Uses geometric skipping, so sparse graphs cost O(|E|) not O(n^2).
+    """
+    check_type(n, int, "n")
+    check_non_negative(n, "n")
+    if not 0 <= p <= 1:
+        raise ValueError(f"p must be in [0, 1], got {p}")
+    rng = derive_rng(seed, "erdos-renyi", n)
+    graph = Graph.from_edges((), vertices=range(n))
+    if p == 0 or n < 2:
+        return graph
+    if p == 1:
+        for u in range(n):
+            for v in range(u + 1, n):
+                graph.add_edge(u, v)
+        return graph
+    # Geometric skipping over the lexicographic edge enumeration.
+    log_q = math.log(1.0 - p)
+    v = 1
+    w = -1
+    while v < n:
+        r = rng.random()
+        w = w + 1 + int(math.log(1.0 - r) / log_q)
+        while w >= v and v < n:
+            w -= v
+            v += 1
+        if v < n:
+            graph.add_edge(v, w)
+    return graph
+
+
+def random_regular_ish(n: int, k: int, seed: int = 0) -> Graph:
+    """Approximately k-regular graph via configuration-model matching.
+
+    Self-loops and parallel edges from the matching are dropped, so degrees
+    may fall slightly below ``k``; adequate for fixtures where we only need
+    "roughly regular".
+    """
+    check_type(n, int, "n")
+    check_type(k, int, "k")
+    check_positive(n, "n")
+    check_non_negative(k, "k")
+    if k >= n:
+        raise ValueError(f"k={k} must be < n={n}")
+    rng = derive_rng(seed, "regular", n, k)
+    stubs: List[int] = [v for v in range(n) for _ in range(k)]
+    rng.shuffle(stubs)
+    graph = Graph.from_edges((), vertices=range(n))
+    for i in range(0, len(stubs) - 1, 2):
+        u, v = stubs[i], stubs[i + 1]
+        if u != v:
+            graph.add_edge(u, v)
+    return graph
+
+
+def powerlaw_degree_sequence(
+    n: int,
+    exponent: float,
+    min_degree: int,
+    max_degree: int,
+    seed: int = 0,
+) -> List[int]:
+    """Sample ``n`` degrees from a truncated discrete power law.
+
+    ``P(d) ∝ d^(-exponent)`` for ``min_degree <= d <= max_degree``.  The sum
+    is forced even (required by stub matching) by bumping one entry.
+    """
+    check_type(n, int, "n")
+    check_non_negative(n, "n")
+    check_positive(exponent, "exponent")
+    check_type(min_degree, int, "min_degree")
+    check_type(max_degree, int, "max_degree")
+    check_positive(min_degree, "min_degree")
+    if max_degree < min_degree:
+        raise ValueError(f"max_degree={max_degree} < min_degree={min_degree}")
+    rng = derive_rng(seed, "powerlaw-degrees", n, min_degree, max_degree)
+    support = range(min_degree, max_degree + 1)
+    weights = [d ** (-exponent) for d in support]
+    degrees = rng.choices(list(support), weights=weights, k=n)
+    if sum(degrees) % 2 == 1:
+        # Bump any entry that has room; min_degree <= max_degree guarantees
+        # at least one direction works.
+        for i, d in enumerate(degrees):
+            if d < max_degree:
+                degrees[i] += 1
+                break
+        else:
+            degrees[0] -= 1
+    return degrees
+
+
+def chung_lu(degrees: Sequence[int], seed: int = 0) -> Graph:
+    """Chung-Lu random graph with expected degrees ``degrees``.
+
+    Edge ``(u, v)`` appears with probability ``min(1, d_u d_v / (2m))``.
+    Implemented with the Miller-Hagberg sorted-weights algorithm, giving
+    O(n + m) expected time — fast enough for the web-graph substitute.
+    """
+    n = len(degrees)
+    graph = Graph.from_edges((), vertices=range(n))
+    total = float(sum(degrees))
+    if total <= 0 or n < 2:
+        return graph
+    rng = derive_rng(seed, "chung-lu", n)
+    order = sorted(range(n), key=lambda v: degrees[v], reverse=True)
+    weights = [float(degrees[v]) for v in order]
+    for i in range(n - 1):
+        wi = weights[i]
+        if wi <= 0:
+            break
+        j = i + 1
+        p = min(wi * weights[j] / total, 1.0)
+        while j < n and p > 0:
+            if p != 1.0:
+                r = rng.random()
+                j += int(math.log(r) / math.log(1.0 - p)) if p < 1.0 else 0
+            if j < n:
+                q = min(wi * weights[j] / total, 1.0)
+                if rng.random() < q / p:
+                    graph.add_edge(order[i], order[j])
+                p = q
+                j += 1
+    return graph
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` cliques of ``clique_size`` joined in a ring.
+
+    A classic community-detection fixture: each clique is an unambiguous
+    ground-truth community, with single bridge edges between consecutive
+    cliques.
+    """
+    check_type(num_cliques, int, "num_cliques")
+    check_type(clique_size, int, "clique_size")
+    check_positive(num_cliques, "num_cliques")
+    if clique_size < 2:
+        raise ValueError(f"clique_size must be >= 2, got {clique_size}")
+    graph = Graph()
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                graph.add_edge(base + i, base + j)
+    if num_cliques > 1:
+        for c in range(num_cliques):
+            u = c * clique_size
+            v = ((c + 1) % num_cliques) * clique_size + 1
+            if num_cliques == 2 and c == 1:
+                break  # avoid adding the same bridge twice
+            graph.add_edge(u, v)
+    return graph
+
+
+def planted_partition(
+    num_groups: int,
+    group_size: int,
+    p_in: float,
+    p_out: float,
+    seed: int = 0,
+) -> Graph:
+    """Planted partition model: dense blocks, sparse cross-block edges.
+
+    Ground truth for non-overlapping community tests where LFR would be
+    overkill.
+    """
+    check_type(num_groups, int, "num_groups")
+    check_type(group_size, int, "group_size")
+    check_positive(num_groups, "num_groups")
+    check_positive(group_size, "group_size")
+    for name, p in (("p_in", p_in), ("p_out", p_out)):
+        if not 0 <= p <= 1:
+            raise ValueError(f"{name} must be in [0, 1], got {p}")
+    rng = derive_rng(seed, "planted", num_groups, group_size)
+    n = num_groups * group_size
+    graph = Graph.from_edges((), vertices=range(n))
+    for u in range(n):
+        for v in range(u + 1, n):
+            same = (u // group_size) == (v // group_size)
+            if rng.random() < (p_in if same else p_out):
+                graph.add_edge(u, v)
+    return graph

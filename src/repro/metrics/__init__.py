@@ -1,0 +1,28 @@
+"""Evaluation metrics: overlapping NMI (LFK), omega, F1, conductance, entropy."""
+
+from repro.metrics.entropy import size_entropy, size_entropy_from_sizes
+from repro.metrics.modularity import modularity, overlapping_modularity
+from repro.metrics.nmi import cover_entropy_bits, nmi_overlapping
+from repro.metrics.quality import (
+    average_conductance,
+    conductance,
+    coverage,
+    omega_index,
+    overlapping_f1,
+    pairwise_cooccurrence_counts,
+)
+
+__all__ = [
+    "nmi_overlapping",
+    "cover_entropy_bits",
+    "size_entropy",
+    "size_entropy_from_sizes",
+    "omega_index",
+    "overlapping_f1",
+    "conductance",
+    "average_conductance",
+    "coverage",
+    "pairwise_cooccurrence_counts",
+    "modularity",
+    "overlapping_modularity",
+]

@@ -1,0 +1,41 @@
+"""Community-size information entropy (Equation 1 of the paper).
+
+The post-processing stage picks the strong threshold τ1 to maximise
+
+    entropy = - Σ_i (|C_i| / |V|) · log(|C_i| / |V|)
+
+over the extracted communities.  Both the τ1 sweep in
+``repro.core.postprocess`` and the ablation benches use these helpers.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Collection, Iterable, Sequence
+
+__all__ = ["size_entropy", "size_entropy_from_sizes"]
+
+
+def size_entropy_from_sizes(sizes: Iterable[int], num_vertices: int) -> float:
+    """Entropy (natural log) of relative community sizes.
+
+    Sizes need not sum to ``num_vertices`` — vertices outside every
+    community simply contribute nothing, matching Eq. 1 where the sum runs
+    over extracted communities only.
+    """
+    if num_vertices <= 0:
+        raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+    total = 0.0
+    for size in sizes:
+        if size < 0:
+            raise ValueError(f"community size must be >= 0, got {size}")
+        if size == 0:
+            continue
+        p = size / num_vertices
+        total -= p * math.log(p)
+    return total
+
+
+def size_entropy(communities: Sequence[Collection[int]], num_vertices: int) -> float:
+    """Eq. 1 applied to a concrete list of communities."""
+    return size_entropy_from_sizes((len(c) for c in communities), num_vertices)

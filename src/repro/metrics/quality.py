@@ -1,0 +1,163 @@
+"""Additional cover-quality metrics: omega index, overlapping F1, conductance.
+
+The paper reports NMI only, but these metrics are standard companions when
+comparing overlapping covers; the test-suite and ablation benches use them
+as independent cross-checks (a detector that scores well on NMI but terribly
+on omega/F1 would indicate a metric bug rather than detection quality).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Collection, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.graph.adjacency import Graph
+
+__all__ = [
+    "omega_index",
+    "overlapping_f1",
+    "conductance",
+    "average_conductance",
+    "coverage",
+    "pairwise_cooccurrence_counts",
+]
+
+
+def pairwise_cooccurrence_counts(
+    cover: Iterable[Collection[int]],
+) -> Dict[FrozenSet[int], int]:
+    """Map vertex pair -> number of communities containing both.
+
+    Quadratic per community; intended for the modest community sizes of the
+    tests and ablations, not for full-scale graphs.
+    """
+    counts: Dict[FrozenSet[int], int] = {}
+    for community in cover:
+        for u, v in combinations(sorted(set(community)), 2):
+            key = frozenset((u, v))
+            counts[key] = counts.get(key, 0) + 1
+    return counts
+
+
+def omega_index(
+    cover_a: Sequence[Collection[int]],
+    cover_b: Sequence[Collection[int]],
+    num_vertices: int,
+) -> float:
+    """Omega index: chance-corrected agreement on pair co-membership counts.
+
+    Generalises the Adjusted Rand Index to overlapping covers: two covers
+    agree on a pair when the pair co-occurs in the *same number* of
+    communities in both.
+    """
+    if num_vertices < 2:
+        raise ValueError(f"need at least 2 vertices, got {num_vertices}")
+    total_pairs = num_vertices * (num_vertices - 1) // 2
+    counts_a = pairwise_cooccurrence_counts(cover_a)
+    counts_b = pairwise_cooccurrence_counts(cover_b)
+
+    # Observed agreement.
+    agree = 0
+    for pair, ka in counts_a.items():
+        if counts_b.get(pair, 0) == ka:
+            agree += 1
+    # Pairs appearing in neither cover agree at multiplicity 0.
+    union_pairs = set(counts_a) | set(counts_b)
+    zero_zero = total_pairs - len(union_pairs)
+    # Pairs in b only (a has 0) never agree unless b count is 0 (impossible).
+    observed = (agree + zero_zero) / total_pairs
+
+    # Expected agreement under independent multiplicity distributions.
+    def multiplicity_histogram(counts: Dict[FrozenSet[int], int]) -> Dict[int, int]:
+        hist: Dict[int, int] = {}
+        for value in counts.values():
+            hist[value] = hist.get(value, 0) + 1
+        hist[0] = total_pairs - len(counts)
+        return hist
+
+    hist_a = multiplicity_histogram(counts_a)
+    hist_b = multiplicity_histogram(counts_b)
+    expected = sum(
+        hist_a.get(level, 0) * hist_b.get(level, 0)
+        for level in set(hist_a) | set(hist_b)
+    ) / (total_pairs * total_pairs)
+
+    if expected >= 1.0:
+        return 1.0 if observed >= 1.0 else 0.0
+    return (observed - expected) / (1.0 - expected)
+
+
+def _f1(set_a: Set[int], set_b: Set[int]) -> float:
+    """Plain F1 between two vertex sets."""
+    if not set_a or not set_b:
+        return 0.0
+    inter = len(set_a & set_b)
+    if inter == 0:
+        return 0.0
+    precision = inter / len(set_b)
+    recall = inter / len(set_a)
+    return 2 * precision * recall / (precision + recall)
+
+
+def overlapping_f1(
+    detected: Sequence[Collection[int]],
+    truth: Sequence[Collection[int]],
+) -> float:
+    """Average best-match F1, symmetrised (the "average F1" of the literature).
+
+    ``0.5 * (mean_d max_t F1(d, t) + mean_t max_d F1(t, d))``.
+    """
+    det: List[Set[int]] = [set(c) for c in detected if c]
+    tru: List[Set[int]] = [set(c) for c in truth if c]
+    if not det and not tru:
+        return 1.0
+    if not det or not tru:
+        return 0.0
+
+    def one_sided(from_cover: List[Set[int]], to_cover: List[Set[int]]) -> float:
+        return sum(max(_f1(c, other) for other in to_cover) for c in from_cover) / len(
+            from_cover
+        )
+
+    return 0.5 * (one_sided(det, tru) + one_sided(tru, det))
+
+
+def conductance(graph: Graph, community: Collection[int]) -> float:
+    """Conductance of a vertex set: cut edges / min(volume, complement volume).
+
+    Lower is better; 0 means no boundary edges.  Returns 1.0 for degenerate
+    sets (empty, full, or zero-volume).
+    """
+    members = {v for v in community if graph.has_vertex(v)}
+    if not members or len(members) >= graph.num_vertices:
+        return 1.0
+    volume = 0
+    cut = 0
+    for v in members:
+        for u in graph.neighbors_view(v):
+            volume += 1
+            if u not in members:
+                cut += 1
+    complement_volume = 2 * graph.num_edges - volume
+    denom = min(volume, complement_volume)
+    if denom == 0:
+        return 1.0
+    return cut / denom
+
+
+def average_conductance(graph: Graph, cover: Sequence[Collection[int]]) -> float:
+    """Mean conductance over the communities of a cover (1.0 if empty)."""
+    communities = [c for c in cover if c]
+    if not communities:
+        return 1.0
+    return sum(conductance(graph, c) for c in communities) / len(communities)
+
+
+def coverage(cover: Sequence[Collection[int]], num_vertices: int) -> float:
+    """Fraction of the vertex universe assigned to at least one community."""
+    if num_vertices <= 0:
+        raise ValueError(f"num_vertices must be positive, got {num_vertices}")
+    covered: Set[int] = set()
+    for community in cover:
+        covered.update(community)
+    return len(covered) / num_vertices

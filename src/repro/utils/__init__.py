@@ -1,0 +1,22 @@
+"""Shared utilities: deterministic RNG derivation and argument validation."""
+
+from repro.utils.rng import RngFactory, derive_rng, derive_seed, spawn_rng
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "derive_rng",
+    "derive_seed",
+    "spawn_rng",
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

@@ -1,0 +1,60 @@
+"""Small argument-validation helpers shared across the library.
+
+These raise early, with messages that name the offending parameter, so that
+misuse surfaces at API boundaries instead of deep inside an algorithm.
+"""
+
+from __future__ import annotations
+
+from numbers import Real
+
+__all__ = [
+    "check_type",
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_type(value, types, name: str):
+    """Raise ``TypeError`` unless ``value`` is an instance of ``types``."""
+    if not isinstance(value, types):
+        if isinstance(types, tuple):
+            expected = " or ".join(t.__name__ for t in types)
+        else:
+            expected = types.__name__
+        raise TypeError(f"{name} must be {expected}, got {type(value).__name__}")
+    return value
+
+
+def check_positive(value, name: str):
+    """Raise unless ``value`` is a real number strictly greater than zero."""
+    check_type(value, Real, name)
+    if not value > 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(value, name: str):
+    """Raise unless ``value`` is a real number greater than or equal to zero."""
+    check_type(value, Real, name)
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(value, name: str):
+    """Raise unless ``value`` lies in the closed interval [0, 1]."""
+    check_type(value, Real, name)
+    if not 0 <= value <= 1:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value, name: str):
+    """Raise unless ``value`` lies in the half-open interval (0, 1)."""
+    check_type(value, Real, name)
+    if not 0 < value < 1:
+        raise ValueError(f"{name} must be in (0, 1), got {value!r}")
+    return value

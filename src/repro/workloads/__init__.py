@@ -1,0 +1,38 @@
+"""Workload generators: LFR benchmark, dynamic edit batches, web-graph substitute."""
+
+from repro.workloads.dynamic import (
+    EditStream,
+    random_deletions,
+    random_edit_batch,
+    random_insertions,
+    vertex_arrival_batch,
+    vertex_departure_batch,
+)
+from repro.workloads.lfr import LFRGraph, LFRParams, generate_lfr, solve_power_law_xmin
+from repro.workloads.realworld import LabelledGraph, karate_club, les_miserables
+from repro.workloads.webgraph import (
+    WebGraphParams,
+    WebGraphResult,
+    generate_webgraph,
+    webgraph_statistics,
+)
+
+__all__ = [
+    "LFRParams",
+    "LFRGraph",
+    "generate_lfr",
+    "solve_power_law_xmin",
+    "random_edit_batch",
+    "random_insertions",
+    "random_deletions",
+    "vertex_arrival_batch",
+    "vertex_departure_batch",
+    "EditStream",
+    "WebGraphParams",
+    "WebGraphResult",
+    "generate_webgraph",
+    "webgraph_statistics",
+    "LabelledGraph",
+    "karate_club",
+    "les_miserables",
+]

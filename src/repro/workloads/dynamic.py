@@ -1,0 +1,178 @@
+"""Dynamic-graph workload generation.
+
+Section V-B1 of the paper: *"we generate the graph edit batch by randomly
+selecting edges for insertion and deletion. Typically, the batch size is set
+from 100 to 100,000, and then for each size we randomly pick half edges to
+insert and half to delete."*  :func:`random_edit_batch` implements exactly
+that protocol — uniform over existing edges for deletions and uniform over
+non-edges for insertions — plus a few targeted variants used by the
+ablations, and :class:`EditStream` produces sequences of batches for the
+streaming examples.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.graph.adjacency import Graph, normalize_edge
+from repro.graph.edits import EditBatch, apply_batch
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_non_negative, check_type
+
+__all__ = [
+    "random_edit_batch",
+    "random_insertions",
+    "random_deletions",
+    "vertex_arrival_batch",
+    "vertex_departure_batch",
+    "EditStream",
+]
+
+Edge = Tuple[int, int]
+
+
+def _sample_non_edges(graph: Graph, count: int, rng, max_tries_factor: int = 200) -> Set[Edge]:
+    """Uniformly sample ``count`` distinct non-edges via rejection sampling.
+
+    Works well whenever the graph is sparse (the only regime the paper
+    considers); raises if the graph is too dense to find enough non-edges.
+    """
+    vertices = sorted(graph.vertices())
+    n = len(vertices)
+    possible = n * (n - 1) // 2 - graph.num_edges
+    if count > possible:
+        raise ValueError(
+            f"requested {count} insertions but only {possible} non-edges exist"
+        )
+    picked: Set[Edge] = set()
+    tries = 0
+    limit = max_tries_factor * max(count, 1) + 1000
+    while len(picked) < count:
+        tries += 1
+        if tries > limit:
+            # Dense fallback: enumerate all non-edges and sample exactly.
+            all_non_edges = [
+                (u, v)
+                for i, u in enumerate(vertices)
+                for v in vertices[i + 1 :]
+                if not graph.has_edge(u, v) and (u, v) not in picked
+            ]
+            picked.update(rng.sample(all_non_edges, count - len(picked)))
+            break
+        u = vertices[rng.randrange(n)]
+        v = vertices[rng.randrange(n)]
+        if u == v:
+            continue
+        edge = normalize_edge(u, v)
+        if edge in picked or graph.has_edge(*edge):
+            continue
+        picked.add(edge)
+    return picked
+
+
+def random_insertions(graph: Graph, count: int, seed: int = 0) -> EditBatch:
+    """A batch of ``count`` uniformly random edge insertions."""
+    check_type(count, int, "count")
+    check_non_negative(count, "count")
+    rng = derive_rng(seed, "insertions", count)
+    return EditBatch(insertions=frozenset(_sample_non_edges(graph, count, rng)))
+
+
+def random_deletions(graph: Graph, count: int, seed: int = 0) -> EditBatch:
+    """A batch of ``count`` uniformly random edge deletions."""
+    check_type(count, int, "count")
+    check_non_negative(count, "count")
+    if count > graph.num_edges:
+        raise ValueError(
+            f"requested {count} deletions but graph has {graph.num_edges} edges"
+        )
+    rng = derive_rng(seed, "deletions", count)
+    edges = sorted(graph.edges())
+    return EditBatch(deletions=frozenset(rng.sample(edges, count)))
+
+
+def random_edit_batch(graph: Graph, size: int, seed: int = 0) -> EditBatch:
+    """The paper's batch: ``size`` edits, half insertions and half deletions.
+
+    Odd sizes put the extra edit on the insertion side.  Both halves are
+    uniform: deletions over existing edges, insertions over non-edges.
+    """
+    check_type(size, int, "size")
+    check_non_negative(size, "size")
+    num_deletions = size // 2
+    num_insertions = size - num_deletions
+    if num_deletions > graph.num_edges:
+        raise ValueError(
+            f"batch needs {num_deletions} deletions but graph has "
+            f"{graph.num_edges} edges"
+        )
+    rng = derive_rng(seed, "edit-batch", size)
+    edges = sorted(graph.edges())
+    deletions = frozenset(rng.sample(edges, num_deletions)) if num_deletions else frozenset()
+    insertions = frozenset(_sample_non_edges(graph, num_insertions, rng))
+    return EditBatch(insertions=insertions, deletions=deletions)
+
+
+def vertex_arrival_batch(
+    graph: Graph, new_vertex: int, num_links: int, seed: int = 0
+) -> EditBatch:
+    """A new vertex arriving with ``num_links`` edges to existing vertices.
+
+    Section IV premises: vertex insertion is handled as if the vertex were an
+    old vertex whose previous neighbours were all removed — i.e. purely
+    through its inserted edges.
+    """
+    if graph.has_vertex(new_vertex):
+        raise ValueError(f"vertex {new_vertex} already exists")
+    existing = sorted(graph.vertices())
+    if num_links > len(existing):
+        raise ValueError(
+            f"requested {num_links} links but graph has {len(existing)} vertices"
+        )
+    rng = derive_rng(seed, "vertex-arrival", new_vertex)
+    targets = rng.sample(existing, num_links)
+    return EditBatch.build(insertions=[(new_vertex, t) for t in targets])
+
+
+def vertex_departure_batch(graph: Graph, vertex: int) -> EditBatch:
+    """A vertex leaving: all its incident edges are deleted."""
+    if not graph.has_vertex(vertex):
+        raise ValueError(f"vertex {vertex} not in graph")
+    return EditBatch.build(
+        deletions=[(vertex, u) for u in graph.neighbors_view(vertex)]
+    )
+
+
+class EditStream:
+    """An endless stream of edit batches over an evolving graph.
+
+    Each call to :meth:`next_batch` samples a batch against the *current*
+    graph state and applies it, so consecutive batches compose exactly like
+    a real update feed.  The stream owns a working copy — the caller's graph
+    is never mutated.
+    """
+
+    def __init__(self, graph: Graph, batch_size: int, seed: int = 0):
+        check_type(batch_size, int, "batch_size")
+        check_non_negative(batch_size, "batch_size")
+        self.graph = graph.copy()
+        self.batch_size = batch_size
+        self.seed = seed
+        self._step = 0
+
+    def next_batch(self) -> EditBatch:
+        """Generate, apply and return the next batch."""
+        batch = random_edit_batch(
+            self.graph, self.batch_size, seed=derive_rng(self.seed, "stream", self._step).getrandbits(63)
+        )
+        apply_batch(self.graph, batch)
+        self._step += 1
+        return batch
+
+    def take(self, count: int) -> List[EditBatch]:
+        """Return the next ``count`` batches."""
+        return [self.next_batch() for _ in range(count)]
+
+    def __iter__(self) -> Iterator[EditBatch]:
+        while True:
+            yield self.next_batch()

@@ -1,0 +1,462 @@
+"""LFR benchmark generator with overlapping communities.
+
+The paper evaluates community quality on graphs from the LFR benchmark
+(Lancichinetti & Fortunato 2009, ref. [19]), using the parameters of
+Table I: ``N`` (vertices), ``k`` (average degree), ``maxk`` (max degree),
+``mu`` (mixing), ``on`` (number of overlapping vertices) and ``om``
+(memberships per overlapping vertex).  networkx ships an LFR generator but
+it cannot produce *overlapping* ground truth, so this module implements the
+benchmark from scratch:
+
+1. degrees are drawn from a truncated power law whose lower cutoff is
+   bisected so the realised mean matches ``k`` (exponent ``tau1``);
+2. community sizes are drawn from a power law (exponent ``tau2``) until the
+   total capacity equals the total number of memberships
+   ``N - on + on*om``;
+3. memberships are assigned by random placement with kick-out, under the
+   constraint that a vertex's per-community internal degree must fit inside
+   the community;
+4. each vertex splits its degree into an internal part ``(1-mu)*d`` (divided
+   evenly across its memberships) and an external part ``mu*d``; intra- and
+   inter-community edges are realised with configuration-model matching plus
+   conflict repair.
+
+The generator returns both the graph and the ground-truth cover, exactly
+what the NMI evaluation of Section V-A needs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.graph.adjacency import Graph
+from repro.utils.rng import derive_rng
+from repro.utils.validation import check_fraction, check_positive, check_type
+
+__all__ = ["LFRParams", "LFRGraph", "generate_lfr", "solve_power_law_xmin"]
+
+
+@dataclass(frozen=True)
+class LFRParams:
+    """Parameters of the LFR benchmark (Table I of the paper).
+
+    ``overlap_fraction`` is the paper's ``on`` expressed as a fraction of
+    ``n`` (the paper default is ``on = 0.1 N``); ``overlap_membership`` is
+    ``om``.  ``min_community``/``max_community`` default to values derived
+    from the degree bounds so every internal-degree quota can fit.
+    """
+
+    n: int = 1000
+    avg_degree: float = 16.0
+    max_degree: int = 40
+    mu: float = 0.1
+    overlap_fraction: float = 0.1
+    overlap_membership: int = 2
+    tau1: float = 2.0
+    tau2: float = 1.0
+    min_community: Optional[int] = None
+    max_community: Optional[int] = None
+
+    def __post_init__(self):
+        check_type(self.n, int, "n")
+        check_positive(self.n, "n")
+        check_positive(self.avg_degree, "avg_degree")
+        check_type(self.max_degree, int, "max_degree")
+        check_positive(self.max_degree, "max_degree")
+        check_fraction(self.mu, "mu")
+        if not 0 <= self.overlap_fraction < 1:
+            raise ValueError(
+                f"overlap_fraction must be in [0, 1), got {self.overlap_fraction}"
+            )
+        check_type(self.overlap_membership, int, "overlap_membership")
+        check_positive(self.overlap_membership, "overlap_membership")
+        if self.avg_degree >= self.max_degree:
+            raise ValueError(
+                f"avg_degree={self.avg_degree} must be < max_degree={self.max_degree}"
+            )
+        if self.max_degree >= self.n:
+            raise ValueError(f"max_degree={self.max_degree} must be < n={self.n}")
+
+    @property
+    def num_overlapping(self) -> int:
+        """The paper's ``on``: number of overlapping vertices."""
+        return int(round(self.overlap_fraction * self.n))
+
+    @property
+    def total_memberships(self) -> int:
+        """Total community slots: ``n - on + on * om``."""
+        on = self.num_overlapping
+        return self.n - on + on * self.overlap_membership
+
+    def community_size_bounds(self) -> Tuple[int, int]:
+        """Resolve (min_community, max_community) defaults.
+
+        A community must be able to host the per-community internal degree
+        of its largest member: a non-overlapping vertex of degree ``maxk``
+        needs ``(1-mu)*maxk`` internal neighbours, hence the floor below.
+        """
+        need = int(math.ceil((1.0 - self.mu) * self.max_degree)) + 1
+        cmin = self.min_community if self.min_community is not None else max(
+            need, int(math.ceil(self.avg_degree))
+        )
+        cmax = self.max_community if self.max_community is not None else max(
+            2 * cmin, int(math.ceil(2.5 * need))
+        )
+        if cmin < 2:
+            raise ValueError(f"min_community must be >= 2, got {cmin}")
+        if cmax < cmin:
+            raise ValueError(f"max_community={cmax} < min_community={cmin}")
+        if cmax > self.total_memberships:
+            cmax = self.total_memberships
+        return cmin, cmax
+
+
+@dataclass
+class LFRGraph:
+    """Output of the LFR generator: graph plus overlapping ground truth."""
+
+    graph: Graph
+    communities: List[Set[int]]
+    memberships: Dict[int, List[int]]
+    params: LFRParams
+    internal_quota: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def overlapping_vertices(self) -> Set[int]:
+        return {v for v, ms in self.memberships.items() if len(ms) > 1}
+
+    def empirical_mu(self) -> float:
+        """Fraction of edge endpoints that cross community boundaries.
+
+        For each edge, an endpoint is *external* if the two vertices share no
+        community.  Matches the LFR definition of realised mixing.
+        """
+        internal = 0
+        total = 0
+        member_sets = {v: set(ms) for v, ms in self.memberships.items()}
+        for u, v in self.graph.edges():
+            total += 1
+            if member_sets.get(u, set()) & member_sets.get(v, set()):
+                internal += 1
+        if total == 0:
+            return 0.0
+        return 1.0 - internal / total
+
+
+def solve_power_law_xmin(
+    target_mean: float, exponent: float, xmax: float, tol: float = 1e-9
+) -> float:
+    """Find ``xmin`` so a continuous power law on [xmin, xmax] has the mean.
+
+    For density ``p(x) ∝ x^-exponent`` the mean is a monotone function of
+    ``xmin``, so plain bisection suffices.
+    """
+    check_positive(target_mean, "target_mean")
+    check_positive(xmax, "xmax")
+    if target_mean >= xmax:
+        raise ValueError(f"target_mean={target_mean} must be < xmax={xmax}")
+
+    def mean_for(xmin: float) -> float:
+        t = exponent
+        if abs(t - 1.0) < 1e-12:
+            norm = math.log(xmax / xmin)
+            raw = xmax - xmin
+            return raw / norm
+        if abs(t - 2.0) < 1e-12:
+            norm = (xmin ** (1 - t) - xmax ** (1 - t)) / (t - 1)
+            raw = math.log(xmax / xmin)
+            return raw / norm
+        norm = (xmin ** (1 - t) - xmax ** (1 - t)) / (t - 1)
+        raw = (xmax ** (2 - t) - xmin ** (2 - t)) / (2 - t)
+        return raw / norm
+
+    lo, hi = 1e-6, xmax - 1e-9
+    if mean_for(hi) < target_mean:  # pragma: no cover - guarded by params check
+        raise ValueError("target mean unreachable")
+    for _ in range(200):
+        mid = 0.5 * (lo + hi)
+        if mean_for(mid) < target_mean:
+            lo = mid
+        else:
+            hi = mid
+        if hi - lo < tol:
+            break
+    return 0.5 * (lo + hi)
+
+
+def _sample_power_law(rng, xmin: float, xmax: float, exponent: float) -> float:
+    """Inverse-CDF sample from a continuous truncated power law."""
+    t = exponent
+    u = rng.random()
+    if abs(t - 1.0) < 1e-12:
+        return xmin * (xmax / xmin) ** u
+    a = xmin ** (1 - t)
+    b = xmax ** (1 - t)
+    return (a + u * (b - a)) ** (1.0 / (1 - t))
+
+
+def _sample_degrees(params: LFRParams, rng) -> List[int]:
+    """Degree sequence matching ``avg_degree`` with max ``max_degree``."""
+    xmin = solve_power_law_xmin(params.avg_degree, params.tau1, params.max_degree)
+    xmin = max(xmin, 1.0)
+    degrees = []
+    for _ in range(params.n):
+        x = _sample_power_law(rng, xmin, params.max_degree, params.tau1)
+        degrees.append(min(params.max_degree, max(1, int(round(x)))))
+    if sum(degrees) % 2 == 1:
+        for i, d in enumerate(degrees):
+            if d < params.max_degree:
+                degrees[i] += 1
+                break
+    return degrees
+
+
+def _sample_community_sizes(params: LFRParams, rng) -> List[int]:
+    """Community sizes (power law, exponent tau2) summing to total memberships."""
+    cmin, cmax = params.community_size_bounds()
+    total = params.total_memberships
+    if total < cmin:
+        raise ValueError(
+            f"total memberships {total} smaller than min community size {cmin}; "
+            "increase n or decrease min_community"
+        )
+    sizes: List[int] = []
+    acc = 0
+    while acc < total:
+        x = _sample_power_law(rng, cmin, cmax, params.tau2)
+        size = min(cmax, max(cmin, int(round(x))))
+        sizes.append(size)
+        acc += size
+    # Trim the overshoot: shrink communities (largest first) but never below
+    # cmin; if the remainder cannot be absorbed, merge the smallest community
+    # away.
+    excess = acc - total
+    while excess > 0:
+        sizes.sort(reverse=True)
+        shrunk = False
+        for i, size in enumerate(sizes):
+            room = size - cmin
+            if room > 0:
+                take = min(room, excess)
+                sizes[i] -= take
+                excess -= take
+                shrunk = True
+                if excess == 0:
+                    break
+        if not shrunk:
+            # All communities at cmin: drop one and redistribute its slots.
+            dropped = sizes.pop()
+            excess -= dropped
+            if excess < 0:
+                # Redistribute the deficit onto the remaining communities.
+                deficit = -excess
+                for i in range(len(sizes)):
+                    give = min(cmax - sizes[i], deficit)
+                    sizes[i] += give
+                    deficit -= give
+                    if deficit == 0:
+                        break
+                if deficit > 0:
+                    sizes.append(max(cmin, deficit))
+                excess = 0
+    if len(sizes) < 2:
+        raise ValueError(
+            "LFR parameters produce fewer than 2 communities; "
+            "decrease community sizes or increase n"
+        )
+    return sizes
+
+
+def _split_internal_quota(internal: int, parts: int) -> List[int]:
+    """Split an internal-degree quota as evenly as possible across parts."""
+    base, extra = divmod(internal, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def _assign_memberships(
+    params: LFRParams,
+    degrees: Sequence[int],
+    sizes: Sequence[int],
+    rng,
+    max_rounds: int = 200,
+) -> Tuple[Dict[int, List[int]], Dict[int, List[int]]]:
+    """Assign each vertex to 1 or ``om`` communities by placement + kick-out.
+
+    Returns ``(memberships, quotas)`` where ``quotas[v][j]`` is the internal
+    degree vertex ``v`` must realise inside its ``j``-th community.  The
+    invariant maintained is ``quotas[v][j] <= size(community) - 1``.
+    """
+    n = params.n
+    om = params.overlap_membership
+    overlapping = set(rng.sample(range(n), params.num_overlapping))
+    internal_total = {
+        v: min(int(round((1.0 - params.mu) * degrees[v])), degrees[v])
+        for v in range(n)
+    }
+    member_count = {v: (om if v in overlapping else 1) for v in range(n)}
+    quotas = {
+        v: _split_internal_quota(internal_total[v], member_count[v]) for v in range(n)
+    }
+
+    num_communities = len(sizes)
+    capacity = list(sizes)
+    occupants: List[List[Tuple[int, int]]] = [[] for _ in range(num_communities)]
+    assigned: Dict[int, List[int]] = {v: [] for v in range(n)}
+
+    # Queue of (vertex, slot) placements still to make; hardest (largest
+    # quota) first, which drastically reduces kick-out churn.
+    pending: List[Tuple[int, int]] = [
+        (v, j) for v in range(n) for j in range(member_count[v])
+    ]
+    pending.sort(key=lambda it: -quotas[it[0]][it[1]])
+
+    rounds = 0
+    while pending:
+        rounds += 1
+        if rounds > max_rounds * len(pending) + 10 * n * om:
+            raise RuntimeError(
+                "LFR membership assignment did not converge; "
+                "community sizes are too tight for the degree sequence"
+            )
+        v, j = pending.pop()
+        quota = quotas[v][j]
+        candidates = [
+            c
+            for c in range(num_communities)
+            if sizes[c] > quota and c not in assigned[v]
+        ]
+        if not candidates:
+            raise RuntimeError(
+                f"no community can host vertex {v} with internal quota {quota}; "
+                "increase max_community or lower max_degree"
+            )
+        c = candidates[rng.randrange(len(candidates))]
+        occupants[c].append((v, j))
+        assigned[v].append(c)
+        if len(occupants[c]) > capacity[c]:
+            # Kick out a uniformly random occupant (possibly the newcomer).
+            idx = rng.randrange(len(occupants[c]))
+            kicked_v, kicked_j = occupants[c].pop(idx)
+            assigned[kicked_v].remove(c)
+            pending.append((kicked_v, kicked_j))
+    return assigned, quotas
+
+
+def _match_stubs(
+    stubs: List[int],
+    rng,
+    forbidden: Optional[Set[Tuple[int, int]]] = None,
+    repair_passes: int = 40,
+) -> List[Tuple[int, int]]:
+    """Configuration-model matching with conflict repair.
+
+    ``stubs`` is a list of vertex ids, one entry per half-edge.  Pairs that
+    would create self-loops, duplicates, or edges in ``forbidden`` are
+    repaired by random pair swaps; irreparable leftovers are dropped.
+    """
+    forbidden = forbidden or set()
+    stubs = list(stubs)
+    rng.shuffle(stubs)
+    if len(stubs) % 2 == 1:
+        stubs.pop()
+    pairs = [(stubs[i], stubs[i + 1]) for i in range(0, len(stubs), 2)]
+
+    def canon(u: int, v: int) -> Tuple[int, int]:
+        return (u, v) if u < v else (v, u)
+
+    def bad(u: int, v: int, seen: Set[Tuple[int, int]]) -> bool:
+        return u == v or canon(u, v) in seen or canon(u, v) in forbidden
+
+    for _ in range(repair_passes):
+        seen: Set[Tuple[int, int]] = set()
+        conflicts: List[int] = []
+        for idx, (u, v) in enumerate(pairs):
+            if bad(u, v, seen):
+                conflicts.append(idx)
+            else:
+                seen.add(canon(u, v))
+        if not conflicts:
+            break
+        # Swap each conflicted pair's second endpoint with a random pair.
+        for idx in conflicts:
+            other = rng.randrange(len(pairs))
+            u1, v1 = pairs[idx]
+            u2, v2 = pairs[other]
+            pairs[idx] = (u1, v2)
+            pairs[other] = (u2, v1)
+    # Final filter: drop anything still conflicting.
+    seen = set()
+    result: List[Tuple[int, int]] = []
+    for u, v in pairs:
+        if bad(u, v, seen):
+            continue
+        seen.add(canon(u, v))
+        result.append((u, v))
+    return result
+
+
+def generate_lfr(params: LFRParams, seed: int = 0) -> LFRGraph:
+    """Generate an LFR benchmark graph with overlapping ground truth.
+
+    >>> lfr = generate_lfr(LFRParams(n=300, avg_degree=10, max_degree=25), seed=1)
+    >>> lfr.graph.num_vertices
+    300
+    >>> len(lfr.overlapping_vertices) == lfr.params.num_overlapping
+    True
+    """
+    check_type(params, LFRParams, "params")
+    rng = derive_rng(seed, "lfr", params.n, params.overlap_membership)
+
+    degrees = _sample_degrees(params, rng)
+    sizes = _sample_community_sizes(params, rng)
+    memberships, quotas = _assign_memberships(params, degrees, sizes, rng)
+
+    graph = Graph.from_edges((), vertices=range(params.n))
+    num_communities = len(sizes)
+    community_members: List[List[int]] = [[] for _ in range(num_communities)]
+    for v, comms in memberships.items():
+        for c in comms:
+            community_members[c].append(v)
+
+    # --- intra-community edges -------------------------------------------
+    realised_internal = {v: 0 for v in range(params.n)}
+    for c in range(num_communities):
+        stubs: List[int] = []
+        for v in community_members[c]:
+            j = memberships[v].index(c)
+            stubs.extend([v] * quotas[v][j])
+        existing = {
+            (min(u, w), max(u, w))
+            for u in community_members[c]
+            for w in graph.neighbors_view(u)
+            if u < w
+        }
+        for u, w in _match_stubs(stubs, rng, forbidden=existing):
+            if graph.add_edge(u, w):
+                realised_internal[u] += 1
+                realised_internal[w] += 1
+
+    # --- inter-community edges -------------------------------------------
+    member_sets = {v: set(ms) for v, ms in memberships.items()}
+    external_stubs: List[int] = []
+    for v in range(params.n):
+        external = max(0, degrees[v] - realised_internal[v])
+        external_stubs.extend([v] * external)
+    existing_edges = set(graph.edges())
+    candidate_pairs = _match_stubs(external_stubs, rng, forbidden=existing_edges)
+    for u, w in candidate_pairs:
+        if member_sets[u] & member_sets[w]:
+            continue  # an external edge must cross community boundaries
+        graph.add_edge(u, w)
+
+    communities = [set(members) for members in community_members if members]
+    internal_quota = {v: sum(quotas[v]) for v in range(params.n)}
+    return LFRGraph(
+        graph=graph,
+        communities=communities,
+        memberships=memberships,
+        params=params,
+        internal_quota=internal_quota,
+    )

@@ -1,0 +1,58 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi, ring_of_cliques
+from repro.workloads.lfr import LFRParams, generate_lfr
+
+
+@pytest.fixture
+def triangle() -> Graph:
+    """The smallest interesting graph: a 3-cycle."""
+    return Graph.from_edges([(0, 1), (1, 2), (0, 2)])
+
+
+@pytest.fixture
+def two_cliques_bridge() -> Graph:
+    """Two 4-cliques joined by one bridge edge — canonical 2-community graph."""
+    edges = []
+    for base in (0, 4):
+        for i in range(4):
+            for j in range(i + 1, 4):
+                edges.append((base + i, base + j))
+    edges.append((0, 4))
+    return Graph.from_edges(edges)
+
+
+@pytest.fixture
+def cliques_ring() -> Graph:
+    """Five 6-cliques in a ring (30 vertices, clear communities)."""
+    return ring_of_cliques(5, 6)
+
+
+@pytest.fixture
+def sparse_random() -> Graph:
+    """A 60-vertex sparse random graph (may contain isolated vertices)."""
+    return erdos_renyi(60, 0.06, seed=17)
+
+
+@pytest.fixture
+def propagated(cliques_ring):
+    """A reference propagator run for 40 iterations on the clique ring."""
+    propagator = ReferencePropagator(cliques_ring, seed=11)
+    propagator.propagate(40)
+    return propagator
+
+
+@pytest.fixture(scope="session")
+def small_lfr():
+    """A session-cached small LFR instance with overlap (n=250)."""
+    return generate_lfr(
+        LFRParams(n=250, avg_degree=10, max_degree=24, mu=0.1,
+                  overlap_fraction=0.1, overlap_membership=2),
+        seed=5,
+    )

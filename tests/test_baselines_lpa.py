@@ -1,0 +1,43 @@
+"""Tests for the plain LPA baseline."""
+
+from repro.baselines.lpa import lpa_detect
+from repro.graph.adjacency import Graph
+from repro.graph.generators import planted_partition, ring_of_cliques
+
+
+class TestLPA:
+    def test_communities_are_disjoint(self, cliques_ring):
+        cover = lpa_detect(cliques_ring, seed=0)
+        assert not cover.overlapping_vertices()
+
+    def test_recovers_planted_partition(self):
+        g = planted_partition(3, 20, p_in=0.6, p_out=0.01, seed=2)
+        cover = lpa_detect(g, seed=1)
+        # Each planted group should map onto one detected community.
+        for group in range(3):
+            members = set(range(group * 20, (group + 1) * 20))
+            best = max((len(members & set(c)) for c in cover), default=0)
+            assert best >= 15
+
+    def test_deterministic(self, cliques_ring):
+        assert lpa_detect(cliques_ring, seed=3) == lpa_detect(cliques_ring, seed=3)
+
+    def test_isolated_vertices_excluded(self):
+        g = Graph.from_edges([(0, 1), (1, 2)], vertices=[9])
+        cover = lpa_detect(g, seed=0)
+        assert all(9 not in c for c in cover)
+
+    def test_single_edge_graph(self):
+        g = Graph.from_edges([(0, 1)])
+        cover = lpa_detect(g, seed=0)
+        assert len(cover) == 1 and cover[0] == frozenset({0, 1})
+
+    def test_converges_within_cap(self, sparse_random):
+        # Must not raise and must produce a partition of non-isolated nodes.
+        cover = lpa_detect(sparse_random, seed=5, max_iterations=50)
+        covered = cover.covered_vertices()
+        for v in sparse_random.vertices():
+            if sparse_random.degree(v) > 0:
+                # every non-isolated vertex has a label; singleton groups are
+                # dropped so it may be uncovered, but never double-covered
+                assert len(cover.memberships_of(v)) <= 1

@@ -1,0 +1,92 @@
+"""Tests for the SLPA baseline (reference and vectorised engines)."""
+
+import pytest
+
+from repro.baselines.slpa import SLPA, slpa_detect
+from repro.baselines.slpa_fast import FastSLPA, fast_slpa_detect
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi, ring_of_cliques
+
+
+class TestReferenceSLPA:
+    def test_memory_lengths(self, cliques_ring):
+        slpa = SLPA(cliques_ring, seed=0, iterations=20)
+        slpa.propagate()
+        for v in cliques_ring.vertices():
+            assert len(slpa.memories[v]) == 21
+
+    def test_initial_memory_is_vertex_id(self, cliques_ring):
+        slpa = SLPA(cliques_ring, seed=0, iterations=5)
+        slpa.propagate()
+        assert all(slpa.memories[v][0] == v for v in cliques_ring.vertices())
+
+    def test_deterministic(self, cliques_ring):
+        a = SLPA(cliques_ring, seed=7, iterations=15)
+        b = SLPA(cliques_ring, seed=7, iterations=15)
+        assert a.propagate() == b.propagate()
+
+    def test_seed_changes_memories(self, cliques_ring):
+        a = SLPA(cliques_ring, seed=7, iterations=15)
+        b = SLPA(cliques_ring, seed=8, iterations=15)
+        assert a.propagate() != b.propagate()
+
+    def test_degree_zero_keeps_own_label(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        slpa = SLPA(g, seed=0, iterations=10)
+        slpa.propagate()
+        assert slpa.memories[2] == [2] * 11
+
+    def test_extract_thresholding(self, cliques_ring):
+        slpa = SLPA(cliques_ring, seed=1, iterations=40)
+        slpa.propagate()
+        strict = slpa.extract(threshold=0.9)
+        loose = slpa.extract(threshold=0.02)
+        # Looser thresholds keep more labels -> more/larger communities.
+        assert sum(len(c) for c in loose) >= sum(len(c) for c in strict)
+
+    def test_detects_ring_cliques(self, cliques_ring):
+        cover = slpa_detect(cliques_ring, seed=2, iterations=60, threshold=0.3)
+        # Each clique should appear as (a superset of) a community.
+        for c in range(5):
+            clique = set(range(c * 6, (c + 1) * 6))
+            assert any(len(clique & set(comm)) >= 4 for comm in cover)
+
+    def test_run_returns_result_bundle(self, cliques_ring):
+        result = SLPA(cliques_ring, seed=1, iterations=10).run()
+        assert result.threshold == 0.2
+        assert len(result.memories) == 30
+
+    def test_rejects_bad_threshold(self, cliques_ring):
+        with pytest.raises(ValueError):
+            SLPA(cliques_ring, threshold=1.5)
+
+
+class TestFastSLPAEquality:
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_memories_bit_identical(self, seed):
+        g = ring_of_cliques(4, 5)
+        ref = SLPA(g, seed=seed, iterations=25)
+        ref.propagate()
+        fast = FastSLPA(g, seed=seed, iterations=25)
+        fast.propagate()
+        assert fast.memories_as_dict() == ref.memories
+
+    def test_equality_on_random_graph_with_isolated(self):
+        g = erdos_renyi(40, 0.05, seed=5)
+        ref = SLPA(g, seed=2, iterations=15)
+        ref.propagate()
+        fast = FastSLPA(g, seed=2, iterations=15)
+        fast.propagate()
+        assert fast.memories_as_dict() == ref.memories
+
+    def test_extract_matches_reference(self):
+        g = ring_of_cliques(3, 5)
+        ref = SLPA(g, seed=4, iterations=30)
+        ref.propagate()
+        fast = FastSLPA(g, seed=4, iterations=30)
+        fast.propagate()
+        assert fast.extract(0.25) == ref.extract(0.25)
+
+    def test_one_shot_detect(self, cliques_ring):
+        cover = fast_slpa_detect(cliques_ring, seed=2, iterations=40)
+        assert len(cover) >= 1

@@ -1,0 +1,123 @@
+"""Tests for the command-line interface."""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main, parse_edit_file
+from repro.core.serialize import load_state
+from repro.graph.generators import ring_of_cliques
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture
+def graph_file(tmp_path, cliques_ring):
+    path = str(tmp_path / "graph.txt")
+    write_edge_list(cliques_ring, path)
+    return path
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestParseEditFile:
+    def test_parses_inserts_and_deletes(self, tmp_path):
+        path = tmp_path / "edits.txt"
+        path.write_text("# comment\n+ 1 2\n- 3 4\n\n+ 5 6\n")
+        batch = parse_edit_file(str(path))
+        assert batch.insertions == frozenset({(1, 2), (5, 6)})
+        assert batch.deletions == frozenset({(3, 4)})
+
+    def test_rejects_malformed_line(self, tmp_path):
+        path = tmp_path / "edits.txt"
+        path.write_text("* 1 2\n")
+        with pytest.raises(ValueError, match="expected"):
+            parse_edit_file(str(path))
+
+    def test_rejects_non_integer(self, tmp_path):
+        path = tmp_path / "edits.txt"
+        path.write_text("+ a b\n")
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_edit_file(str(path))
+
+
+class TestStats:
+    def test_stats_output(self, graph_file):
+        code, output = run_cli("stats", graph_file)
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["vertices"] == 30
+        assert payload["edges"] == 80
+        assert payload["connected_components"] == 1
+
+    def test_missing_file_is_error(self):
+        code, _ = run_cli("stats", "/nonexistent/graph.txt")
+        assert code == 2
+
+
+class TestDetect:
+    def test_detect_prints_cover_summary(self, graph_file):
+        code, output = run_cli(
+            "detect", graph_file, "--seed", "1", "-T", "60",
+            "--tau-step", "0.005",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        assert payload["num_communities"] == 5
+        assert sorted(payload["sizes"]) == [6, 6, 6, 6, 6]
+
+    def test_detect_saves_state_and_cover(self, graph_file, tmp_path):
+        state_path = str(tmp_path / "state.json")
+        cover_path = str(tmp_path / "cover.json")
+        code, output = run_cli(
+            "detect", graph_file, "--seed", "1", "-T", "40",
+            "--state", state_path, "--cover", cover_path,
+        )
+        assert code == 0
+        state = load_state(state_path)
+        assert state.num_iterations == 40
+        assert json.load(open(cover_path))["format"] == "repro.cover"
+
+
+class TestUpdate:
+    def test_full_detect_update_cycle(self, graph_file, tmp_path, cliques_ring):
+        state_path = str(tmp_path / "state.json")
+        code, _ = run_cli(
+            "detect", graph_file, "--seed", "3", "-T", "40",
+            "--state", state_path,
+        )
+        assert code == 0
+
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("- 0 1\n+ 0 12\n")
+        code, output = run_cli(
+            "update", state_path, graph_file, str(edits_path),
+            "--seed", "3", "--tau-step", "0.01",
+        )
+        assert code == 0
+        assert "labels touched" in output
+
+        # The saved state must reflect the post-batch graph.
+        state = load_state(state_path)
+        updated = cliques_ring.copy()
+        updated.remove_edge(0, 1)
+        updated.add_edge(0, 12)
+        state.validate(updated)
+
+    def test_update_with_cover_extraction(self, graph_file, tmp_path):
+        state_path = str(tmp_path / "state.json")
+        run_cli("detect", graph_file, "--seed", "3", "-T", "40",
+                "--state", state_path)
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("- 0 1\n")
+        cover_path = str(tmp_path / "cover.json")
+        code, output = run_cli(
+            "update", state_path, graph_file, str(edits_path),
+            "--seed", "3", "--cover", cover_path, "--tau-step", "0.01",
+        )
+        assert code == 0
+        assert "num_communities" in output

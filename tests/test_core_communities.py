@@ -1,0 +1,86 @@
+"""Tests for the Cover datatype."""
+
+import pytest
+
+from repro.core.communities import Cover
+
+
+class TestConstruction:
+    def test_drops_empty_communities(self):
+        cover = Cover([{0, 1}, set(), {2}])
+        assert len(cover) == 2
+
+    def test_canonical_order_by_size(self):
+        cover = Cover([{5}, {0, 1, 2}, {3, 4}])
+        assert [len(c) for c in cover] == [3, 2, 1]
+
+    def test_bool(self):
+        assert not Cover([])
+        assert Cover([{1, 2}])
+
+
+class TestMembership:
+    def test_memberships_of(self):
+        cover = Cover([{0, 1, 2}, {2, 3}])
+        assert len(cover.memberships_of(2)) == 2
+        assert cover.memberships_of(99) == ()
+
+    def test_overlapping_vertices(self):
+        cover = Cover([{0, 1, 2}, {2, 3}, {3, 4}])
+        assert cover.overlapping_vertices() == frozenset({2, 3})
+
+    def test_covered_vertices(self):
+        cover = Cover([{0, 1}, {5}])
+        assert cover.covered_vertices() == frozenset({0, 1, 5})
+
+    def test_membership_counts(self):
+        cover = Cover([{0, 1}, {1, 2}])
+        assert cover.membership_counts() == {0: 1, 1: 2, 2: 1}
+
+
+class TestDerived:
+    def test_sizes(self):
+        assert Cover([{0, 1, 2}, {3, 4}]).sizes() == [3, 2]
+
+    def test_size_entropy_delegates(self):
+        import math
+
+        cover = Cover([{0, 1}, {2, 3}])
+        assert cover.size_entropy(4) == pytest.approx(math.log(2))
+
+    def test_equality_as_multiset(self):
+        a = Cover([{0, 1}, {2, 3}])
+        b = Cover([{3, 2}, {1, 0}])
+        assert a == b
+        c = Cover([{0, 1}, {2, 3}, {2, 3}])
+        assert a != c
+
+    def test_getitem_and_iter(self):
+        cover = Cover([{0, 1}])
+        assert cover[0] == frozenset({0, 1})
+        assert list(cover) == [frozenset({0, 1})]
+
+
+class TestTransforms:
+    def test_from_membership(self):
+        cover = Cover.from_membership({0: [10], 1: [10, 20], 2: [20]})
+        assert cover == Cover([{0, 1}, {1, 2}])
+
+    def test_restricted_to(self):
+        cover = Cover([{0, 1, 2}, {3, 4}])
+        restricted = cover.restricted_to({0, 1, 3})
+        assert restricted == Cover([{0, 1}, {3}])
+
+    def test_restriction_drops_emptied(self):
+        cover = Cover([{0, 1}, {5, 6}])
+        assert len(cover.restricted_to({0, 1})) == 1
+
+    def test_without_smaller_than(self):
+        cover = Cover([{0, 1, 2}, {3}, {4, 5}])
+        assert len(cover.without_smaller_than(2)) == 2
+
+    def test_as_sets_returns_mutable_copies(self):
+        cover = Cover([{0, 1}])
+        sets = cover.as_sets()
+        sets[0].add(9)
+        assert cover[0] == frozenset({0, 1})

@@ -1,0 +1,142 @@
+"""Tests for the Section IV-D complexity model (Eqs 3-12)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.complexity import (
+    best_case_updates,
+    change_probability,
+    change_probability_paper_verbatim,
+    expected_updates,
+    survival_probabilities,
+    worst_case_updates,
+)
+
+
+class TestChangeProbability:
+    def test_no_edits_is_zero(self):
+        assert change_probability(1000, 0, 0) == 0.0
+
+    def test_delete_everything_is_one(self):
+        assert change_probability(100, 100, 0) == 1.0
+
+    def test_small_batch_small_pc(self):
+        """The corrected Eq. 3: one edit pair on a large graph is tiny."""
+        pc = change_probability(1_000_000, 1, 1)
+        assert pc < 1e-5
+
+    def test_paper_verbatim_is_degenerate(self):
+        """The printed formula gives pc ~= 1 even for tiny batches,
+        which is the documented typo."""
+        verbatim = change_probability_paper_verbatim(1_000_000, 1, 1)
+        assert verbatim > 0.99
+
+    def test_monotone_in_deletions(self):
+        values = [change_probability(1000, md, 10) for md in (0, 10, 100, 500)]
+        assert values == sorted(values)
+
+    def test_monotone_in_insertions(self):
+        values = [change_probability(1000, 10, ma) for ma in (0, 10, 100, 1000)]
+        assert values == sorted(values)
+
+    def test_rejects_more_deletions_than_edges(self):
+        with pytest.raises(ValueError):
+            change_probability(10, 11, 0)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            change_probability(10, -1, 0)
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(1, 10_000), st.integers(0, 100), st.integers(0, 100))
+    def test_property_is_probability(self, e, md, ma):
+        md = min(md, e)
+        assert 0.0 <= change_probability(e, md, ma) <= 1.0
+
+
+class TestSurvival:
+    def test_q0_is_one(self):
+        assert survival_probabilities(0.3, 5)[0] == 1.0
+
+    def test_q1_is_one_minus_pc(self):
+        assert survival_probabilities(0.3, 5)[1] == pytest.approx(0.7)
+
+    def test_recursion_formula(self):
+        q = survival_probabilities(0.2, 10)
+        for t in range(1, 11):
+            assert q[t] == pytest.approx(q[t - 1] * (1 - 0.2 / t))
+
+    def test_monotone_decreasing(self):
+        q = survival_probabilities(0.4, 50)
+        assert all(q[t] <= q[t - 1] + 1e-15 for t in range(1, 51))
+
+    def test_eq9_upper_bound(self):
+        """Q(t) <= Q(1) = 1 - pc for t >= 1 (Eq. 9)."""
+        q = survival_probabilities(0.25, 40)
+        assert all(qt <= 1 - 0.25 + 1e-12 for qt in q[1:])
+
+    def test_eq11_lower_bound(self):
+        """Q(t) >= (1 - pc)^t (Eq. 11)."""
+        pc = 0.25
+        q = survival_probabilities(pc, 40)
+        for t in range(1, 41):
+            assert q[t] >= (1 - pc) ** t - 1e-12
+
+    def test_pc_zero_all_survive(self):
+        assert survival_probabilities(0.0, 10) == [1.0] * 11
+
+    def test_rejects_bad_pc(self):
+        with pytest.raises(ValueError):
+            survival_probabilities(1.5, 3)
+
+
+class TestBounds:
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.floats(0.0, 1.0),
+        st.integers(1, 200),
+        st.integers(1, 5000),
+    )
+    def test_property_ordering(self, pc, t, n):
+        """best <= expected <= worst for all parameters (Eqs 8, 10, 12)."""
+        best = best_case_updates(n, t, pc)
+        expected = expected_updates(n, t, pc)
+        worst = worst_case_updates(n, t, pc)
+        assert best <= expected + 1e-6
+        assert expected <= worst + 1e-6
+
+    def test_pc_zero_everything_zero(self):
+        assert best_case_updates(100, 10, 0.0) == 0.0
+        assert expected_updates(100, 10, 0.0) == pytest.approx(0.0)
+        assert worst_case_updates(100, 10, 0.0) == 0.0
+
+    def test_pc_one_everything_maximal(self):
+        n, t = 100, 10
+        assert best_case_updates(n, t, 1.0) == t * n
+        assert expected_updates(n, t, 1.0) == pytest.approx(t * n)
+        assert worst_case_updates(n, t, 1.0) == pytest.approx(t * n)
+
+    def test_expected_matches_closed_form(self):
+        """η̂ = T|V| - |V| Σ Q(t) computed two ways."""
+        n, t, pc = 50, 20, 0.1
+        q = survival_probabilities(pc, t)
+        assert expected_updates(n, t, pc) == pytest.approx(
+            t * n - n * sum(q[1:])
+        )
+
+    def test_worst_case_geometric_sum(self):
+        n, t, pc = 10, 5, 0.5
+        geo = sum((1 - pc) ** k for k in range(1, t + 1))
+        assert worst_case_updates(n, t, pc) == pytest.approx(t * n - n * geo)
+
+    def test_sublinearity_shape(self):
+        """η̂ grows sublinearly in batch size — Figure 9's key observation."""
+        e = 100_000
+        etas = []
+        for batch in (100, 1000, 10_000):
+            pc = change_probability(e, batch // 2, batch // 2)
+            etas.append(expected_updates(10_000, 100, pc))
+        # 10x batch -> much less than 10x updates at the upper end.
+        assert etas[2] < 10 * etas[1]
+        assert etas[1] < 10 * etas[0]

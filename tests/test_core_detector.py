@@ -1,0 +1,132 @@
+"""Tests for the high-level RSLPADetector API."""
+
+import pytest
+
+from repro.core.detector import RSLPADetector, detect_communities
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.graph.generators import ring_of_cliques
+from repro.workloads.dynamic import random_edit_batch
+
+
+class TestLifecycle:
+    def test_unfitted_raises(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=0, iterations=10)
+        with pytest.raises(RuntimeError, match="not fitted"):
+            detector.communities()
+        with pytest.raises(RuntimeError):
+            detector.update(EditBatch.empty())
+
+    def test_fit_returns_self(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=0, iterations=10)
+        assert detector.fit() is detector
+        assert detector.is_fitted
+
+    def test_owns_private_graph_copy(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=0, iterations=10).fit()
+        detector.update(EditBatch.build(deletions=[(0, 1)]))
+        assert cliques_ring.has_edge(0, 1)  # caller graph untouched
+        assert not detector.graph.has_edge(0, 1)
+
+    def test_invalid_engine_rejected(self, cliques_ring):
+        with pytest.raises(ValueError, match="engine"):
+            RSLPADetector(cliques_ring, engine="spark")
+
+    def test_fast_engine_requires_contiguous_ids(self):
+        g = Graph.from_edges([(10, 20)])
+        with pytest.raises(ValueError, match="contiguous"):
+            RSLPADetector(g, engine="fast", iterations=5).fit()
+
+    def test_reference_engine_handles_arbitrary_ids(self):
+        g = Graph.from_edges([(10, 20), (20, 30), (10, 30)])
+        detector = RSLPADetector(g, engine="reference", iterations=20).fit()
+        assert detector.label_state.num_iterations == 20
+
+
+class TestEngineEquivalence:
+    def test_fast_and_reference_agree(self, cliques_ring):
+        fast = RSLPADetector(
+            cliques_ring, seed=3, iterations=25, engine="fast"
+        ).fit()
+        ref = RSLPADetector(
+            cliques_ring, seed=3, iterations=25, engine="reference"
+        ).fit()
+        assert fast.label_state.labels == ref.label_state.labels
+        assert fast.communities() == ref.communities()
+
+    def test_auto_picks_fast_for_contiguous(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=3, iterations=25).fit()
+        explicit = RSLPADetector(
+            cliques_ring, seed=3, iterations=25, engine="fast"
+        ).fit()
+        assert detector.label_state.labels == explicit.label_state.labels
+
+
+class TestDetection:
+    def test_clique_ring_communities(self, cliques_ring):
+        cover = detect_communities(cliques_ring, seed=1, iterations=60, tau_step=0.005)
+        found = sorted(sorted(c) for c in cover)
+        assert found == [sorted(range(c * 6, (c + 1) * 6)) for c in range(5)]
+
+    def test_postprocess_cached_until_update(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=1, iterations=30).fit()
+        first = detector.postprocess()
+        assert detector.postprocess() is first
+        detector.update(EditBatch.build(deletions=[(0, 1)]))
+        assert detector.postprocess() is not first
+
+
+class TestDynamicMaintenance:
+    def test_update_keeps_state_valid(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=2, iterations=30).fit()
+        for step in range(4):
+            batch = random_edit_batch(detector.graph, 6, seed=step)
+            report = detector.update(batch)
+            assert report.batch_size == 6
+            detector.label_state.validate(detector.graph)
+
+    def test_update_many(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=2, iterations=20).fit()
+        batches = [
+            EditBatch.build(deletions=[(0, 1)]),
+            EditBatch.build(insertions=[(0, 1)]),
+        ]
+        reports = detector.update_many(batches)
+        assert len(reports) == 2
+
+    def test_remove_vertex_through_detector(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, seed=2, iterations=20).fit()
+        detector.remove_vertex(0)
+        assert not detector.graph.has_vertex(0)
+        detector.label_state.validate(detector.graph)
+
+    def test_communities_track_structure_change(self):
+        """Merging two cliques by adding many cross edges merges communities."""
+        g = ring_of_cliques(3, 5)
+        detector = RSLPADetector(g, seed=4, iterations=80, tau_step=0.005).fit()
+        assert len(detector.communities()) == 3
+        cross = [
+            (u, v)
+            for u in range(5)
+            for v in range(5, 10)
+            if not detector.graph.has_edge(u, v)
+        ]
+        detector.update(EditBatch.build(insertions=cross))
+        cover = detector.communities()
+        merged = [c for c in cover if len(c) >= 10]
+        assert merged, f"expected a merged community, got sizes {cover.sizes()}"
+
+
+class TestValidation:
+    def test_rejects_bad_iterations(self, cliques_ring):
+        with pytest.raises(ValueError):
+            RSLPADetector(cliques_ring, iterations=0)
+
+    def test_rejects_bad_seed_type(self, cliques_ring):
+        with pytest.raises(TypeError):
+            RSLPADetector(cliques_ring, seed="x")
+
+    def test_rejects_bad_batch_type(self, cliques_ring):
+        detector = RSLPADetector(cliques_ring, iterations=10).fit()
+        with pytest.raises(TypeError):
+            detector.update("not a batch")

@@ -1,0 +1,309 @@
+"""Tests for Correction Propagation (Algorithm 2) — the paper's core claim.
+
+The headline property: after any batch of edge edits, the maintained label
+state is *indistinguishable* from running Algorithm 1 from scratch on the
+new graph — every slot is a uniform (source, position) draw over the new
+neighbourhood, and all cascaded values are consistent.  We verify:
+
+1. structural invariants (provenance edges exist, records are exact);
+2. the Category 1-3 rules (who gets repicked, who is kept);
+3. cascade correctness (Example 2's propagation-tree scenario);
+4. statistical uniformity of repicked sources (Theorems 4-5);
+5. η accounting against the Section IV-D model.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.incremental import CorrectionPropagator, keep_lottery_uniform
+from repro.core.labels import NO_SOURCE
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.graph.generators import erdos_renyi, ring_of_cliques
+from repro.workloads.dynamic import random_edit_batch
+
+
+def make_corrector(graph: Graph, seed: int = 0, iterations: int = 30):
+    propagator = ReferencePropagator(graph, seed=seed)
+    propagator.propagate(iterations)
+    return CorrectionPropagator(propagator)
+
+
+class TestStructuralInvariants:
+    def test_state_valid_after_insertions(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=1)
+        batch = EditBatch.build(insertions=[(0, 12), (3, 20)])
+        corrector.apply_batch(batch)
+        corrector.state.validate(cliques_ring)
+
+    def test_state_valid_after_deletions(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=1)
+        batch = EditBatch.build(deletions=[(0, 1), (6, 7)])
+        corrector.apply_batch(batch)
+        corrector.state.validate(cliques_ring)
+
+    def test_state_valid_after_mixed_batches(self, sparse_random):
+        corrector = make_corrector(sparse_random, seed=2)
+        for step in range(5):
+            batch = random_edit_batch(sparse_random, 8, seed=step)
+            corrector.apply_batch(batch)
+            corrector.state.validate(sparse_random)
+
+    def test_batch_epoch_increments(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=1)
+        corrector.apply_batch(EditBatch.build(insertions=[(0, 12)]))
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 12)]))
+        assert corrector.batch_epoch == 2
+
+    def test_invalid_batch_rejected_before_mutation(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=1)
+        snapshot = cliques_ring.copy()
+        with pytest.raises(ValueError):
+            corrector.apply_batch(EditBatch.build(deletions=[(0, 29)]))
+        assert cliques_ring == snapshot
+
+
+class TestCategoryRules:
+    def test_category1_untouched_vertices_keep_everything(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=3)
+        before = {v: list(corrector.state.labels[v]) for v in range(12, 30)}
+        srcs_before = {v: list(corrector.state.srcs[v]) for v in range(12, 30)}
+        # Edit entirely within cliques 0-1 (vertices 0-11); clique 3+ far away.
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 1)]))
+        # Vertices in distant cliques may receive cascaded value corrections,
+        # but their provenance (src/pos) must be byte-identical.
+        for v in range(12, 30):
+            assert corrector.state.srcs[v] == srcs_before[v]
+
+    def test_category2_survivor_sources_kept(self):
+        g = ring_of_cliques(1, 6)  # single clique, all degree 5
+        corrector = make_corrector(g, seed=5, iterations=20)
+        state = corrector.state
+        # Deleting edge (0, 1): slots of 0 sourced from 2..5 must keep src.
+        kept_before = {
+            t: state.srcs[0][t]
+            for t in range(1, 21)
+            if state.srcs[0][t] not in (1, NO_SOURCE)
+        }
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 1)]))
+        for t, src in kept_before.items():
+            assert state.srcs[0][t] == src
+
+    def test_category2_deleted_sources_repicked(self):
+        g = ring_of_cliques(1, 6)
+        corrector = make_corrector(g, seed=5, iterations=20)
+        state = corrector.state
+        doomed = [t for t in range(1, 21) if state.srcs[0][t] == 1]
+        assert doomed, "seed must produce at least one slot sourced from 1"
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 1)]))
+        for t in doomed:
+            assert state.srcs[0][t] != 1
+            assert state.srcs[0][t] in g.neighbors_view(0)
+
+    def test_category3_some_slots_switch_to_new_neighbor(self):
+        g = ring_of_cliques(1, 8)
+        corrector = make_corrector(g, seed=7, iterations=40)
+        state = corrector.state
+        g_new_vertex = 100
+        batch = EditBatch.build(insertions=[(0, g_new_vertex)])
+        corrector.apply_batch(batch)
+        # Vertex 0 now has 8 neighbours, one new; with 40 slots the expected
+        # number of switches is 40/8 = 5 — demand at least one.
+        switched = [t for t in range(1, 41) if state.srcs[0][t] == g_new_vertex]
+        assert switched
+
+    def test_category3_report_counts_lotteries(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=1)
+        report = corrector.apply_batch(EditBatch.build(insertions=[(0, 12)]))
+        # Vertices 0 and 12 each run one lottery per slot (30 iterations).
+        assert report.keep_lotteries == 60
+        assert 0 <= report.lottery_switches <= 60
+
+    def test_isolation_falls_back_to_own_label(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        corrector = make_corrector(g, seed=2, iterations=15)
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 1), (0, 2)]))
+        assert corrector.state.labels[0] == [0] * 16
+        corrector.state.validate(g)
+
+    def test_reconnection_after_isolation(self):
+        g = Graph.from_edges([(0, 1), (0, 2), (1, 2)])
+        corrector = make_corrector(g, seed=2, iterations=15)
+        corrector.apply_batch(EditBatch.build(deletions=[(0, 1), (0, 2)]))
+        corrector.apply_batch(EditBatch.build(insertions=[(0, 1)]))
+        state = corrector.state
+        assert all(state.srcs[0][t] == 1 for t in range(1, 16))
+        state.validate(g)
+
+
+class TestCascade:
+    def test_example2_propagation_tree(self):
+        """The paper's Example 2: a path 5-4-3-2-1 carrying label 5 along a
+        propagation chain; deleting edge (4,5) must update the whole chain."""
+        g = Graph.from_edges([(1, 2), (2, 3), (3, 4), (4, 5)])
+        propagator = ReferencePropagator(g, seed=0)
+        state = propagator.state
+        # Manually build the paper's propagation tree: at iteration t, vertex
+        # (5-t) picks label 5 from its right neighbour.
+        for t in range(1, 5):
+            state.begin_iteration()
+            for v in sorted(g.vertices()):
+                picker = 5 - t
+                if v == picker:
+                    state.append_pick(v, label=5, src=v + 1, pos=t - 1)
+                else:
+                    nbr = sorted(g.neighbors_view(v))[0]
+                    state.append_pick(v, label=state.labels[nbr][0], src=nbr, pos=0)
+        state.validate(g)
+        assert [state.labels[v][5 - v] for v in (4, 3, 2, 1)] == [5, 5, 5, 5]
+
+        corrector = CorrectionPropagator(propagator)
+        report = corrector.apply_batch(EditBatch.build(deletions=[(4, 5)]))
+        state.validate(g)
+        # Vertex 4 lost its only path to label 5; the new label (3's initial
+        # or its own) must have cascaded through 3, 2 and 1.
+        assert state.labels[4][1] != 5
+        for v, t in [(3, 2), (2, 3), (1, 4)]:
+            src, pos = state.provenance(v, t)
+            assert state.labels[v][t] == state.labels[src][pos]
+        assert report.touched_labels >= 4
+
+    def test_cascade_counts_in_report(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=9)
+        report = corrector.apply_batch(
+            EditBatch.build(deletions=[(0, 1), (0, 2), (0, 3)])
+        )
+        assert report.touched_labels >= report.repicked - report.cascade_corrections
+        assert report.value_changes <= report.touched_labels
+
+    def test_no_spurious_touches_on_empty_batch_effects(self, cliques_ring):
+        """A batch touching only a far-away clique leaves others' values
+        consistent (validate checks the full bijection)."""
+        corrector = make_corrector(cliques_ring, seed=4)
+        corrector.apply_batch(EditBatch.build(deletions=[(24, 25)]))
+        corrector.state.validate(cliques_ring)
+
+
+class TestVertexLifecycle:
+    def test_new_vertex_via_insertions(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=6)
+        batch = EditBatch.build(insertions=[(100, 0), (100, 1), (100, 2)])
+        corrector.apply_batch(batch)
+        state = corrector.state
+        state.validate(cliques_ring)
+        assert cliques_ring.has_vertex(100)
+        for t in range(1, 31):
+            assert state.srcs[100][t] in {0, 1, 2}
+
+    def test_remove_vertex(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=6)
+        corrector.remove_vertex(0)
+        assert not cliques_ring.has_vertex(0)
+        assert not corrector.state.has_vertex(0)
+        corrector.state.validate(cliques_ring)
+
+    def test_remove_isolated_vertex(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5])
+        corrector = make_corrector(g, seed=1, iterations=10)
+        corrector.remove_vertex(5)
+        assert not corrector.state.has_vertex(5)
+
+    def test_remove_missing_vertex_raises(self, cliques_ring):
+        corrector = make_corrector(cliques_ring, seed=6)
+        with pytest.raises(KeyError):
+            corrector.remove_vertex(12345)
+
+
+class TestStatisticalEquivalence:
+    """Theorems 4-5: post-update sources are uniform over new neighbours."""
+
+    def test_repicked_sources_uniform_after_deletion(self):
+        """Star centre loses one leaf; slots must stay uniform over the rest."""
+        leaves = list(range(1, 7))
+        counts = Counter()
+        for seed in range(150):
+            g = Graph.from_edges([(0, leaf) for leaf in leaves])
+            corrector = make_corrector(g, seed=seed, iterations=10)
+            corrector.apply_batch(EditBatch.build(deletions=[(0, 1)]))
+            counts.update(
+                corrector.state.srcs[0][t] for t in range(1, 11)
+            )
+        remaining = [l for l in leaves if l != 1]
+        total = sum(counts[l] for l in remaining)
+        assert counts[1] == 0
+        for leaf in remaining:
+            share = counts[leaf] / total
+            assert abs(share - 1 / len(remaining)) < 0.05
+
+    def test_sources_uniform_after_insertion(self):
+        """Theorem 5: after adding a leaf, all 7 leaves are equally likely."""
+        counts = Counter()
+        for seed in range(150):
+            g = Graph.from_edges([(0, leaf) for leaf in range(1, 7)])
+            corrector = make_corrector(g, seed=seed, iterations=10)
+            corrector.apply_batch(EditBatch.build(insertions=[(0, 7)]))
+            counts.update(corrector.state.srcs[0][t] for t in range(1, 11))
+        total = sum(counts.values())
+        for leaf in range(1, 8):
+            assert abs(counts[leaf] / total - 1 / 7) < 0.05
+
+    def test_position_distribution_preserved(self):
+        """Repicked positions remain uniform over [0, t)."""
+        hits = Counter()
+        for seed in range(200):
+            g = Graph.from_edges([(0, 1), (0, 2)])
+            corrector = make_corrector(g, seed=seed, iterations=8)
+            corrector.apply_batch(EditBatch.build(deletions=[(0, 1)]))
+            # slot (0, 8) has pos uniform over 0..7
+            hits[corrector.state.poss[0][8]] += 1
+        assert all(hits[p] > 8 for p in range(8))
+
+
+class TestEtaAccounting:
+    def test_touched_labels_within_analytical_bounds(self):
+        """Measured η lies within [best, worst] of Section IV-D (loose)."""
+        from repro.core.complexity import (
+            best_case_updates,
+            change_probability,
+            worst_case_updates,
+        )
+
+        g = erdos_renyi(120, 0.1, seed=1)
+        e = g.num_edges
+        corrector = make_corrector(g, seed=3, iterations=40)
+        batch = random_edit_batch(g, 20, seed=5)
+        report = corrector.apply_batch(batch)
+        pc = change_probability(e, len(batch.deletions), len(batch.insertions))
+        best = best_case_updates(g.num_vertices, 40, pc)
+        worst = worst_case_updates(g.num_vertices, 40, pc)
+        # Statistical quantity: allow slack below best (finite sample).
+        assert report.touched_labels <= worst * 2.0
+        assert report.touched_labels >= best * 0.2
+
+    def test_larger_batches_touch_more(self, sparse_random):
+        small = make_corrector(sparse_random.copy(), seed=3, iterations=30)
+        large = make_corrector(sparse_random.copy(), seed=3, iterations=30)
+        r_small = small.apply_batch(random_edit_batch(sparse_random, 4, seed=1))
+        r_large = large.apply_batch(random_edit_batch(sparse_random, 40, seed=1))
+        assert r_large.touched_labels > r_small.touched_labels
+
+
+class TestKeepLottery:
+    def test_lottery_deterministic_per_epoch(self):
+        assert keep_lottery_uniform(1, 2, 3, 1) == keep_lottery_uniform(1, 2, 3, 1)
+
+    def test_lottery_fresh_per_batch(self):
+        a = keep_lottery_uniform(1, 2, 3, 1)
+        b = keep_lottery_uniform(1, 2, 3, 2)
+        assert a != b
+
+    def test_lottery_rate_matches_na_fraction(self):
+        """Across slots, switch rate approximates n_a / (n_u + n_a)."""
+        switches = 0
+        trials = 4000
+        for v in range(trials):
+            if keep_lottery_uniform(0, v, 1, 1) < 2 / 6:
+                switches += 1
+        assert abs(switches / trials - 2 / 6) < 0.03

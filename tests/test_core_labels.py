@@ -1,0 +1,160 @@
+"""Tests for LabelState: sequences, provenance, reverse records."""
+
+import pytest
+
+from repro.core.labels import NO_SOURCE, LabelState
+from repro.graph.adjacency import Graph
+
+
+@pytest.fixture
+def state():
+    s = LabelState()
+    s.init_vertices([0, 1, 2])
+    return s
+
+
+class TestLifecycle:
+    def test_init_vertex(self, state):
+        assert state.sequence(0) == (0,)
+        assert state.provenance(0, 0) == (NO_SOURCE, NO_SOURCE)
+
+    def test_double_init_rejected(self, state):
+        with pytest.raises(ValueError, match="already initialised"):
+            state.init_vertex(0)
+
+    def test_iteration_counter(self, state):
+        assert state.num_iterations == 0
+        assert state.begin_iteration() == 1
+        assert state.num_iterations == 1
+
+    def test_drop_vertex(self, state):
+        state.drop_vertex(2)
+        assert not state.has_vertex(2)
+        assert state.num_vertices == 2
+
+    def test_drop_vertex_with_receivers_refused(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=2, src=2, pos=0)
+        with pytest.raises(ValueError, match="receivers"):
+            state.drop_vertex(2)
+
+    def test_drop_unknown_vertex(self, state):
+        with pytest.raises(KeyError):
+            state.drop_vertex(99)
+
+
+class TestAppendPick:
+    def test_append_registers_record(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=1, src=1, pos=0)
+        assert state.receivers_of(1, 0) == {(0, 1)}
+        assert state.label_at(0, 1) == 1
+
+    def test_fallback_pick_has_no_record(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=0, src=NO_SOURCE, pos=NO_SOURCE)
+        assert state.receivers_of(0, 0) == set()
+
+    def test_frequencies(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=1, src=1, pos=0)
+        state.append_pick(1, label=1, src=1, pos=0)
+        state.append_pick(2, label=1, src=1, pos=0)
+        assert state.frequencies(0)[1] == 1
+        assert state.frequencies(0)[0] == 1
+
+    def test_total_slots(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=0, src=NO_SOURCE, pos=NO_SOURCE)
+        assert state.total_slots() == 3
+
+
+class TestReplacePick:
+    def _propagate_once(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=1, src=1, pos=0)
+        state.append_pick(1, label=2, src=2, pos=0)
+        state.append_pick(2, label=0, src=0, pos=0)
+
+    def test_replace_moves_record(self, state):
+        self._propagate_once(state)
+        state.replace_pick(0, 1, label=2, src=2, pos=0, epoch=1)
+        assert state.receivers_of(1, 0) == set()
+        assert (0, 1) in state.receivers_of(2, 0)
+        assert state.epochs[0][1] == 1
+
+    def test_replace_to_fallback(self, state):
+        self._propagate_once(state)
+        state.replace_pick(0, 1, label=0, src=NO_SOURCE, pos=NO_SOURCE, epoch=1)
+        assert state.receivers_of(1, 0) == set()
+        assert state.provenance(0, 1) == (NO_SOURCE, NO_SOURCE)
+
+    def test_detach_slot(self, state):
+        self._propagate_once(state)
+        state.detach_slot(0, 1)
+        assert state.receivers_of(1, 0) == set()
+        assert state.provenance(0, 1) == (NO_SOURCE, NO_SOURCE)
+
+    def test_unregister_inconsistency_detected(self, state):
+        self._propagate_once(state)
+        state.detach_slot(0, 1)
+        with pytest.raises(ValueError, match="record inconsistency"):
+            state._unregister(1, 0, 0, 1)
+
+
+class TestValidate:
+    def test_valid_state_passes(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=1, src=1, pos=0)
+        state.append_pick(1, label=0, src=0, pos=0)
+        state.append_pick(2, label=2, src=2, pos=0)
+        state.validate()
+
+    def test_detects_wrong_length(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=1, src=1, pos=0)
+        with pytest.raises(AssertionError, match="sequence length"):
+            state.validate()
+
+    def test_detects_label_mismatch(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=(v + 1) % 3, src=(v + 1) % 3, pos=0)
+        state.labels[0][1] = 99
+        with pytest.raises(AssertionError, match="source value"):
+            state.validate()
+
+    def test_detects_missing_record(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=(v + 1) % 3, src=(v + 1) % 3, pos=0)
+        state.receivers[1][0].discard((0, 1))
+        with pytest.raises(AssertionError, match="missing reverse record"):
+            state.validate()
+
+    def test_detects_dangling_record(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=(v + 1) % 3, src=(v + 1) % 3, pos=0)
+        state.receivers[1].setdefault(0, set()).add((2, 1))
+        with pytest.raises(AssertionError, match="provenance"):
+            state.validate()
+
+    def test_detects_provenance_edge_missing_from_graph(self, state):
+        state.begin_iteration()
+        for v in (0, 1, 2):
+            state.append_pick(v, label=(v + 1) % 3, src=(v + 1) % 3, pos=0)
+        graph = Graph.from_edges([(0, 1)], vertices=[2])  # 1-2 and 0-2 missing
+        with pytest.raises(AssertionError, match="not in graph"):
+            state.validate(graph)
+
+    def test_detects_fallback_with_wrong_label(self, state):
+        state.begin_iteration()
+        state.append_pick(0, label=0, src=NO_SOURCE, pos=NO_SOURCE)
+        state.append_pick(1, label=1, src=NO_SOURCE, pos=NO_SOURCE)
+        state.append_pick(2, label=2, src=NO_SOURCE, pos=NO_SOURCE)
+        state.labels[0][1] = 42
+        with pytest.raises(AssertionError, match="fallback"):
+            state.validate()

@@ -1,0 +1,155 @@
+"""Tests for the reference rSLPA propagator (Algorithm 1)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.labels import NO_SOURCE
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi, ring_of_cliques
+
+
+class TestBasicShape:
+    def test_sequence_lengths(self, cliques_ring):
+        propagator = ReferencePropagator(cliques_ring, seed=0)
+        propagator.propagate(25)
+        for v in cliques_ring.vertices():
+            assert len(propagator.state.labels[v]) == 26
+
+    def test_initial_label_is_vertex_id(self, cliques_ring):
+        propagator = ReferencePropagator(cliques_ring, seed=0)
+        propagator.propagate(5)
+        for v in cliques_ring.vertices():
+            assert propagator.state.labels[v][0] == v
+
+    def test_incremental_horizon_extension(self, cliques_ring):
+        """propagate(10) twice equals propagate(20) once."""
+        a = ReferencePropagator(cliques_ring.copy(), seed=4)
+        a.propagate(10)
+        a.propagate(10)
+        b = ReferencePropagator(cliques_ring.copy(), seed=4)
+        b.propagate(20)
+        assert a.state.labels == b.state.labels
+
+    def test_zero_iterations_is_noop(self, cliques_ring):
+        propagator = ReferencePropagator(cliques_ring, seed=0)
+        propagator.propagate(0)
+        assert propagator.num_iterations == 0
+
+    def test_rejects_negative_iterations(self, cliques_ring):
+        with pytest.raises(ValueError):
+            ReferencePropagator(cliques_ring, seed=0).propagate(-1)
+
+
+class TestInvariants:
+    def test_full_validation_with_graph(self, propagated, cliques_ring):
+        propagated.state.validate(cliques_ring)
+
+    def test_sources_are_neighbors(self, propagated, cliques_ring):
+        state = propagated.state
+        for v in cliques_ring.vertices():
+            for t in range(1, state.num_iterations + 1):
+                src, pos = state.provenance(v, t)
+                assert src in cliques_ring.neighbors_view(v)
+                assert 0 <= pos < t
+
+    def test_labels_flow_from_sources(self, propagated):
+        state = propagated.state
+        for v in state.vertices():
+            for t in range(1, state.num_iterations + 1):
+                src, pos = state.provenance(v, t)
+                assert state.labels[v][t] == state.labels[src][pos]
+
+
+class TestDegreeZero:
+    def test_isolated_vertex_keeps_own_label(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        propagator = ReferencePropagator(g, seed=1)
+        propagator.propagate(10)
+        assert propagator.state.labels[2] == [2] * 11
+        assert all(s == NO_SOURCE for s in propagator.state.srcs[2][1:])
+
+    def test_isolated_vertex_never_contaminates(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        propagator = ReferencePropagator(g, seed=1)
+        propagator.propagate(10)
+        assert 2 not in propagator.state.labels[0]
+        assert 2 not in propagator.state.labels[1]
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self, cliques_ring):
+        a = ReferencePropagator(cliques_ring.copy(), seed=7)
+        a.propagate(15)
+        b = ReferencePropagator(cliques_ring.copy(), seed=7)
+        b.propagate(15)
+        assert a.state.labels == b.state.labels
+        assert a.state.srcs == b.state.srcs
+
+    def test_different_seed_different_result(self, cliques_ring):
+        a = ReferencePropagator(cliques_ring.copy(), seed=7)
+        a.propagate(15)
+        b = ReferencePropagator(cliques_ring.copy(), seed=8)
+        b.propagate(15)
+        assert a.state.labels != b.state.labels
+
+
+class TestStatisticalBehaviour:
+    def test_source_choice_uniform_over_neighbors(self):
+        """Across many seeds, each neighbour is picked src with equal rate.
+
+        Star graph centre has 6 neighbours; iteration-1 picks over 400 seeds
+        should hit each leaf ~1/6 of the time.
+        """
+        g = Graph.from_edges([(0, leaf) for leaf in range(1, 7)])
+        counts = Counter()
+        for seed in range(400):
+            propagator = ReferencePropagator(g.copy(), seed=seed)
+            propagator.propagate(1)
+            counts[propagator.state.srcs[0][1]] += 1
+        for leaf in range(1, 7):
+            assert abs(counts[leaf] - 400 / 6) < 35
+
+    def test_concentration_within_clique(self):
+        """After enough iterations a clique's sequences concentrate on few
+        labels (the 'concentration' property of Section III-A)."""
+        g = ring_of_cliques(1, 8)
+        propagator = ReferencePropagator(g, seed=3)
+        propagator.propagate(60)
+        # The union of late labels across the clique should be dominated by
+        # a handful of values.
+        tail = Counter()
+        for v in g.vertices():
+            tail.update(propagator.state.labels[v][-20:])
+        top2 = sum(c for _, c in tail.most_common(2))
+        assert top2 > 0.5 * sum(tail.values())
+
+    def test_trapping_between_sparse_cliques(self, two_cliques_bridge):
+        """Labels rarely cross the single bridge ('trapping' property)."""
+        propagator = ReferencePropagator(two_cliques_bridge, seed=5)
+        propagator.propagate(40)
+        left_labels = set()
+        for v in range(4):
+            left_labels.update(propagator.state.labels[v])
+        # Most labels on the left side originate on the left side.
+        right_origin = sum(1 for l in left_labels if l >= 4)
+        assert right_origin <= len(left_labels) // 2
+
+
+class TestVertexLifecycle:
+    def test_add_vertex_state_padded(self, propagated):
+        propagated.graph.add_vertex(999)
+        propagated.add_vertex_state(999)
+        assert propagated.state.labels[999] == [999] * 41
+
+    def test_add_existing_vertex_state_rejected(self, propagated):
+        with pytest.raises(ValueError):
+            propagated.add_vertex_state(0)
+
+    def test_sorted_neighbors_cache_invalidation(self, propagated, cliques_ring):
+        before = propagated.sorted_neighbors(0)
+        cliques_ring.add_edge(0, 25)
+        assert propagated.sorted_neighbors(0) == before  # stale cache
+        propagated.invalidate_neighbors(0)
+        assert 25 in propagated.sorted_neighbors(0)

@@ -1,0 +1,147 @@
+"""Tests for label-state and cover persistence."""
+
+import io
+import json
+
+import pytest
+
+from repro.core.communities import Cover
+from repro.core.incremental import CorrectionPropagator
+from repro.core.rslpa import ReferencePropagator
+from repro.core.serialize import (
+    cover_from_dict,
+    cover_to_dict,
+    load_cover,
+    load_state,
+    save_cover,
+    save_state,
+    state_from_dict,
+    state_to_dict,
+)
+from repro.graph.generators import ring_of_cliques
+from repro.workloads.dynamic import random_edit_batch
+
+
+@pytest.fixture
+def state(cliques_ring):
+    propagator = ReferencePropagator(cliques_ring, seed=5)
+    propagator.propagate(20)
+    return propagator.state
+
+
+class TestStateRoundtrip:
+    def test_dict_roundtrip_preserves_everything(self, state):
+        rebuilt = state_from_dict(state_to_dict(state))
+        assert rebuilt.labels == state.labels
+        assert rebuilt.srcs == state.srcs
+        assert rebuilt.poss == state.poss
+        assert rebuilt.epochs == state.epochs
+        assert rebuilt.receivers == state.receivers
+        assert rebuilt.num_iterations == state.num_iterations
+
+    def test_file_roundtrip(self, state, tmp_path):
+        path = str(tmp_path / "state.json")
+        save_state(state, path)
+        rebuilt = load_state(path)
+        assert rebuilt.labels == state.labels
+
+    def test_stream_roundtrip(self, state):
+        buffer = io.StringIO()
+        save_state(state, buffer)
+        buffer.seek(0)
+        rebuilt = load_state(buffer)
+        assert rebuilt.receivers == state.receivers
+
+    def test_document_is_plain_json(self, state):
+        text = json.dumps(state_to_dict(state))
+        assert "repro.label_state" in text
+
+    def test_loaded_state_supports_incremental_updates(self, state, cliques_ring):
+        """The round-tripped state must be fully operational."""
+        rebuilt = state_from_dict(state_to_dict(state))
+        propagator = ReferencePropagator.from_state(cliques_ring, 5, rebuilt)
+        corrector = CorrectionPropagator(propagator)
+        batch = random_edit_batch(cliques_ring, 4, seed=1)
+        corrector.apply_batch(batch)
+        rebuilt.validate(cliques_ring)
+
+    def test_epochs_preserved_after_updates(self, state, cliques_ring):
+        propagator = ReferencePropagator.from_state(cliques_ring, 5, state)
+        corrector = CorrectionPropagator(propagator)
+        corrector.apply_batch(random_edit_batch(cliques_ring, 6, seed=2))
+        rebuilt = state_from_dict(state_to_dict(state))
+        assert rebuilt.epochs == state.epochs
+
+    def test_from_state_rejects_vertex_mismatch(self, state):
+        from repro.graph.adjacency import Graph
+
+        with pytest.raises(ValueError, match="do not match"):
+            ReferencePropagator.from_state(Graph.from_edges([(0, 1)]), 5, state)
+
+
+class TestStateValidation:
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a label-state"):
+            state_from_dict({"format": "something-else"})
+
+    def test_rejects_wrong_version(self, state):
+        payload = state_to_dict(state)
+        payload["version"] = 999
+        with pytest.raises(ValueError, match="version"):
+            state_from_dict(payload)
+
+    def test_rejects_ragged_arrays(self, state):
+        payload = state_to_dict(state)
+        first = next(iter(payload["vertices"].values()))
+        first["srcs"] = first["srcs"][:-1]
+        with pytest.raises(ValueError, match="ragged"):
+            state_from_dict(payload)
+
+    def test_rejects_wrong_length(self, state):
+        payload = state_to_dict(state)
+        first = next(iter(payload["vertices"].values()))
+        for key in ("labels", "srcs", "poss", "epochs"):
+            first[key] = first[key] + [0]
+        with pytest.raises(ValueError, match="sequence length"):
+            state_from_dict(payload)
+
+    def test_rejects_unknown_source(self, state):
+        payload = state_to_dict(state)
+        first = next(iter(payload["vertices"].values()))
+        first["srcs"][1] = 10_000
+        with pytest.raises((ValueError, AssertionError)):
+            state_from_dict(payload)
+
+    def test_corrupted_label_caught_by_validate(self, state):
+        payload = state_to_dict(state)
+        first = next(iter(payload["vertices"].values()))
+        first["labels"][1] = 987654  # breaks label == source-value invariant
+        with pytest.raises(AssertionError):
+            state_from_dict(payload)
+
+
+class TestCoverRoundtrip:
+    def test_dict_roundtrip(self):
+        cover = Cover([{0, 1, 2}, {2, 3}])
+        assert cover_from_dict(cover_to_dict(cover)) == cover
+
+    def test_file_roundtrip(self, tmp_path):
+        cover = Cover([{5, 6}, {7}])
+        path = str(tmp_path / "cover.json")
+        save_cover(cover, path)
+        assert load_cover(path) == cover
+
+    def test_stream_roundtrip(self):
+        cover = Cover([{1, 2, 3}])
+        buffer = io.StringIO()
+        save_cover(cover, buffer)
+        buffer.seek(0)
+        assert load_cover(buffer) == cover
+
+    def test_rejects_wrong_format(self):
+        with pytest.raises(ValueError, match="not a cover"):
+            cover_from_dict({"format": "nope"})
+
+    def test_rejects_wrong_version(self):
+        with pytest.raises(ValueError, match="version"):
+            cover_from_dict({"format": "repro.cover", "version": -1})

@@ -1,0 +1,121 @@
+"""Tests for community evolution tracking."""
+
+import pytest
+
+from repro.core.communities import Cover
+from repro.core.detector import RSLPADetector
+from repro.core.tracking import CommunityTracker, match_covers
+from repro.graph.edits import EditBatch
+from repro.graph.generators import ring_of_cliques
+
+
+class TestMatchCovers:
+    def test_identical_covers_all_continued(self):
+        cover = Cover([{0, 1, 2}, {3, 4, 5}])
+        report = match_covers(cover, cover)
+        assert len(report.of_kind("continued")) == 2
+        assert report.continuity() == pytest.approx(1.0)
+
+    def test_birth(self):
+        old = Cover([{0, 1, 2}])
+        new = Cover([{0, 1, 2}, {7, 8, 9}])
+        report = match_covers(old, new)
+        assert report.num_born == 1
+        assert report.num_died == 0
+
+    def test_death(self):
+        old = Cover([{0, 1, 2}, {7, 8, 9}])
+        new = Cover([{0, 1, 2}])
+        report = match_covers(old, new)
+        assert report.num_died == 1
+
+    def test_growth_and_shrinkage(self):
+        old = Cover([{0, 1, 2, 3}, {10, 11, 12, 13}])
+        new = Cover([{0, 1, 2, 3, 4, 5}, {10, 11}])
+        report = match_covers(old, new, drift_tolerance=0.1)
+        assert len(report.of_kind("grown")) == 1
+        assert len(report.of_kind("shrunk")) == 1
+
+    def test_split(self):
+        old = Cover([set(range(10))])
+        new = Cover([{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}])
+        report = match_covers(old, new)
+        splits = report.of_kind("split")
+        assert len(splits) == 1
+        assert len(splits[0].after) == 2
+
+    def test_merge(self):
+        old = Cover([{0, 1, 2, 3, 4}, {5, 6, 7, 8, 9}])
+        new = Cover([set(range(10))])
+        report = match_covers(old, new)
+        merges = report.of_kind("merged")
+        assert len(merges) == 1
+        assert len(merges[0].before) == 2
+
+    def test_unrelated_covers_all_born_and_died(self):
+        old = Cover([{0, 1, 2}])
+        new = Cover([{10, 11, 12}])
+        report = match_covers(old, new)
+        assert report.num_born == 1
+        assert report.num_died == 1
+        assert report.continuity() == 0.0
+
+    def test_threshold_gates_matching(self):
+        old = Cover([{0, 1, 2, 3, 4, 5, 6, 7}])
+        new = Cover([{0, 10, 11, 12, 13, 14, 15, 16}])  # jaccard = 1/15
+        strict = match_covers(old, new, match_threshold=0.3)
+        assert strict.num_born == 1 and strict.num_died == 1
+        loose = match_covers(old, new, match_threshold=0.05)
+        assert loose.num_born == 0
+
+    def test_summary_format(self):
+        report = match_covers(Cover([{0, 1}]), Cover([{0, 1}]))
+        assert report.summary() == "continued=1"
+
+    def test_rejects_bad_threshold(self):
+        with pytest.raises(ValueError):
+            match_covers(Cover([]), Cover([]), match_threshold=0.0)
+
+    def test_rejects_bad_drift(self):
+        with pytest.raises(ValueError):
+            match_covers(Cover([]), Cover([]), drift_tolerance=1.0)
+
+
+class TestCommunityTracker:
+    def test_first_observation_returns_none(self):
+        tracker = CommunityTracker()
+        assert tracker.observe(Cover([{0, 1}])) is None
+        assert tracker.current == Cover([{0, 1}])
+
+    def test_reports_accumulate(self):
+        tracker = CommunityTracker()
+        tracker.observe(Cover([{0, 1}]))
+        tracker.observe(Cover([{0, 1}]))
+        tracker.observe(Cover([{0, 1, 2}]))
+        assert len(tracker.reports) == 2
+        assert tracker.reports[0].summary() == "continued=1"
+
+    def test_lifetime_of_vertex(self):
+        tracker = CommunityTracker()
+        tracker.observe(Cover([{0, 1}]))
+        tracker.observe(Cover([{0, 1}, {0, 2}]))
+        tracker.observe(Cover([{1, 2}]))
+        assert tracker.lifetime_of(0) == [(0, 1), (1, 2), (2, 0)]
+
+    def test_end_to_end_with_detector(self):
+        """Merging two cliques shows up as a merge event."""
+        graph = ring_of_cliques(3, 5)
+        detector = RSLPADetector(graph, seed=4, iterations=80, tau_step=0.005)
+        detector.fit()
+        tracker = CommunityTracker(match_threshold=0.2)
+        tracker.observe(detector.communities())
+        cross = [
+            (u, v)
+            for u in range(5)
+            for v in range(5, 10)
+            if not detector.graph.has_edge(u, v)
+        ]
+        detector.update(EditBatch.build(insertions=cross))
+        report = tracker.observe(detector.communities())
+        kinds = {e.kind for e in report.events}
+        assert "merged" in kinds or "grown" in kinds or "died" in kinds

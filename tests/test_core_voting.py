@@ -1,0 +1,151 @@
+"""Tests for the voting analysis — Figures 2-3 and Theorems 1-3."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.voting import (
+    distribution_levels,
+    max_win_probability,
+    plurality_win_distribution,
+    uniform_pick_distribution,
+    uniform_pick_from_multiset,
+)
+
+sequences_strategy = st.lists(
+    st.lists(st.integers(1, 5), min_size=1, max_size=3), min_size=1, max_size=4
+)
+
+
+class TestFigure2:
+    """Exact reproduction of the paper's Example 1 (Figure 2 panels)."""
+
+    def test_panel_a(self):
+        # Voters (1,2), (1,2), (1,1): exact enumeration gives 3/4 vs 1/4.
+        dist = plurality_win_distribution([(1, 2), (1, 2), (1, 1)])
+        assert dist[1] == Fraction(3, 4)
+        assert dist[2] == Fraction(1, 4)
+        assert 3 not in dist
+
+    def test_panel_b_side_effect_on_label_2(self):
+        """Changing voter 3 from (1,1) to (1,3) perturbs label 2's chance.
+
+        The paper says label 2's probability "drops"; exact enumeration gives
+        1/4 -> 1/3 (it *rises*) — either way the qualitative claim holds:
+        a change to one label affects labels nobody touched.  The exact
+        values are recorded in EXPERIMENTS.md.
+        """
+        before = plurality_win_distribution([(1, 2), (1, 2), (1, 1)])
+        after = plurality_win_distribution([(1, 2), (1, 2), (1, 3)])
+        assert after[1] == Fraction(7, 12)
+        assert after[1] < before[1]  # intuition confirmed for label 1
+        assert after[3] == Fraction(1, 12)  # label 3 appears, as predicted
+        assert after[2] == Fraction(1, 3)
+        assert after[2] != before[2]  # untouched label 2 is still affected
+
+    def test_panel_c_population_preserving_swap_changes_everything(self):
+        """(1,2),(1,2),(1,1) vs (2,2),(1,1),(1,1): same populations,
+        dramatically different win distribution."""
+        original = plurality_win_distribution([(1, 2), (1, 2), (1, 1)])
+        swapped = plurality_win_distribution([(2, 2), (1, 1), (1, 1)])
+        assert swapped[1] == Fraction(1)
+        assert swapped.get(2, Fraction(0)) == 0
+        assert original[2] > 0
+
+    def test_panel_d_removing_voter_revives_label_2(self):
+        """Dropping voter 3 of panel (c) lifts label 2 from 0 to 1/2."""
+        dist = plurality_win_distribution([(2, 2), (1, 1)])
+        assert dist[1] == Fraction(1, 2)
+        assert dist[2] == Fraction(1, 2)
+
+
+class TestFigure3:
+    """The Mi = (1,2,2,2,3,3,3,4,4,5) example."""
+
+    MULTISET = (1, 2, 2, 2, 3, 3, 3, 4, 4, 5)
+
+    def test_uniform_pick_proportional_to_population(self):
+        dist = uniform_pick_from_multiset(self.MULTISET)
+        assert dist[1] == Fraction(1, 10)
+        assert dist[2] == Fraction(3, 10)
+        assert dist[3] == Fraction(3, 10)
+        assert dist[4] == Fraction(2, 10)
+        assert dist[5] == Fraction(1, 10)
+
+    def test_uniform_pick_has_more_levels_than_voting(self):
+        """Voting yields a two-level distribution; uniform picking is smooth."""
+        voting = plurality_win_distribution([(l,) for l in self.MULTISET])
+        uniform = uniform_pick_from_multiset(self.MULTISET)
+        assert distribution_levels(voting) <= 2
+        assert distribution_levels(uniform) == 3
+
+
+class TestTheorem1:
+    """max Pu(l) <= max Pv(l) for any label multiset."""
+
+    @settings(max_examples=150, deadline=None)
+    @given(st.lists(st.integers(1, 6), min_size=1, max_size=8))
+    def test_on_single_label_voters(self, multiset):
+        voters = [(label,) for label in multiset]
+        voting = plurality_win_distribution(voters)
+        uniform = uniform_pick_from_multiset(multiset)
+        assert max_win_probability(uniform) <= max_win_probability(voting)
+
+    def test_equality_case(self):
+        """With one unanimous label both processes are deterministic."""
+        voters = [(7,), (7,), (7,)]
+        assert max_win_probability(plurality_win_distribution(voters)) == 1
+        assert max_win_probability(uniform_pick_from_multiset([7, 7, 7])) == 1
+
+
+class TestTheorem2:
+    """Uniform pick from M equals frequency in the union of sequences."""
+
+    @settings(max_examples=80, deadline=None)
+    @given(
+        st.lists(
+            st.lists(st.integers(1, 4), min_size=2, max_size=2),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_union_frequency(self, seqs):
+        dist = uniform_pick_distribution(seqs)
+        union = [l for seq in seqs for l in seq]
+        expected = uniform_pick_from_multiset(union)
+        assert dist == expected
+
+    def test_ragged_sequences_weight_per_voter(self):
+        """Each voter contributes total mass 1/n over its own sequence."""
+        dist = uniform_pick_distribution([(1,), (2, 3)])
+        assert dist[1] == Fraction(1, 2)
+        assert dist[2] == Fraction(1, 4)
+        assert dist[3] == Fraction(1, 4)
+
+
+class TestDistributionBasics:
+    def test_plurality_sums_to_one(self):
+        dist = plurality_win_distribution([(1, 2), (2, 3), (1, 3)])
+        assert sum(dist.values()) == Fraction(1)
+
+    def test_uniform_sums_to_one(self):
+        dist = uniform_pick_distribution([(1, 2), (2, 3), (1, 3)])
+        assert sum(dist.values()) == Fraction(1)
+
+    @settings(max_examples=60, deadline=None)
+    @given(sequences_strategy)
+    def test_property_both_sum_to_one(self, seqs):
+        assert sum(plurality_win_distribution(seqs).values()) == Fraction(1)
+        assert sum(uniform_pick_distribution(seqs).values()) == Fraction(1)
+
+    def test_empty_sequence_rejected(self):
+        with pytest.raises(ValueError):
+            plurality_win_distribution([()])
+        with pytest.raises(ValueError):
+            uniform_pick_from_multiset([])
+
+    def test_max_win_probability_empty_rejected(self):
+        with pytest.raises(ValueError):
+            max_win_probability({})

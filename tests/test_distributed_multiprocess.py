@@ -1,0 +1,81 @@
+"""Tests for the multiprocess BSP backend (true parallelism)."""
+
+from functools import partial
+
+import pytest
+
+from repro.baselines.slpa import SLPA
+from repro.core.rslpa import ReferencePropagator
+from repro.distributed.multiprocess import MultiprocessBSPEngine
+from repro.distributed.programs import RSLPAPropagationProgram, SLPAPropagationProgram
+from repro.distributed.worker import build_shards
+from repro.graph.generators import ring_of_cliques
+from repro.graph.partition import HashPartitioner
+
+
+@pytest.fixture
+def small_setup():
+    graph = ring_of_cliques(3, 5)
+    part = HashPartitioner(3)
+    return graph, part, build_shards(graph, part)
+
+
+class TestMultiprocessRSLPA:
+    def test_matches_sequential(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(RSLPAPropagationProgram, seed=5, iterations=15)
+        with MultiprocessBSPEngine(shards, part, factory) as engine:
+            engine.run()
+            results = engine.collect()
+        merged = {}
+        for result in results:
+            merged.update(result)
+        ref = ReferencePropagator(graph.copy(), seed=5)
+        ref.propagate(15)
+        assert {v: lab for v, (lab, _s, _p) in merged.items()} == ref.state.labels
+
+    def test_stats_match_in_process_engine(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(RSLPAPropagationProgram, seed=5, iterations=10)
+        with MultiprocessBSPEngine(shards, part, factory) as engine:
+            stats = engine.run()
+        assert stats.total_messages == 2 * graph.num_vertices * 10
+
+
+class TestMultiprocessSLPA:
+    def test_matches_sequential(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(SLPAPropagationProgram, seed=2, iterations=12)
+        with MultiprocessBSPEngine(shards, part, factory) as engine:
+            engine.run()
+            results = engine.collect()
+        merged = {}
+        for result in results:
+            merged.update(result)
+        ref = SLPA(graph.copy(), seed=2, iterations=12)
+        ref.propagate()
+        assert merged == ref.memories
+
+
+class TestLifecycle:
+    def test_shutdown_idempotent(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(RSLPAPropagationProgram, seed=1, iterations=3)
+        engine = MultiprocessBSPEngine(shards, part, factory)
+        engine.run()
+        engine.shutdown()
+        engine.shutdown()  # second call is a no-op
+
+    def test_run_after_shutdown_rejected(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(RSLPAPropagationProgram, seed=1, iterations=3)
+        engine = MultiprocessBSPEngine(shards, part, factory)
+        engine.shutdown()
+        with pytest.raises(RuntimeError, match="shut down"):
+            engine.run()
+
+    def test_mismatched_partitioner_rejected(self, small_setup):
+        graph, part, shards = small_setup
+        factory = partial(RSLPAPropagationProgram, seed=1, iterations=3)
+        with pytest.raises(ValueError):
+            MultiprocessBSPEngine(shards, HashPartitioner(5), factory)

@@ -1,0 +1,173 @@
+"""Tests for repro.graph.adjacency — the dynamic binary graph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph, normalize_edge
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            normalize_edge(3, 3)
+
+
+class TestConstruction:
+    def test_empty(self):
+        g = Graph()
+        assert g.num_vertices == 0
+        assert g.num_edges == 0
+
+    def test_from_edges_deduplicates(self):
+        g = Graph.from_edges([(0, 1), (1, 0), (0, 1)])
+        assert g.num_edges == 1
+
+    def test_from_edges_with_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[5, 6])
+        assert g.has_vertex(5) and g.degree(5) == 0
+        assert g.num_vertices == 4
+
+    def test_copy_is_independent(self, triangle):
+        clone = triangle.copy()
+        clone.remove_edge(0, 1)
+        assert triangle.has_edge(0, 1)
+        assert not clone.has_edge(0, 1)
+
+
+class TestVertexOps:
+    def test_add_vertex_idempotent(self):
+        g = Graph()
+        assert g.add_vertex(1) is True
+        assert g.add_vertex(1) is False
+        assert g.num_vertices == 1
+
+    def test_remove_vertex_returns_removed_edges(self, triangle):
+        removed = triangle.remove_vertex(1)
+        assert sorted(removed) == [(0, 1), (1, 2)]
+        assert triangle.num_edges == 1
+        triangle.check_invariants()
+
+    def test_remove_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            Graph().remove_vertex(0)
+
+
+class TestEdgeOps:
+    def test_add_edge_creates_endpoints(self):
+        g = Graph()
+        assert g.add_edge(3, 7) is True
+        assert g.has_vertex(3) and g.has_vertex(7)
+
+    def test_add_edge_duplicate_returns_false(self):
+        g = Graph()
+        g.add_edge(0, 1)
+        assert g.add_edge(1, 0) is False
+        assert g.num_edges == 1
+
+    def test_add_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Graph().add_edge(2, 2)
+
+    def test_remove_edge(self, triangle):
+        assert triangle.remove_edge(0, 1) is True
+        assert triangle.remove_edge(0, 1) is False
+        assert triangle.num_edges == 2
+
+    def test_symmetry_maintained(self, triangle):
+        triangle.remove_edge(2, 1)
+        assert 2 not in triangle.neighbors_view(1)
+        assert 1 not in triangle.neighbors_view(2)
+        triangle.check_invariants()
+
+
+class TestQueries:
+    def test_neighbors_is_snapshot(self, triangle):
+        snapshot = triangle.neighbors(0)
+        triangle.remove_edge(0, 1)
+        assert 1 in snapshot  # frozen copy unaffected
+
+    def test_neighbors_missing_vertex_raises(self):
+        with pytest.raises(KeyError):
+            Graph().neighbors(9)
+
+    def test_degree(self, triangle):
+        assert triangle.degree(0) == 2
+
+    def test_edges_canonical_and_unique(self, two_cliques_bridge):
+        edges = list(two_cliques_bridge.edges())
+        assert len(edges) == len(set(edges)) == two_cliques_bridge.num_edges
+        assert all(u < v for u, v in edges)
+
+    def test_average_degree(self, triangle):
+        assert triangle.average_degree() == pytest.approx(2.0)
+
+    def test_average_degree_empty(self):
+        assert Graph().average_degree() == 0.0
+
+    def test_max_degree(self, two_cliques_bridge):
+        assert two_cliques_bridge.max_degree() == 4  # bridge endpoints
+
+    def test_isolated_vertices(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        assert g.isolated_vertices() == [2]
+
+    def test_contains_protocol(self, triangle):
+        assert 0 in triangle
+        assert (0, 1) in triangle
+        assert (0, 9) not in triangle
+        assert 9 not in triangle
+
+    def test_len_and_iter(self, triangle):
+        assert len(triangle) == 3
+        assert sorted(triangle) == [0, 1, 2]
+
+
+class TestStructure:
+    def test_connected_components(self):
+        g = Graph.from_edges([(0, 1), (2, 3)], vertices=[4])
+        comps = sorted(sorted(c) for c in g.connected_components())
+        assert comps == [[0, 1], [2, 3], [4]]
+
+    def test_subgraph_induced(self, two_cliques_bridge):
+        sub = two_cliques_bridge.subgraph([0, 1, 2, 4])
+        assert sub.num_vertices == 4
+        assert sub.has_edge(0, 1) and sub.has_edge(0, 4)
+        assert not sub.has_edge(4, 5)
+
+    def test_equality(self):
+        a = Graph.from_edges([(0, 1), (1, 2)])
+        b = Graph.from_edges([(1, 2), (0, 1)])
+        assert a == b
+        b.add_edge(0, 2)
+        assert a != b
+
+    def test_check_invariants_detects_corruption(self, triangle):
+        triangle._adj[0].add(99)  # corrupt asymmetrically
+        with pytest.raises(AssertionError):
+            triangle.check_invariants()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 15), st.integers(0, 15)).filter(
+            lambda e: e[0] != e[1]
+        ),
+        max_size=40,
+    )
+)
+def test_property_invariants_after_random_ops(edge_ops):
+    """Randomly toggling edges always preserves structural invariants."""
+    g = Graph()
+    for u, v in edge_ops:
+        if g.has_edge(u, v):
+            g.remove_edge(u, v)
+        else:
+            g.add_edge(u, v)
+    g.check_invariants()
+    assert g.num_edges == len(list(g.edges()))

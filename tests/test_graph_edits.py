@@ -1,0 +1,137 @@
+"""Tests for repro.graph.edits — edit batches."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch, apply_batch, diff_graphs
+
+
+class TestConstruction:
+    def test_build_canonicalises(self):
+        batch = EditBatch.build(insertions=[(3, 1)], deletions=[(5, 2)])
+        assert batch.insertions == frozenset({(1, 3)})
+        assert batch.deletions == frozenset({(2, 5)})
+
+    def test_build_deduplicates_directions(self):
+        batch = EditBatch.build(insertions=[(0, 1), (1, 0)])
+        assert batch.size == 1
+
+    def test_rejects_overlap(self):
+        with pytest.raises(ValueError, match="both inserted and deleted"):
+            EditBatch.build(insertions=[(0, 1)], deletions=[(1, 0)])
+
+    def test_rejects_non_canonical_direct_construction(self):
+        with pytest.raises(ValueError, match="canonical"):
+            EditBatch(insertions=frozenset({(3, 1)}))
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError, match="self-loop"):
+            EditBatch.build(insertions=[(2, 2)])
+
+    def test_empty(self):
+        assert not EditBatch.empty()
+        assert EditBatch.empty().size == 0
+
+
+class TestAccessors:
+    def test_size_and_bool(self):
+        batch = EditBatch.build(insertions=[(0, 1)], deletions=[(2, 3)])
+        assert batch.size == 2
+        assert bool(batch)
+
+    def test_touched_vertices(self):
+        batch = EditBatch.build(insertions=[(0, 1)], deletions=[(2, 3)])
+        assert batch.touched_vertices() == frozenset({0, 1, 2, 3})
+
+    def test_added_removed_neighbors(self):
+        batch = EditBatch.build(insertions=[(0, 1), (0, 2)], deletions=[(1, 2)])
+        assert batch.added_neighbors() == {0: {1, 2}, 1: {0}, 2: {0}}
+        assert batch.removed_neighbors() == {1: {2}, 2: {1}}
+
+    def test_inverse(self):
+        batch = EditBatch.build(insertions=[(0, 1)], deletions=[(2, 3)])
+        inv = batch.inverse()
+        assert inv.insertions == batch.deletions
+        assert inv.deletions == batch.insertions
+
+
+class TestMerge:
+    def test_merge_cancels_insert_then_delete(self):
+        first = EditBatch.build(insertions=[(0, 1)])
+        second = EditBatch.build(deletions=[(0, 1)])
+        assert first.merged_with(second).size == 0
+
+    def test_merge_cancels_delete_then_insert(self):
+        first = EditBatch.build(deletions=[(0, 1)])
+        second = EditBatch.build(insertions=[(0, 1)])
+        assert first.merged_with(second).size == 0
+
+    def test_merge_accumulates_disjoint(self):
+        first = EditBatch.build(insertions=[(0, 1)])
+        second = EditBatch.build(deletions=[(2, 3)])
+        merged = first.merged_with(second)
+        assert merged.insertions == frozenset({(0, 1)})
+        assert merged.deletions == frozenset({(2, 3)})
+
+
+class TestApply:
+    def test_apply_roundtrip(self, triangle):
+        batch = EditBatch.build(insertions=[(0, 3)], deletions=[(0, 1)])
+        apply_batch(triangle, batch)
+        assert triangle.has_edge(0, 3)
+        assert not triangle.has_edge(0, 1)
+        apply_batch(triangle, batch.inverse())
+        assert triangle == Graph.from_edges([(0, 1), (1, 2), (0, 2)], vertices=[3])
+
+    def test_strict_apply_validates_first(self, triangle):
+        bad = EditBatch.build(deletions=[(0, 9)])
+        with pytest.raises(ValueError, match="deletions not present"):
+            apply_batch(triangle, bad)
+        triangle.check_invariants()  # untouched
+
+    def test_validate_reports_existing_insertions(self, triangle):
+        bad = EditBatch.build(insertions=[(0, 1)])
+        with pytest.raises(ValueError, match="insertions already present"):
+            bad.validate_against(triangle)
+
+
+class TestDiff:
+    def test_diff_recovers_batch(self, two_cliques_bridge):
+        old = two_cliques_bridge.copy()
+        batch = EditBatch.build(insertions=[(1, 5)], deletions=[(0, 4)])
+        apply_batch(two_cliques_bridge, batch)
+        assert diff_graphs(old, two_cliques_bridge) == batch
+
+    def test_diff_identical_graphs_is_empty(self, triangle):
+        assert diff_graphs(triangle, triangle.copy()).size == 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.data())
+def test_property_apply_then_inverse_restores(data):
+    """batch followed by batch.inverse() is the identity on graphs."""
+    edges = data.draw(
+        st.sets(
+            st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(
+                lambda e: e[0] < e[1]
+            ),
+            max_size=25,
+        )
+    )
+    graph = Graph.from_edges(edges, vertices=range(13))
+    original = graph.copy()
+    existing = sorted(graph.edges())
+    to_delete = data.draw(st.sets(st.sampled_from(existing), max_size=5)) if existing else set()
+    non_edges = [
+        (u, v)
+        for u in range(13)
+        for v in range(u + 1, 13)
+        if not graph.has_edge(u, v)
+    ]
+    to_insert = data.draw(st.sets(st.sampled_from(non_edges), max_size=5)) if non_edges else set()
+    batch = EditBatch.build(insertions=to_insert, deletions=to_delete)
+    apply_batch(graph, batch)
+    apply_batch(graph, batch.inverse())
+    assert graph == original

@@ -1,0 +1,142 @@
+"""Tests for repro.graph.generators."""
+
+import pytest
+
+from repro.graph.generators import (
+    chung_lu,
+    erdos_renyi,
+    planted_partition,
+    powerlaw_degree_sequence,
+    random_regular_ish,
+    ring_of_cliques,
+)
+
+
+class TestErdosRenyi:
+    def test_size_and_invariants(self):
+        g = erdos_renyi(100, 0.05, seed=1)
+        g.check_invariants()
+        assert g.num_vertices == 100
+
+    def test_edge_count_near_expectation(self):
+        n, p = 200, 0.1
+        g = erdos_renyi(n, p, seed=2)
+        expected = p * n * (n - 1) / 2
+        assert abs(g.num_edges - expected) < 0.25 * expected
+
+    def test_p_zero(self):
+        assert erdos_renyi(50, 0.0, seed=0).num_edges == 0
+
+    def test_p_one_is_complete(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        assert g.num_edges == 45
+
+    def test_deterministic_per_seed(self):
+        a = erdos_renyi(80, 0.07, seed=5)
+        b = erdos_renyi(80, 0.07, seed=5)
+        assert a == b
+
+    def test_seed_changes_graph(self):
+        a = erdos_renyi(80, 0.07, seed=5)
+        b = erdos_renyi(80, 0.07, seed=6)
+        assert a != b
+
+    def test_rejects_bad_p(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 1.5)
+
+
+class TestRandomRegularIsh:
+    def test_degrees_close_to_k(self):
+        g = random_regular_ish(100, 6, seed=3)
+        g.check_invariants()
+        degrees = [g.degree(v) for v in g.vertices()]
+        assert sum(degrees) / len(degrees) > 5.0
+        assert max(degrees) <= 6 + 3  # matching collisions only reduce
+
+    def test_rejects_k_ge_n(self):
+        with pytest.raises(ValueError):
+            random_regular_ish(5, 5)
+
+
+class TestPowerlawDegrees:
+    def test_bounds_respected(self):
+        degrees = powerlaw_degree_sequence(500, 2.0, 3, 40, seed=1)
+        assert all(3 <= d <= 40 for d in degrees)
+
+    def test_sum_is_even(self):
+        for seed in range(5):
+            degrees = powerlaw_degree_sequence(101, 2.2, 2, 30, seed=seed)
+            assert sum(degrees) % 2 == 0
+
+    def test_heavy_tail_shape(self):
+        """Low degrees must dominate high degrees under exponent 2.5."""
+        degrees = powerlaw_degree_sequence(4000, 2.5, 2, 100, seed=2)
+        low = sum(1 for d in degrees if d <= 5)
+        high = sum(1 for d in degrees if d >= 50)
+        assert low > 10 * max(high, 1)
+
+    def test_rejects_inverted_bounds(self):
+        with pytest.raises(ValueError):
+            powerlaw_degree_sequence(10, 2.0, 10, 5)
+
+
+class TestChungLu:
+    def test_average_degree_matches_target(self):
+        degrees = [10] * 300
+        g = chung_lu(degrees, seed=4)
+        g.check_invariants()
+        assert abs(g.average_degree() - 10) < 2.0
+
+    def test_high_weight_vertices_get_high_degree(self):
+        degrees = [50] * 5 + [2] * 295
+        g = chung_lu(degrees, seed=5)
+        hub_mean = sum(g.degree(v) for v in range(5)) / 5
+        leaf_mean = sum(g.degree(v) for v in range(5, 300)) / 295
+        assert hub_mean > 5 * leaf_mean
+
+    def test_empty_degrees(self):
+        assert chung_lu([], seed=0).num_vertices == 0
+
+
+class TestRingOfCliques:
+    def test_structure(self):
+        g = ring_of_cliques(4, 5)
+        g.check_invariants()
+        assert g.num_vertices == 20
+        # 4 cliques of C(5,2)=10 edges plus 4 bridges.
+        assert g.num_edges == 44
+
+    def test_single_clique(self):
+        g = ring_of_cliques(1, 4)
+        assert g.num_edges == 6
+
+    def test_two_cliques_one_bridge(self):
+        g = ring_of_cliques(2, 3)
+        assert g.num_edges == 2 * 3 + 1
+
+    def test_is_connected(self):
+        g = ring_of_cliques(6, 4)
+        assert len(g.connected_components()) == 1
+
+    def test_rejects_tiny_clique(self):
+        with pytest.raises(ValueError):
+            ring_of_cliques(3, 1)
+
+
+class TestPlantedPartition:
+    def test_intra_density_exceeds_inter(self):
+        g = planted_partition(4, 15, p_in=0.7, p_out=0.02, seed=6)
+        g.check_invariants()
+        intra = inter = 0
+        for u, v in g.edges():
+            if u // 15 == v // 15:
+                intra += 1
+            else:
+                inter += 1
+        assert intra > 3 * inter
+
+    def test_extreme_probabilities(self):
+        g = planted_partition(2, 4, p_in=1.0, p_out=0.0, seed=0)
+        comps = g.connected_components()
+        assert sorted(len(c) for c in comps) == [4, 4]

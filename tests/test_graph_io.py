@@ -1,0 +1,93 @@
+"""Tests for repro.graph.io."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.io import (
+    from_networkx,
+    parse_edge_lines,
+    read_edge_list,
+    relabel_to_integers,
+    to_networkx,
+    write_edge_list,
+)
+
+
+class TestParseEdgeLines:
+    def test_basic(self):
+        assert parse_edge_lines(["0 1", "2 3"]) == [(0, 1), (2, 3)]
+
+    def test_skips_comments_and_blanks(self):
+        lines = ["# header", "", "% other", "1 2"]
+        assert parse_edge_lines(lines) == [(1, 2)]
+
+    def test_drops_self_loops(self):
+        assert parse_edge_lines(["3 3", "1 2"]) == [(1, 2)]
+
+    def test_extra_columns_ignored(self):
+        assert parse_edge_lines(["1 2 0.5"]) == [(1, 2)]
+
+    def test_rejects_single_column(self):
+        with pytest.raises(ValueError, match="line 1"):
+            parse_edge_lines(["42"])
+
+    def test_rejects_non_integer(self):
+        with pytest.raises(ValueError, match="non-integer"):
+            parse_edge_lines(["a b"])
+
+
+class TestFileRoundtrip:
+    def test_write_then_read(self, tmp_path, two_cliques_bridge):
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(two_cliques_bridge, path, header="test graph")
+        loaded = read_edge_list(path)
+        assert set(loaded.edges()) == set(two_cliques_bridge.edges())
+
+    def test_read_normalises_directed_multigraph(self, tmp_path):
+        path = tmp_path / "raw.txt"
+        path.write_text("0 1\n1 0\n1 1\n2 0\n")
+        g = read_edge_list(str(path))
+        assert set(g.edges()) == {(0, 1), (0, 2)}
+
+    def test_header_written_as_comments(self, tmp_path, triangle):
+        path = tmp_path / "g.txt"
+        write_edge_list(triangle, str(path), header="line1\nline2")
+        content = path.read_text()
+        assert content.startswith("# line1\n# line2\n")
+
+
+class TestNetworkxInterop:
+    def test_roundtrip(self, two_cliques_bridge):
+        nxg = to_networkx(two_cliques_bridge)
+        back = from_networkx(nxg)
+        assert back == two_cliques_bridge
+
+    def test_to_networkx_preserves_isolated(self):
+        g = Graph.from_edges([(0, 1)], vertices=[9])
+        nxg = to_networkx(g)
+        assert nxg.has_node(9)
+
+    def test_from_networkx_drops_self_loops(self):
+        nxg = nx.Graph([(0, 0), (0, 1)])
+        assert set(from_networkx(nxg).edges()) == {(0, 1)}
+
+    def test_components_agree_with_networkx(self, sparse_random):
+        ours = sorted(sorted(c) for c in sparse_random.connected_components())
+        theirs = sorted(
+            sorted(c) for c in nx.connected_components(to_networkx(sparse_random))
+        )
+        assert ours == theirs
+
+
+class TestRelabel:
+    def test_relabel_to_contiguous(self):
+        g = Graph.from_edges([(10, 20), (20, 30)])
+        relabeled, mapping = relabel_to_integers(g)
+        assert sorted(relabeled.vertices()) == [0, 1, 2]
+        assert relabeled.has_edge(mapping[10], mapping[20])
+
+    def test_relabel_preserves_counts(self, sparse_random):
+        relabeled, _ = relabel_to_integers(sparse_random)
+        assert relabeled.num_vertices == sparse_random.num_vertices
+        assert relabeled.num_edges == sparse_random.num_edges

@@ -1,0 +1,119 @@
+"""Tests for network binarization (the paper's Section-I preprocessing)."""
+
+import pytest
+
+from repro.graph.transform import (
+    aggregate_weights,
+    binarize,
+    binarize_top_k,
+    quantile_threshold,
+)
+
+
+class TestAggregateWeights:
+    def test_symmetrises_and_sums(self):
+        weights = aggregate_weights([(0, 1, 1.0), (1, 0, 2.0)])
+        assert weights == {(0, 1): 3.0}
+
+    def test_max_combine(self):
+        weights = aggregate_weights([(0, 1, 1.0), (1, 0, 2.0)], combine="max")
+        assert weights == {(0, 1): 2.0}
+
+    def test_min_combine(self):
+        weights = aggregate_weights([(0, 1, 1.0), (1, 0, 2.0)], combine="min")
+        assert weights == {(0, 1): 1.0}
+
+    def test_drops_self_loops(self):
+        assert aggregate_weights([(3, 3, 9.0)]) == {}
+
+    def test_rejects_unknown_combine(self):
+        with pytest.raises(ValueError, match="combine"):
+            aggregate_weights([], combine="avg")
+
+
+class TestBinarize:
+    def test_threshold_filters(self):
+        g = binarize([(0, 1, 0.9), (1, 2, 0.1)], threshold=0.5)
+        assert g.has_edge(0, 1)
+        assert not g.has_edge(1, 2)
+
+    def test_endpoints_kept_even_when_edge_dropped(self):
+        g = binarize([(0, 1, 0.1)], threshold=0.5)
+        assert g.has_vertex(0) and g.has_vertex(1)
+        assert g.num_edges == 0
+
+    def test_direction_sum_crosses_threshold(self):
+        # 0.3 + 0.3 both directions = 0.6 >= 0.5.
+        g = binarize([(0, 1, 0.3), (1, 0, 0.3)], threshold=0.5)
+        assert g.has_edge(0, 1)
+
+    def test_extra_vertices(self):
+        g = binarize([(0, 1, 1.0)], vertices=[5])
+        assert g.has_vertex(5)
+
+    def test_zero_threshold_keeps_everything(self):
+        g = binarize([(0, 1, 0.0), (1, 2, -0.5)], threshold=-1.0)
+        assert g.num_edges == 2
+
+
+class TestBinarizeTopK:
+    def test_keeps_strongest_per_vertex(self):
+        # (0,2) and (0,3) are in neither endpoint's top-1 -> dropped.
+        edges = [(0, 1, 5.0), (0, 2, 1.0), (0, 3, 3.0), (2, 3, 4.0)]
+        g = binarize_top_k(edges, k=1)
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+        assert not g.has_edge(0, 2) and not g.has_edge(0, 3)
+
+    def test_union_semantics(self):
+        """An edge weak for a hub survives if it is the leaf's best."""
+        edges = [(0, 1, 5.0), (0, 2, 4.0), (0, 3, 0.1)]
+        g = binarize_top_k(edges, k=1)
+        # (0,3) is vertex 3's only (hence top-1) edge.
+        assert g.has_edge(0, 3)
+
+    def test_deterministic_tie_break(self):
+        edges = [(0, 1, 1.0), (0, 2, 1.0)]
+        a = binarize_top_k(edges, k=1)
+        b = binarize_top_k(list(reversed(edges)), k=1)
+        assert a == b
+
+    def test_rejects_bad_k(self):
+        with pytest.raises(ValueError):
+            binarize_top_k([], k=0)
+
+
+class TestQuantileThreshold:
+    def test_keep_all(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]
+        tau = quantile_threshold(edges, 1.0)
+        assert binarize(edges, tau).num_edges == 3
+
+    def test_keep_third(self):
+        edges = [(0, 1, 1.0), (1, 2, 2.0), (2, 3, 3.0)]
+        tau = quantile_threshold(edges, 1 / 3)
+        assert binarize(edges, tau).num_edges == 1
+
+    def test_empty_edge_list(self):
+        assert quantile_threshold([], 0.5) == 0.0
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            quantile_threshold([], 0.0)
+
+
+class TestEndToEnd:
+    def test_weighted_network_to_communities(self):
+        """Weighted two-clique network -> binarize -> detect."""
+        from repro.core.detector import detect_communities
+
+        edges = []
+        for base in (0, 4):
+            group = range(base, base + 4)
+            for i in group:
+                for j in group:
+                    if i < j:
+                        edges.append((i, j, 1.0))
+        edges.append((0, 4, 0.05))  # weak bridge, thresholded away
+        g = binarize(edges, threshold=0.5)
+        cover = detect_communities(g, seed=1, iterations=60, tau_step=0.01)
+        assert sorted(sorted(c) for c in cover) == [[0, 1, 2, 3], [4, 5, 6, 7]]

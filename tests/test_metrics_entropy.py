@@ -1,0 +1,44 @@
+"""Tests for the community-size entropy (Eq. 1)."""
+
+import math
+
+import pytest
+
+from repro.metrics.entropy import size_entropy, size_entropy_from_sizes
+
+
+class TestSizeEntropy:
+    def test_single_community_full_graph(self):
+        # p = 1 -> -1 * ln 1 = 0
+        assert size_entropy([{0, 1, 2, 3}], 4) == pytest.approx(0.0)
+
+    def test_two_half_communities(self):
+        # 2 * (-(1/2) ln(1/2)) = ln 2
+        assert size_entropy([{0, 1}, {2, 3}], 4) == pytest.approx(math.log(2))
+
+    def test_uniform_split_maximises(self):
+        """For fixed community count, equal sizes beat skewed sizes."""
+        even = size_entropy_from_sizes([5, 5], 10)
+        skew = size_entropy_from_sizes([9, 1], 10)
+        assert even > skew
+
+    def test_more_communities_more_entropy(self):
+        few = size_entropy_from_sizes([10, 10], 20)
+        many = size_entropy_from_sizes([5, 5, 5, 5], 20)
+        assert many > few
+
+    def test_partial_coverage_allowed(self):
+        """Vertices outside all communities contribute nothing (Eq. 1)."""
+        value = size_entropy_from_sizes([2], 10)
+        assert value == pytest.approx(-(0.2) * math.log(0.2))
+
+    def test_zero_sizes_ignored(self):
+        assert size_entropy_from_sizes([0, 4], 8) == size_entropy_from_sizes([4], 8)
+
+    def test_rejects_negative_size(self):
+        with pytest.raises(ValueError):
+            size_entropy_from_sizes([-1], 4)
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            size_entropy_from_sizes([1], 0)

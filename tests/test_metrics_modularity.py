@@ -1,0 +1,78 @@
+"""Tests for modularity metrics."""
+
+import networkx as nx
+import pytest
+
+from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.graph.io import to_networkx
+from repro.metrics.modularity import modularity, overlapping_modularity
+
+
+class TestModularity:
+    def test_matches_networkx(self, cliques_ring):
+        partition = [set(range(c * 6, (c + 1) * 6)) for c in range(5)]
+        ours = modularity(cliques_ring, partition)
+        theirs = nx.algorithms.community.modularity(
+            to_networkx(cliques_ring), partition
+        )
+        assert ours == pytest.approx(theirs)
+
+    def test_good_partition_beats_bad(self):
+        g = planted_partition(3, 10, p_in=0.7, p_out=0.05, seed=1)
+        good = [set(range(i * 10, (i + 1) * 10)) for i in range(3)]
+        bad = [set(range(i, 30, 3)) for i in range(3)]
+        assert modularity(g, good) > modularity(g, bad)
+
+    def test_single_community_is_zero(self, cliques_ring):
+        assert modularity(cliques_ring, [set(cliques_ring.vertices())]) == (
+            pytest.approx(0.0)
+        )
+
+    def test_missing_vertices_allowed(self, cliques_ring):
+        partial = [set(range(6))]
+        value = modularity(cliques_ring, partial)
+        assert -1.0 <= value <= 1.0
+
+    def test_rejects_overlap(self, cliques_ring):
+        with pytest.raises(ValueError, match="several communities"):
+            modularity(cliques_ring, [{0, 1}, {1, 2}])
+
+    def test_empty_graph(self):
+        from repro.graph.adjacency import Graph
+
+        assert modularity(Graph(), []) == 0.0
+
+
+class TestOverlappingModularity:
+    def test_agrees_with_disjoint_on_partitions(self, cliques_ring):
+        partition = [set(range(c * 6, (c + 1) * 6)) for c in range(5)]
+        assert overlapping_modularity(cliques_ring, partition) == pytest.approx(
+            modularity(cliques_ring, partition)
+        )
+
+    def test_handles_overlap(self, two_cliques_bridge):
+        cover = [{0, 1, 2, 3, 4}, {4, 5, 6, 7, 0}]
+        value = overlapping_modularity(two_cliques_bridge, cover)
+        assert -1.0 <= value <= 1.0
+
+    def test_good_cover_beats_random(self):
+        g = ring_of_cliques(4, 5)
+        good = [set(range(c * 5, (c + 1) * 5)) for c in range(4)]
+        scattered = [set(range(i, 20, 4)) for i in range(4)]
+        assert overlapping_modularity(g, good) > overlapping_modularity(
+            g, scattered
+        )
+
+    def test_membership_normalisation_dampens(self):
+        """Duplicating a community halves each vertex's weight: Q drops."""
+        g = ring_of_cliques(3, 4)
+        single = [set(range(c * 4, (c + 1) * 4)) for c in range(3)]
+        doubled = single + [set(single[0])]
+        assert overlapping_modularity(g, doubled) < overlapping_modularity(
+            g, single
+        )
+
+    def test_empty_graph(self):
+        from repro.graph.adjacency import Graph
+
+        assert overlapping_modularity(Graph(), [{0}]) == 0.0

@@ -1,0 +1,93 @@
+"""Tests for the overlapping NMI (LFK variant) — the paper's quality metric."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.nmi import cover_entropy_bits, nmi_overlapping
+
+
+def covers(n=12, max_communities=4):
+    community = st.sets(st.integers(0, n - 1), min_size=1, max_size=n)
+    return st.lists(community, min_size=1, max_size=max_communities)
+
+
+class TestExactValues:
+    def test_identical_covers_score_one(self):
+        cover = [{0, 1, 2}, {3, 4}, {2, 5}]
+        assert nmi_overlapping(cover, cover, 6) == 1.0
+
+    def test_identical_overlapping_covers_score_one(self):
+        cover = [{0, 1, 2, 3}, {3, 4, 5, 6}]
+        assert nmi_overlapping(cover, cover, 7) == 1.0
+
+    def test_disjoint_unrelated_covers_score_low(self):
+        a = [{0, 1}, {2, 3}, {4, 5}, {6, 7}]
+        b = [{0, 2, 4, 6}, {1, 3, 5, 7}]
+        assert nmi_overlapping(a, b, 8) < 0.35
+
+    def test_partial_agreement_intermediate(self):
+        truth = [{0, 1, 2, 3}, {4, 5, 6, 7}]
+        close = [{0, 1, 2}, {4, 5, 6, 7}]
+        far = [{0, 4}, {1, 5}]
+        score_close = nmi_overlapping(close, truth, 8)
+        score_far = nmi_overlapping(far, truth, 8)
+        assert score_far < score_close < 1.0
+
+    def test_both_empty_is_one(self):
+        assert nmi_overlapping([], [], 5) == 1.0
+
+    def test_one_empty_is_zero(self):
+        assert nmi_overlapping([{0, 1}], [], 5) == 0.0
+
+    def test_empty_communities_ignored(self):
+        assert nmi_overlapping([{0, 1}, set()], [{0, 1}], 4) == 1.0
+
+
+class TestValidation:
+    def test_rejects_non_positive_universe(self):
+        with pytest.raises(ValueError):
+            nmi_overlapping([{0}], [{0}], 0)
+
+    def test_rejects_oversized_community(self):
+        with pytest.raises(ValueError, match="larger than the universe"):
+            nmi_overlapping([{0, 1, 2}], [{0}], 2)
+
+
+class TestCoverEntropy:
+    def test_single_half_community(self):
+        # p = 0.5 -> H = 1 bit
+        assert cover_entropy_bits([{0, 1}], 4) == pytest.approx(1.0)
+
+    def test_full_community_zero_entropy(self):
+        assert cover_entropy_bits([{0, 1, 2, 3}], 4) == pytest.approx(0.0)
+
+    def test_additive_over_communities(self):
+        single = cover_entropy_bits([{0, 1}], 4)
+        double = cover_entropy_bits([{0, 1}, {2, 3}], 4)
+        assert double == pytest.approx(2 * single)
+
+
+class TestProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(covers(), covers())
+    def test_symmetric(self, a, b):
+        assert nmi_overlapping(a, b, 12) == pytest.approx(
+            nmi_overlapping(b, a, 12)
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(covers(), covers())
+    def test_bounded(self, a, b):
+        assert 0.0 <= nmi_overlapping(a, b, 12) <= 1.0
+
+    @settings(max_examples=60, deadline=None)
+    @given(covers(), covers())
+    def test_self_similarity_is_maximal(self, a, b):
+        assert nmi_overlapping(a, a, 12) >= nmi_overlapping(a, b, 12) - 1e-9
+
+
+@settings(max_examples=40, deadline=None)
+@given(covers())
+def test_property_identity(cover):
+    assert nmi_overlapping(cover, cover, 12) == pytest.approx(1.0)

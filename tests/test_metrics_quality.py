@@ -1,0 +1,134 @@
+"""Tests for omega index, overlapping F1, conductance, coverage."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graph.adjacency import Graph
+from repro.graph.generators import ring_of_cliques
+from repro.metrics.quality import (
+    average_conductance,
+    conductance,
+    coverage,
+    omega_index,
+    overlapping_f1,
+    pairwise_cooccurrence_counts,
+)
+
+
+class TestPairwiseCounts:
+    def test_counts_multiplicity(self):
+        cover = [{0, 1, 2}, {0, 1}]
+        counts = pairwise_cooccurrence_counts(cover)
+        assert counts[frozenset({0, 1})] == 2
+        assert counts[frozenset({0, 2})] == 1
+
+    def test_empty_cover(self):
+        assert pairwise_cooccurrence_counts([]) == {}
+
+
+class TestOmegaIndex:
+    def test_identical_covers(self):
+        cover = [{0, 1, 2}, {3, 4}]
+        assert omega_index(cover, cover, 6) == pytest.approx(1.0)
+
+    def test_identical_overlapping_covers(self):
+        cover = [{0, 1, 2}, {2, 3, 4}]
+        assert omega_index(cover, cover, 5) == pytest.approx(1.0)
+
+    def test_disagreement_scores_below_one(self):
+        a = [{0, 1, 2, 3}]
+        b = [{0, 1}, {2, 3}]
+        assert omega_index(a, b, 4) < 1.0
+
+    def test_multiplicity_matters(self):
+        """Pairs co-occurring twice in one cover, once in the other, disagree."""
+        a = [{0, 1}, {0, 1}]
+        b = [{0, 1}]
+        assert omega_index(a, b, 4) < 1.0
+
+    def test_rejects_tiny_universe(self):
+        with pytest.raises(ValueError):
+            omega_index([{0}], [{0}], 1)
+
+
+class TestOverlappingF1:
+    def test_identical(self):
+        cover = [{0, 1, 2}, {3, 4}]
+        assert overlapping_f1(cover, cover) == pytest.approx(1.0)
+
+    def test_disjoint(self):
+        assert overlapping_f1([{0, 1}], [{2, 3}]) == 0.0
+
+    def test_partial(self):
+        detected = [{0, 1, 2, 9}]
+        truth = [{0, 1, 2, 3}]
+        # F1 = 2 * (3/4) * (3/4) / (3/2) = 0.75 both directions.
+        assert overlapping_f1(detected, truth) == pytest.approx(0.75)
+
+    def test_both_empty(self):
+        assert overlapping_f1([], []) == 1.0
+
+    def test_one_empty(self):
+        assert overlapping_f1([{0}], []) == 0.0
+
+    def test_extra_noise_community_penalised(self):
+        truth = [{0, 1, 2, 3}]
+        clean = [{0, 1, 2, 3}]
+        noisy = [{0, 1, 2, 3}, {7, 8}]
+        assert overlapping_f1(noisy, truth) < overlapping_f1(clean, truth)
+
+
+class TestConductance:
+    def test_isolated_clique_is_zero(self):
+        g = ring_of_cliques(1, 5)
+        g.add_edge(100, 101)  # disconnected remainder, so the set is proper
+        assert conductance(g, set(range(5))) == 0.0
+
+    def test_community_in_ring_is_low(self):
+        g = ring_of_cliques(4, 5)
+        # one clique: 2 bridge edges leave it, internal volume 5*4+2
+        assert conductance(g, set(range(5))) < 0.15
+
+    def test_random_half_is_high(self):
+        g = ring_of_cliques(4, 5)
+        scattered = {0, 5, 10, 15, 2, 7}
+        assert conductance(g, scattered) > 0.5
+
+    def test_degenerate_sets(self):
+        g = ring_of_cliques(2, 3)
+        assert conductance(g, set()) == 1.0
+        assert conductance(g, set(g.vertices())) == 1.0
+
+    def test_average_conductance(self):
+        g = ring_of_cliques(3, 4)
+        cover = [set(range(4)), set(range(4, 8)), set(range(8, 12))]
+        assert average_conductance(g, cover) == pytest.approx(
+            sum(conductance(g, c) for c in cover) / 3
+        )
+
+    def test_average_conductance_empty_cover(self):
+        assert average_conductance(Graph.from_edges([(0, 1)]), []) == 1.0
+
+
+class TestCoverage:
+    def test_full(self):
+        assert coverage([{0, 1}, {2}], 3) == 1.0
+
+    def test_partial(self):
+        assert coverage([{0, 1}], 4) == 0.5
+
+    def test_overlap_not_double_counted(self):
+        assert coverage([{0, 1}, {1, 2}], 4) == 0.75
+
+    def test_rejects_bad_universe(self):
+        with pytest.raises(ValueError):
+            coverage([{0}], 0)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(st.sets(st.integers(0, 9), min_size=1, max_size=10), min_size=1, max_size=3)
+)
+def test_property_omega_identity(cover):
+    assert omega_index(cover, cover, 10) == pytest.approx(1.0)

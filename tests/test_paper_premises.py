@@ -1,0 +1,113 @@
+"""Tests for the premises stated in Section IV of the paper.
+
+* "Vertex insertion can be handled in the same way as pretending the new
+  vertex was an old vertex with all old neighbors removed" — under the
+  counter-based randomness this is not merely distributionally true but
+  *bit-exact*, which these tests assert.
+* "Vertex deletion can also be handled by ignoring the deleted vertex."
+* The per-batch premise that inserted/deleted edges are arbitrary sets
+  (interleavings compose).
+"""
+
+import pytest
+
+from repro.core.incremental import CorrectionPropagator
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.graph.generators import ring_of_cliques
+
+
+def fitted_corrector(graph, seed=5, iterations=20):
+    propagator = ReferencePropagator(graph, seed=seed)
+    propagator.propagate(iterations)
+    return CorrectionPropagator(propagator)
+
+
+class TestVertexInsertionPremise:
+    def test_new_vertex_equals_preexisting_isolated_vertex(self):
+        """Route A: vertex 99 exists isolated from the start.
+        Route B: vertex 99 does not exist until the batch inserts its edges.
+        The resulting label states must be identical."""
+        batch = EditBatch.build(insertions=[(99, 0), (99, 7), (99, 13)])
+
+        graph_a = ring_of_cliques(3, 5)
+        graph_a.add_vertex(99)
+        corrector_a = fitted_corrector(graph_a)
+        corrector_a.apply_batch(batch)
+
+        graph_b = ring_of_cliques(3, 5)
+        corrector_b = fitted_corrector(graph_b)
+        corrector_b.apply_batch(batch)
+
+        assert corrector_a.state.labels == corrector_b.state.labels
+        assert corrector_a.state.srcs == corrector_b.state.srcs
+        assert corrector_a.state.epochs == corrector_b.state.epochs
+        assert graph_a == graph_b
+
+    def test_new_vertex_slots_draw_over_inserted_edges_only(self):
+        graph = ring_of_cliques(3, 5)
+        corrector = fitted_corrector(graph)
+        corrector.apply_batch(EditBatch.build(insertions=[(99, 0), (99, 7)]))
+        srcs = corrector.state.srcs[99][1:]
+        assert set(srcs) <= {0, 7}
+        assert len(set(srcs)) == 2  # with 20 slots both neighbours appear
+
+
+class TestVertexDeletionPremise:
+    def test_deletion_equals_edge_removal_plus_forgetting(self):
+        """remove_vertex == apply the incident-edge deletion batch, then drop
+        the state — for everything the rest of the graph can observe."""
+        graph_a = ring_of_cliques(3, 5)
+        corrector_a = fitted_corrector(graph_a)
+        corrector_a.remove_vertex(7)
+
+        graph_b = ring_of_cliques(3, 5)
+        corrector_b = fitted_corrector(graph_b)
+        incident = EditBatch.build(
+            deletions=[(7, u) for u in graph_b.neighbors_view(7)]
+        )
+        corrector_b.apply_batch(incident)
+
+        for v in graph_a.vertices():
+            assert corrector_a.state.labels[v] == corrector_b.state.labels[v]
+            assert corrector_a.state.srcs[v] == corrector_b.state.srcs[v]
+
+    def test_deleted_vertex_label_vanishes_from_sources(self):
+        graph = ring_of_cliques(2, 5)
+        corrector = fitted_corrector(graph)
+        corrector.remove_vertex(0)
+        for v in graph.vertices():
+            assert all(src != 0 for src in corrector.state.srcs[v])
+
+
+class TestBatchComposition:
+    def test_two_batches_equal_their_merge_distributionally(self):
+        """Applying A then B touches the same final graph as the merged
+        batch; both label states satisfy the full invariants (values differ
+        because epochs differ — that is expected and correct)."""
+        base = ring_of_cliques(3, 5)
+        batch_a = EditBatch.build(deletions=[(0, 1)])
+        batch_b = EditBatch.build(insertions=[(0, 5)])
+
+        corrector_two = fitted_corrector(base.copy())
+        graph_two = corrector_two.graph
+        corrector_two.apply_batch(batch_a)
+        corrector_two.apply_batch(batch_b)
+
+        corrector_one = fitted_corrector(base.copy())
+        graph_one = corrector_one.graph
+        corrector_one.apply_batch(batch_a.merged_with(batch_b))
+
+        assert graph_two == graph_one
+        corrector_two.state.validate(graph_two)
+        corrector_one.state.validate(graph_one)
+
+    def test_detector_auto_engine_falls_back_for_sparse_ids(self):
+        from repro.core.detector import RSLPADetector
+
+        graph = Graph.from_edges([(10, 20), (20, 30), (10, 30), (30, 40)])
+        detector = RSLPADetector(graph, seed=1, iterations=15).fit()
+        assert detector.label_state.num_iterations == 15
+        detector.update(EditBatch.build(insertions=[(10, 40)]))
+        detector.label_state.validate(detector.graph)

@@ -1,0 +1,173 @@
+"""Property-based tests: Correction Propagation under arbitrary edit streams.
+
+Hypothesis drives random sequences of edit batches (including vertex
+arrivals, departures-by-isolation, and inverse batches) against the
+incremental engine, asserting after every step that the *full* label-state
+invariant set holds on the current graph — the strongest correctness
+statement short of distribution equality, which the statistical tests in
+``test_core_incremental.py`` cover.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import CorrectionPropagator
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch, apply_batch, diff_graphs
+from repro.workloads.dynamic import random_edit_batch
+
+N = 14
+ITERATIONS = 12
+
+
+def fresh_corrector(edges, seed):
+    graph = Graph.from_edges(edges, vertices=range(N))
+    propagator = ReferencePropagator(graph, seed=seed)
+    propagator.propagate(ITERATIONS)
+    return CorrectionPropagator(propagator), graph
+
+
+edge_strategy = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+    lambda e: e[0] < e[1]
+)
+edges_strategy = st.sets(edge_strategy, min_size=5, max_size=30)
+
+
+@st.composite
+def batch_plans(draw):
+    """A starting edge set plus a sequence of (insert-set, delete-set) plans.
+
+    Plans are expressed as edge sets; at application time an edge listed for
+    insertion that already exists (or for deletion that does not) is simply
+    dropped, so every generated plan is applicable.
+    """
+    initial = draw(edges_strategy)
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sets(edge_strategy, max_size=5),
+                st.sets(edge_strategy, max_size=5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return initial, steps
+
+
+def realise_batch(graph, inserts, deletes):
+    """Filter a raw plan into a valid batch for the current graph."""
+    ins = {e for e in inserts if not graph.has_edge(*e)}
+    dels = {e for e in deletes if graph.has_edge(*e) and e not in ins}
+    return EditBatch(insertions=frozenset(ins), deletions=frozenset(dels))
+
+
+class TestRandomEditSequences:
+    @settings(
+        max_examples=40,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(batch_plans(), st.integers(0, 3))
+    def test_invariants_hold_after_every_batch(self, plan, seed):
+        initial, steps = plan
+        corrector, graph = fresh_corrector(initial, seed)
+        for inserts, deletes in steps:
+            batch = realise_batch(graph, inserts, deletes)
+            if not batch:
+                continue
+            corrector.apply_batch(batch)
+            corrector.state.validate(graph)
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edges_strategy, st.integers(0, 3))
+    def test_batch_then_inverse_restores_graph_and_keeps_state_valid(
+        self, initial, seed
+    ):
+        """Applying a batch and its inverse returns to the original graph;
+        the label state stays valid throughout (values may legitimately
+        differ — repicks draw fresh epochs)."""
+        corrector, graph = fresh_corrector(initial, seed)
+        snapshot = graph.copy()
+        batch = random_edit_batch(graph, min(6, graph.num_edges), seed=seed)
+        corrector.apply_batch(batch)
+        corrector.state.validate(graph)
+        corrector.apply_batch(batch.inverse())
+        corrector.state.validate(graph)
+        assert graph == snapshot
+
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(batch_plans(), st.integers(0, 2))
+    def test_eta_counts_are_consistent(self, plan, seed):
+        """Report bookkeeping: touched >= repicked slots; value changes
+        cannot exceed touched slots."""
+        initial, steps = plan
+        corrector, graph = fresh_corrector(initial, seed)
+        for inserts, deletes in steps:
+            batch = realise_batch(graph, inserts, deletes)
+            if not batch:
+                continue
+            report = corrector.apply_batch(batch)
+            assert report.touched_labels >= 0
+            assert report.repicked <= report.touched_labels
+            assert report.value_changes <= report.touched_labels + report.cascade_corrections
+            assert report.lottery_switches <= report.keep_lotteries
+
+    @settings(
+        max_examples=20,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edges_strategy, st.integers(0, 2))
+    def test_final_graph_equals_diff_replay(self, initial, seed):
+        """The corrector's graph mutations match plain batch application."""
+        corrector, graph = fresh_corrector(initial, seed)
+        replay = graph.copy()
+        for step in range(3):
+            batch = random_edit_batch(graph, min(4, graph.num_edges), seed=step)
+            corrector.apply_batch(batch)
+            apply_batch(replay, batch)
+        assert graph == replay
+        assert diff_graphs(graph, replay).size == 0
+
+
+class TestDegenerateGraphs:
+    def test_empty_graph_any_insertions(self):
+        corrector, graph = fresh_corrector(set(), seed=1)
+        batch = EditBatch.build(insertions=[(0, 1), (2, 3), (0, 2)])
+        corrector.apply_batch(batch)
+        corrector.state.validate(graph)
+
+    def test_full_teardown_to_empty(self):
+        edges = {(i, j) for i in range(5) for j in range(i + 1, 5)}
+        corrector, graph = fresh_corrector(edges, seed=2)
+        batch = EditBatch.build(deletions=list(edges))
+        corrector.apply_batch(batch)
+        corrector.state.validate(graph)
+        for v in range(5):
+            assert corrector.state.labels[v] == [v] * (ITERATIONS + 1)
+
+    def test_rebuild_after_teardown(self):
+        edges = {(i, i + 1) for i in range(6)}
+        corrector, graph = fresh_corrector(edges, seed=3)
+        corrector.apply_batch(EditBatch.build(deletions=list(edges)))
+        corrector.apply_batch(EditBatch.build(insertions=list(edges)))
+        corrector.state.validate(graph)
+        # After rebuild every slot must source from a live neighbour again.
+        for v in range(6):
+            nonfallback = [
+                t
+                for t in range(1, ITERATIONS + 1)
+                if corrector.state.srcs[v][t] != -1
+            ]
+            assert nonfallback, f"vertex {v} kept only fallback slots"

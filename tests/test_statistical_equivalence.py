@@ -1,0 +1,172 @@
+"""Statistical equivalence: incremental updating vs from-scratch runs.
+
+The paper's headline claim: rSLPA "can incrementally capture the same
+communities as those obtained by applying the detection algorithm from the
+scratch on the updated graph" — i.e. the maintained label state is a sample
+from the *same distribution* as a fresh Algorithm-1 run on the new graph.
+
+These tests measure that distribution directly on small graphs across many
+seeds: for chosen slots we compare the empirical distribution of label
+values (and of sources) between (a) scratch runs on the post-batch graph
+and (b) incremental runs through Correction Propagation.  Total-variation
+distance between the two empirical distributions must be within sampling
+noise.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.incremental import CorrectionPropagator
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch, apply_batch
+
+TRIALS = 400
+
+
+def total_variation(counts_a: Counter, counts_b: Counter) -> float:
+    total_a = sum(counts_a.values())
+    total_b = sum(counts_b.values())
+    keys = set(counts_a) | set(counts_b)
+    return 0.5 * sum(
+        abs(counts_a[k] / total_a - counts_b[k] / total_b) for k in keys
+    )
+
+
+def build_graph():
+    """A 6-vertex graph with both dense and sparse regions."""
+    return Graph.from_edges(
+        [(0, 1), (0, 2), (1, 2), (2, 3), (3, 4), (3, 5), (4, 5)]
+    )
+
+
+def scratch_distribution(batch: EditBatch, slot, iterations=8):
+    v, t = slot
+    counts = Counter()
+    for seed in range(TRIALS):
+        graph = build_graph()
+        apply_batch(graph, batch)
+        propagator = ReferencePropagator(graph, seed=seed)
+        propagator.propagate(iterations)
+        counts[propagator.state.labels[v][t]] += 1
+    return counts
+
+
+def incremental_distribution(batch: EditBatch, slot, iterations=8):
+    v, t = slot
+    counts = Counter()
+    for seed in range(TRIALS):
+        graph = build_graph()
+        propagator = ReferencePropagator(graph, seed=seed)
+        propagator.propagate(iterations)
+        corrector = CorrectionPropagator(propagator)
+        corrector.apply_batch(batch)
+        counts[propagator.state.labels[v][t]] += 1
+    return counts
+
+
+# With TRIALS=400 per side, the TV distance between two samples of the same
+# distribution over <= 6 outcomes concentrates below ~0.1; 0.12 gives margin.
+TOLERANCE = 0.12
+
+
+class TestLabelValueDistributions:
+    @pytest.mark.parametrize("slot", [(2, 1), (2, 4), (0, 8), (4, 6)])
+    def test_deletion_batch(self, slot):
+        batch = EditBatch.build(deletions=[(2, 3)])
+        tv = total_variation(
+            scratch_distribution(batch, slot),
+            incremental_distribution(batch, slot),
+        )
+        assert tv < TOLERANCE, f"slot {slot}: TV distance {tv:.3f}"
+
+    @pytest.mark.parametrize("slot", [(0, 3), (5, 8)])
+    def test_insertion_batch(self, slot):
+        batch = EditBatch.build(insertions=[(0, 5)])
+        tv = total_variation(
+            scratch_distribution(batch, slot),
+            incremental_distribution(batch, slot),
+        )
+        assert tv < TOLERANCE, f"slot {slot}: TV distance {tv:.3f}"
+
+    @pytest.mark.parametrize("slot", [(3, 5), (1, 7)])
+    def test_mixed_batch(self, slot):
+        batch = EditBatch.build(insertions=[(1, 4)], deletions=[(3, 4)])
+        tv = total_variation(
+            scratch_distribution(batch, slot),
+            incremental_distribution(batch, slot),
+        )
+        assert tv < TOLERANCE, f"slot {slot}: TV distance {tv:.3f}"
+
+
+class TestSourceDistributions:
+    def test_source_marginal_after_mixed_batch(self):
+        """src of a touched slot: uniform over the new neighbourhood in both
+        procedures (Theorems 4-5 + scratch uniformity)."""
+        batch = EditBatch.build(insertions=[(2, 5)], deletions=[(2, 1)])
+        v, t = 2, 6
+        scratch = Counter()
+        incremental = Counter()
+        for seed in range(TRIALS):
+            graph = build_graph()
+            apply_batch(graph, batch)
+            propagator = ReferencePropagator(graph, seed=seed)
+            propagator.propagate(8)
+            scratch[propagator.state.srcs[v][t]] += 1
+
+            graph2 = build_graph()
+            propagator2 = ReferencePropagator(graph2, seed=seed)
+            propagator2.propagate(8)
+            CorrectionPropagator(propagator2).apply_batch(batch)
+            incremental[propagator2.state.srcs[v][t]] += 1
+        tv = total_variation(scratch, incremental)
+        assert tv < TOLERANCE, f"TV distance {tv:.3f}"
+        # And both must be uniform over the new neighbours {0, 3, 5}.
+        for counts in (scratch, incremental):
+            assert set(counts) == {0, 3, 5}
+            for neighbour in (0, 3, 5):
+                assert abs(counts[neighbour] / TRIALS - 1 / 3) < 0.08
+
+
+class TestCoverDistribution:
+    def test_community_count_distribution_matches(self):
+        """Beyond single slots: the distribution of the *extracted community
+        count* matches between procedures on a two-clique graph."""
+        from repro.core.postprocess import extract_communities
+
+        def clique_pair():
+            edges = []
+            for base in (0, 4):
+                for i in range(4):
+                    for j in range(i + 1, 4):
+                        edges.append((base + i, base + j))
+            edges.append((0, 4))
+            return Graph.from_edges(edges)
+
+        batch = EditBatch.build(insertions=[(1, 5)], deletions=[(0, 4)])
+        scratch_counts = Counter()
+        incremental_counts = Counter()
+        for seed in range(150):
+            graph = clique_pair()
+            apply_batch(graph, batch)
+            propagator = ReferencePropagator(graph, seed=seed)
+            propagator.propagate(30)
+            cover = extract_communities(
+                graph, propagator.state.labels, step=0.02
+            ).cover
+            scratch_counts[len(cover)] += 1
+
+            graph2 = clique_pair()
+            propagator2 = ReferencePropagator(graph2, seed=seed)
+            propagator2.propagate(30)
+            CorrectionPropagator(propagator2).apply_batch(batch)
+            cover2 = extract_communities(
+                graph2, propagator2.state.labels, step=0.02
+            ).cover
+            incremental_counts[len(cover2)] += 1
+        tv = total_variation(scratch_counts, incremental_counts)
+        assert tv < 0.2, (
+            f"community-count TV {tv:.3f}: "
+            f"scratch {dict(scratch_counts)} vs incremental {dict(incremental_counts)}"
+        )

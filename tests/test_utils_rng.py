@@ -1,0 +1,113 @@
+"""Tests for repro.utils.rng — deterministic stream derivation."""
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.utils.rng import RngFactory, derive_rng, derive_seed, spawn_rng
+
+
+class TestDeriveSeed:
+    def test_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_differs_across_keys(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1) != derive_seed(2)
+
+    def test_no_positional_collision(self):
+        # (1, 23) must not collide with (12, 3) even though the digits match.
+        assert derive_seed(1, 23) != derive_seed(12, 3)
+
+    def test_string_int_disambiguation(self):
+        assert derive_seed("1") != derive_seed(1)
+
+    def test_bool_int_disambiguation(self):
+        assert derive_seed(True) != derive_seed(1)
+
+    def test_bytes_supported(self):
+        assert isinstance(derive_seed(b"xyz"), int)
+
+    def test_float_supported(self):
+        assert derive_seed(0.5) != derive_seed(0.25)
+
+    def test_none_supported(self):
+        assert isinstance(derive_seed(None), int)
+
+    def test_rejects_unsupported_type(self):
+        with pytest.raises(TypeError, match="unsupported RNG key"):
+            derive_seed([1, 2])
+
+    def test_result_is_64_bit(self):
+        for key in range(50):
+            assert 0 <= derive_seed(key) < 2**64
+
+    @given(st.integers(), st.integers())
+    def test_negative_ints_are_stable(self, a, b):
+        assert derive_seed(a, b) == derive_seed(a, b)
+
+
+class TestDeriveRng:
+    def test_same_key_same_stream(self):
+        r1 = derive_rng(9, "x")
+        r2 = derive_rng(9, "x")
+        assert [r1.random() for _ in range(5)] == [r2.random() for _ in range(5)]
+
+    def test_different_keys_diverge(self):
+        r1 = derive_rng(9, "x")
+        r2 = derive_rng(9, "y")
+        assert [r1.random() for _ in range(5)] != [r2.random() for _ in range(5)]
+
+    def test_returns_random_instance(self):
+        assert isinstance(derive_rng(0), random.Random)
+
+
+class TestSpawnRng:
+    def test_child_is_deterministic_from_parent_state(self):
+        parent1 = derive_rng(3)
+        parent2 = derive_rng(3)
+        assert spawn_rng(parent1).random() == spawn_rng(parent2).random()
+
+    def test_child_differs_from_parent_continuation(self):
+        parent = derive_rng(3)
+        child = spawn_rng(parent)
+        assert child.random() != parent.random()
+
+
+class TestRngFactory:
+    def test_equality_and_hash(self):
+        assert RngFactory(5) == RngFactory(5)
+        assert RngFactory(5) != RngFactory(6)
+        assert hash(RngFactory(5)) == hash(RngFactory(5))
+
+    def test_rejects_non_int_seed(self):
+        with pytest.raises(TypeError):
+            RngFactory("seed")
+
+    def test_named_streams_reproducible(self):
+        fac = RngFactory(42)
+        a = fac.rng("pick", 3).randrange(1000)
+        b = RngFactory(42).rng("pick", 3).randrange(1000)
+        assert a == b
+
+    def test_seed_for_matches_derive_seed(self):
+        fac = RngFactory(7)
+        assert fac.seed_for("k", 1) == derive_seed(7, "k", 1)
+
+    def test_streams_are_independent(self):
+        fac = RngFactory(1)
+        values = [rng.random() for rng in fac.streams("s", 10)]
+        assert len(set(values)) == 10
+
+    def test_streams_count(self):
+        assert len(list(RngFactory(0).streams("x", 4))) == 4
+
+
+class TestUniformity:
+    def test_derived_streams_cover_range(self):
+        """Means of many derived streams concentrate near 0.5."""
+        values = [derive_rng(0, i).random() for i in range(2000)]
+        mean = sum(values) / len(values)
+        assert abs(mean - 0.5) < 0.03

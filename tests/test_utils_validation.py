@@ -1,0 +1,71 @@
+"""Tests for repro.utils.validation."""
+
+import pytest
+
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+
+class TestCheckType:
+    def test_passes_and_returns_value(self):
+        assert check_type(5, int, "x") == 5
+
+    def test_accepts_tuple_of_types(self):
+        assert check_type(1.5, (int, float), "x") == 1.5
+
+    def test_raises_with_parameter_name(self):
+        with pytest.raises(TypeError, match="x must be int"):
+            check_type("no", int, "x")
+
+    def test_tuple_error_message_lists_alternatives(self):
+        with pytest.raises(TypeError, match="int or float"):
+            check_type("no", (int, float), "x")
+
+
+class TestCheckPositive:
+    def test_accepts_positive(self):
+        assert check_positive(0.1, "p") == 0.1
+
+    @pytest.mark.parametrize("bad", [0, -1, -0.5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValueError, match="p must be > 0"):
+            check_positive(bad, "p")
+
+    def test_rejects_non_numeric(self):
+        with pytest.raises(TypeError):
+            check_positive("1", "p")
+
+
+class TestCheckNonNegative:
+    def test_accepts_zero(self):
+        assert check_non_negative(0, "n") == 0
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError, match="n must be >= 0"):
+            check_non_negative(-1, "n")
+
+
+class TestCheckProbability:
+    @pytest.mark.parametrize("ok", [0, 0.5, 1])
+    def test_accepts_unit_interval(self, ok):
+        assert check_probability(ok, "p") == ok
+
+    @pytest.mark.parametrize("bad", [-0.01, 1.01, 5])
+    def test_rejects_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_probability(bad, "p")
+
+
+class TestCheckFraction:
+    def test_accepts_interior(self):
+        assert check_fraction(0.3, "f") == 0.3
+
+    @pytest.mark.parametrize("bad", [0, 1, -0.2, 1.2])
+    def test_rejects_boundary_and_outside(self, bad):
+        with pytest.raises(ValueError):
+            check_fraction(bad, "f")

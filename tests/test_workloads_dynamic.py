@@ -1,0 +1,131 @@
+"""Tests for the dynamic workload generator (Section V-B1 protocol)."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.edits import apply_batch
+from repro.graph.generators import erdos_renyi
+from repro.workloads.dynamic import (
+    EditStream,
+    random_deletions,
+    random_edit_batch,
+    random_insertions,
+    vertex_arrival_batch,
+    vertex_departure_batch,
+)
+
+
+@pytest.fixture
+def graph():
+    return erdos_renyi(50, 0.12, seed=8)
+
+
+class TestRandomEditBatch:
+    def test_half_and_half(self, graph):
+        batch = random_edit_batch(graph, 20, seed=1)
+        assert len(batch.deletions) == 10
+        assert len(batch.insertions) == 10
+
+    def test_odd_size_extra_insertion(self, graph):
+        batch = random_edit_batch(graph, 7, seed=1)
+        assert len(batch.insertions) == 4
+        assert len(batch.deletions) == 3
+
+    def test_batch_applies_cleanly(self, graph):
+        batch = random_edit_batch(graph, 30, seed=2)
+        batch.validate_against(graph)
+        apply_batch(graph, batch)
+        graph.check_invariants()
+
+    def test_deterministic(self, graph):
+        assert random_edit_batch(graph, 10, seed=3) == random_edit_batch(
+            graph, 10, seed=3
+        )
+
+    def test_seed_variation(self, graph):
+        assert random_edit_batch(graph, 10, seed=3) != random_edit_batch(
+            graph, 10, seed=4
+        )
+
+    def test_size_zero(self, graph):
+        assert random_edit_batch(graph, 0, seed=0).size == 0
+
+    def test_too_many_deletions_rejected(self):
+        tiny = Graph.from_edges([(0, 1)])
+        with pytest.raises(ValueError, match="deletions"):
+            random_edit_batch(tiny, 10, seed=0)
+
+
+class TestInsertionsDeletions:
+    def test_insertions_are_non_edges(self, graph):
+        batch = random_insertions(graph, 15, seed=5)
+        assert len(batch.insertions) == 15
+        for u, v in batch.insertions:
+            assert not graph.has_edge(u, v)
+
+    def test_deletions_are_edges(self, graph):
+        batch = random_deletions(graph, 15, seed=5)
+        assert len(batch.deletions) == 15
+        for u, v in batch.deletions:
+            assert graph.has_edge(u, v)
+
+    def test_insertions_on_near_complete_graph(self):
+        g = erdos_renyi(10, 1.0, seed=0)
+        g.remove_edge(0, 1)
+        g.remove_edge(2, 3)
+        batch = random_insertions(g, 2, seed=1)
+        assert batch.insertions == frozenset({(0, 1), (2, 3)})
+
+    def test_insertions_exceeding_capacity_rejected(self):
+        g = erdos_renyi(5, 1.0, seed=0)
+        with pytest.raises(ValueError, match="non-edges"):
+            random_insertions(g, 1, seed=0)
+
+
+class TestVertexBatches:
+    def test_arrival(self, graph):
+        batch = vertex_arrival_batch(graph, new_vertex=999, num_links=5, seed=2)
+        assert len(batch.insertions) == 5
+        assert all(999 in edge for edge in batch.insertions)
+
+    def test_arrival_existing_vertex_rejected(self, graph):
+        with pytest.raises(ValueError, match="already exists"):
+            vertex_arrival_batch(graph, new_vertex=0, num_links=2, seed=0)
+
+    def test_departure(self, graph):
+        v = max(graph.vertices(), key=graph.degree)
+        batch = vertex_departure_batch(graph, v)
+        assert len(batch.deletions) == graph.degree(v)
+        apply_batch(graph, batch)
+        assert graph.degree(v) == 0
+
+    def test_departure_missing_vertex_rejected(self, graph):
+        with pytest.raises(ValueError):
+            vertex_departure_batch(graph, 10_000)
+
+
+class TestEditStream:
+    def test_stream_does_not_mutate_input(self, graph):
+        snapshot = graph.copy()
+        stream = EditStream(graph, batch_size=6, seed=1)
+        stream.take(3)
+        assert graph == snapshot
+
+    def test_batches_compose(self, graph):
+        stream = EditStream(graph, batch_size=6, seed=1)
+        replay = graph.copy()
+        for batch in stream.take(5):
+            batch.validate_against(replay)
+            apply_batch(replay, batch)
+        assert replay == stream.graph
+
+    def test_batches_differ_over_time(self, graph):
+        stream = EditStream(graph, batch_size=4, seed=1)
+        batches = stream.take(4)
+        assert len({b for b in batches}) > 1
+
+    def test_iterator_protocol(self, graph):
+        stream = EditStream(graph, batch_size=2, seed=0)
+        iterator = iter(stream)
+        first = next(iterator)
+        assert first.size == 2

@@ -1,0 +1,155 @@
+"""Tests for the LFR benchmark generator (Table I parameters)."""
+
+import math
+
+import pytest
+
+from repro.workloads.lfr import LFRParams, generate_lfr, solve_power_law_xmin
+
+
+class TestLFRParams:
+    def test_defaults_valid(self):
+        params = LFRParams()
+        assert params.num_overlapping == 100
+        assert params.total_memberships == 1000 - 100 + 200
+
+    def test_num_overlapping_rounds(self):
+        params = LFRParams(n=250, overlap_fraction=0.1)
+        assert params.num_overlapping == 25
+
+    def test_rejects_avg_ge_max_degree(self):
+        with pytest.raises(ValueError, match="avg_degree"):
+            LFRParams(avg_degree=40, max_degree=40)
+
+    def test_rejects_max_degree_ge_n(self):
+        with pytest.raises(ValueError, match="max_degree"):
+            LFRParams(n=30, avg_degree=5, max_degree=30)
+
+    def test_rejects_bad_mu(self):
+        with pytest.raises(ValueError):
+            LFRParams(mu=0.0)
+
+    def test_rejects_bad_overlap_fraction(self):
+        with pytest.raises(ValueError, match="overlap_fraction"):
+            LFRParams(overlap_fraction=1.0)
+
+    def test_community_bounds_fit_internal_degree(self):
+        params = LFRParams(n=1000, avg_degree=16, max_degree=40, mu=0.1)
+        cmin, cmax = params.community_size_bounds()
+        # Must host (1-mu)*maxk internal neighbours.
+        assert cmin >= math.ceil(0.9 * 40) + 1
+        assert cmax >= cmin
+
+
+class TestPowerLawSolver:
+    @pytest.mark.parametrize("exponent", [1.0, 1.5, 2.0, 2.5, 3.0])
+    def test_solved_xmin_reproduces_mean(self, exponent):
+        """Analytical mean at the solved xmin equals the target."""
+        xmax = 100.0
+        target = 20.0
+        xmin = solve_power_law_xmin(target, exponent, xmax)
+        t = exponent
+        if abs(t - 1.0) < 1e-9:
+            mean = (xmax - xmin) / math.log(xmax / xmin)
+        elif abs(t - 2.0) < 1e-9:
+            norm = (xmin ** (1 - t) - xmax ** (1 - t)) / (t - 1)
+            mean = math.log(xmax / xmin) / norm
+        else:
+            norm = (xmin ** (1 - t) - xmax ** (1 - t)) / (t - 1)
+            mean = ((xmax ** (2 - t) - xmin ** (2 - t)) / (2 - t)) / norm
+        assert mean == pytest.approx(target, rel=1e-5)
+
+    def test_rejects_unreachable_mean(self):
+        with pytest.raises(ValueError):
+            solve_power_law_xmin(100.0, 2.0, 50.0)
+
+
+class TestGenerateLFR:
+    @pytest.fixture(scope="class")
+    def lfr(self):
+        return generate_lfr(
+            LFRParams(n=400, avg_degree=12, max_degree=30, mu=0.1,
+                      overlap_fraction=0.1, overlap_membership=2),
+            seed=7,
+        )
+
+    def test_vertex_count(self, lfr):
+        assert lfr.graph.num_vertices == 400
+
+    def test_graph_invariants(self, lfr):
+        lfr.graph.check_invariants()
+
+    def test_average_degree_near_target(self, lfr):
+        assert abs(lfr.graph.average_degree() - 12) < 2.0
+
+    def test_max_degree_respected(self, lfr):
+        assert lfr.graph.max_degree() <= 30
+
+    def test_overlap_count_exact(self, lfr):
+        assert len(lfr.overlapping_vertices) == 40
+
+    def test_overlapping_vertices_have_om_memberships(self, lfr):
+        for v in lfr.overlapping_vertices:
+            assert len(lfr.memberships[v]) == 2
+
+    def test_non_overlapping_have_one_membership(self, lfr):
+        for v in range(400):
+            if v not in lfr.overlapping_vertices:
+                assert len(lfr.memberships[v]) == 1
+
+    def test_memberships_distinct(self, lfr):
+        for v, comms in lfr.memberships.items():
+            assert len(comms) == len(set(comms))
+
+    def test_every_vertex_in_its_communities(self, lfr):
+        for v, comms in lfr.memberships.items():
+            for c in comms:
+                assert v in lfr.communities[c] or not lfr.communities[c]
+
+    def test_community_sizes_within_bounds(self, lfr):
+        cmin, cmax = lfr.params.community_size_bounds()
+        for community in lfr.communities:
+            assert cmin <= len(community) <= cmax
+
+    def test_total_memberships(self, lfr):
+        total = sum(len(c) for c in lfr.communities)
+        assert total == lfr.params.total_memberships
+
+    def test_empirical_mixing_near_mu(self, lfr):
+        """Realised mixing within a loose tolerance of the target µ."""
+        assert abs(lfr.empirical_mu() - 0.1) < 0.08
+
+    def test_deterministic_per_seed(self):
+        params = LFRParams(n=200, avg_degree=8, max_degree=20)
+        a = generate_lfr(params, seed=3)
+        b = generate_lfr(params, seed=3)
+        assert a.graph == b.graph
+        assert a.memberships == b.memberships
+
+    def test_seed_changes_output(self):
+        params = LFRParams(n=200, avg_degree=8, max_degree=20)
+        assert generate_lfr(params, seed=3).graph != generate_lfr(params, seed=4).graph
+
+    def test_om_three(self):
+        lfr = generate_lfr(
+            LFRParams(n=300, avg_degree=10, max_degree=24,
+                      overlap_fraction=0.1, overlap_membership=3),
+            seed=9,
+        )
+        assert all(len(lfr.memberships[v]) == 3 for v in lfr.overlapping_vertices)
+
+    def test_higher_mu_raises_empirical_mixing(self):
+        low = generate_lfr(
+            LFRParams(n=300, avg_degree=10, max_degree=24, mu=0.1), seed=2
+        )
+        high = generate_lfr(
+            LFRParams(n=300, avg_degree=10, max_degree=24, mu=0.3), seed=2
+        )
+        assert high.empirical_mu() > low.empirical_mu()
+
+    def test_zero_overlap(self):
+        lfr = generate_lfr(
+            LFRParams(n=200, avg_degree=8, max_degree=20, overlap_fraction=0.0),
+            seed=1,
+        )
+        assert len(lfr.overlapping_vertices) == 0

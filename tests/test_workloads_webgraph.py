@@ -1,0 +1,81 @@
+"""Tests for the synthetic web-graph substitute (Table II shape)."""
+
+import pytest
+
+from repro.workloads.webgraph import (
+    WebGraphParams,
+    generate_webgraph,
+    webgraph_statistics,
+)
+
+
+@pytest.fixture(scope="module")
+def result():
+    return generate_webgraph(WebGraphParams(n=3000, avg_out_degree=10), seed=1)
+
+
+class TestGeneration:
+    def test_vertex_count(self, result):
+        assert result.graph.num_vertices == 3000
+
+    def test_graph_invariants(self, result):
+        result.graph.check_invariants()
+
+    def test_no_self_loops_in_directed_counts(self, result):
+        # every directed edge was counted in both in and out tallies
+        assert sum(result.out_degrees.values()) == result.num_directed_edges
+        assert sum(result.in_degrees.values()) == result.num_directed_edges
+
+    def test_binary_edges_at_most_directed(self, result):
+        assert result.graph.num_edges <= result.num_directed_edges
+
+    def test_avg_directed_degree_near_target(self, result):
+        avg = result.num_directed_edges / 3000
+        assert abs(avg - 10) < 2.5
+
+    def test_deterministic(self):
+        params = WebGraphParams(n=800, avg_out_degree=8)
+        a = generate_webgraph(params, seed=3)
+        b = generate_webgraph(params, seed=3)
+        assert a.graph == b.graph
+
+    def test_out_tail_heavier_than_in_tail(self, result):
+        """The paper's crawl has max out-degree >> max in-degree."""
+        assert max(result.out_degrees.values()) > max(result.in_degrees.values())
+
+    def test_degree_skew(self, result):
+        """Heavy-tailed: the max degree dwarfs the average."""
+        avg = result.num_directed_edges / 3000
+        assert max(result.out_degrees.values()) > 8 * avg
+
+
+class TestStatistics:
+    def test_rows_match_table_ii(self, result):
+        stats = dict(webgraph_statistics(result))
+        assert set(stats) == {
+            "# nodes",
+            "# edges",
+            "avg. degree",
+            "max in-degree",
+            "max out-degree",
+        }
+        assert stats["# nodes"] == 3000
+        assert stats["# edges"] == result.num_directed_edges
+        assert stats["avg. degree"] == pytest.approx(
+            result.num_directed_edges / 3000
+        )
+
+    def test_max_degrees_match_raw(self, result):
+        stats = dict(webgraph_statistics(result))
+        assert stats["max in-degree"] == max(result.in_degrees.values())
+        assert stats["max out-degree"] == max(result.out_degrees.values())
+
+
+class TestParams:
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ValueError):
+            WebGraphParams(max_out_fraction=0.0)
+
+    def test_rejects_negative_n(self):
+        with pytest.raises(ValueError):
+            WebGraphParams(n=-5)
