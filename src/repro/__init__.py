@@ -32,6 +32,8 @@ from repro.core import (
     extract_communities,
 )
 from repro.graph import (
+    CSRDelta,
+    CSRGraph,
     EditBatch,
     Graph,
     HashPartitioner,
@@ -59,6 +61,8 @@ __all__ = [
     "__version__",
     # graph substrate
     "Graph",
+    "CSRGraph",
+    "CSRDelta",
     "EditBatch",
     "apply_batch",
     "diff_graphs",

@@ -20,13 +20,12 @@ The plurality mode per listener is computed without Python loops:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Union
 
 import numpy as np
 
 from repro.baselines.slpa import _SEND, _TIE, DEFAULT_ITERATIONS, DEFAULT_THRESHOLD, SLPA
 from repro.core.communities import Cover
-from repro.core.fast import graph_to_csr
 from repro.core.randomness import (
     _C_SRC,
     _np_mix64,
@@ -34,17 +33,22 @@ from repro.core.randomness import (
     slot_hash_array,
 )
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.utils.validation import check_positive, check_probability, check_type
 
 __all__ = ["FastSLPA", "fast_slpa_detect"]
 
 
 class FastSLPA:
-    """Vectorised speaker-listener propagation over a static snapshot."""
+    """Vectorised speaker-listener propagation over a static snapshot.
+
+    Accepts either a mutable :class:`Graph` (snapshotted to a
+    :class:`CSRGraph`) or a ready-made :class:`CSRGraph`.
+    """
 
     def __init__(
         self,
-        graph: Graph,
+        graph: Union[Graph, CSRGraph],
         seed: int = 0,
         iterations: int = DEFAULT_ITERATIONS,
         threshold: float = DEFAULT_THRESHOLD,
@@ -57,8 +61,9 @@ class FastSLPA:
         self.seed = seed
         self.iterations = iterations
         self.threshold = threshold
-        self.indptr, self.indices = graph_to_csr(graph)
-        self.n = graph.num_vertices
+        self.csr = CSRGraph.coerce(graph)
+        self.indptr, self.indices = self.csr.indptr, self.csr.indices
+        self.n = self.csr.num_vertices
         degrees = np.diff(self.indptr)
         # Directed-edge arrays: listeners[e] receives from speakers[e].
         self.listeners = np.repeat(np.arange(self.n, dtype=np.int64), degrees)

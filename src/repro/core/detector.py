@@ -29,6 +29,7 @@ from repro.core.labels import LabelState
 from repro.core.postprocess import PostprocessResult, extract_communities
 from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch
 from repro.utils.validation import check_positive, check_type
 
@@ -50,9 +51,13 @@ class RSLPADetector:
         Randomness seed (counter-based; identical results per seed).
     iterations:
         The propagation horizon T (paper default 200 for rSLPA).
+    backend:
+        ``"auto"`` (CSR-vectorised when ids are contiguous), ``"fast"``
+        (force the CSR substrate) or ``"reference"`` (pure-Python
+        propagator).  Both backends are bit-identical per seed.
     engine:
-        ``"auto"`` (vectorised when ids are contiguous), ``"fast"`` or
-        ``"reference"``.
+        Deprecated alias of ``backend`` (kept for callers of the original
+        API); when both are given they must agree.
     tau_step:
         Grid step of the τ1 entropy sweep (paper suggests 0.001).
     """
@@ -62,21 +67,30 @@ class RSLPADetector:
         graph: Graph,
         seed: int = 0,
         iterations: int = DEFAULT_ITERATIONS,
-        engine: str = "auto",
+        engine: Optional[str] = None,
         tau_step: float = 0.001,
+        backend: Optional[str] = None,
     ):
         check_type(seed, int, "seed")
         check_type(iterations, int, "iterations")
         check_positive(iterations, "iterations")
         check_positive(tau_step, "tau_step")
-        if engine not in ("auto", "fast", "reference"):
+        if engine is not None and backend is not None and engine != backend:
             raise ValueError(
-                f"engine must be 'auto', 'fast' or 'reference', got {engine!r}"
+                f"conflicting backend selection: engine={engine!r}, "
+                f"backend={backend!r}"
+            )
+        resolved = backend if backend is not None else (engine or "auto")
+        if resolved not in ("auto", "fast", "reference"):
+            raise ValueError(
+                "backend (or its legacy alias engine) must be 'auto', 'fast' "
+                f"or 'reference', got {resolved!r}"
             )
         self.graph = graph.copy()
         self.seed = seed
         self.iterations = iterations
-        self.engine = engine
+        self.backend = resolved
+        self.engine = resolved  # legacy name
         self.tau_step = tau_step
         self._propagator: Optional[ReferencePropagator] = None
         self._corrector: Optional[CorrectionPropagator] = None
@@ -95,17 +109,19 @@ class RSLPADetector:
 
     def fit(self) -> "RSLPADetector":
         """Run Algorithm 1 from scratch on the current graph."""
-        use_fast = self.engine == "fast" or (
-            self.engine == "auto" and self._ids_contiguous()
+        use_fast = self.backend == "fast" or (
+            self.backend == "auto" and self._ids_contiguous()
         )
         if use_fast and not self._ids_contiguous():
             raise ValueError(
-                "engine='fast' requires contiguous vertex ids 0..n-1; "
-                "use repro.graph.relabel_to_integers or engine='reference'"
+                "backend='fast' requires contiguous vertex ids 0..n-1; "
+                "use repro.graph.relabel_to_integers or backend='reference'"
             )
         propagator = ReferencePropagator(self.graph, seed=self.seed)
         if use_fast and self.graph.num_vertices > 0:
-            fast = FastPropagator(self.graph, seed=self.seed)
+            # Route through the shared array substrate: one CSR snapshot
+            # feeds the vectorised engine.
+            fast = FastPropagator(CSRGraph.from_graph(self.graph), seed=self.seed)
             fast.propagate(self.iterations)
             propagator.state = fast.to_label_state()
         else:
@@ -173,6 +189,7 @@ def detect_communities(
     seed: int = 0,
     iterations: int = DEFAULT_ITERATIONS,
     tau_step: float = 0.001,
+    backend: str = "auto",
 ) -> Cover:
     """One-shot static detection: fit rSLPA and extract the cover.
 
@@ -182,6 +199,6 @@ def detect_communities(
     True
     """
     detector = RSLPADetector(
-        graph, seed=seed, iterations=iterations, tau_step=tau_step
+        graph, seed=seed, iterations=iterations, tau_step=tau_step, backend=backend
     )
     return detector.fit().communities()

@@ -14,7 +14,7 @@ can take over after a fast static run.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple, Union
 
 import numpy as np
 
@@ -25,6 +25,7 @@ from repro.core.randomness import (
     slot_hash_array,
 )
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph, build_csr_arrays
 from repro.utils.validation import check_non_negative, check_type
 
 __all__ = ["FastPropagator", "graph_to_csr"]
@@ -33,40 +34,27 @@ __all__ = ["FastPropagator", "graph_to_csr"]
 def graph_to_csr(graph: Graph) -> Tuple[np.ndarray, np.ndarray]:
     """Sorted-adjacency CSR of a graph with contiguous ids ``0..n-1``.
 
-    Returns ``(indptr, indices)`` with ``indices[indptr[v]:indptr[v+1]]``
-    being the sorted neighbours of ``v``.
+    Kept as a compatibility alias; the single builder lives in
+    :func:`repro.graph.csr.build_csr_arrays`.
     """
-    n = graph.num_vertices
-    vertex_list = sorted(graph.vertices())
-    if vertex_list != list(range(n)):
-        raise ValueError(
-            "FastPropagator requires contiguous vertex ids 0..n-1; "
-            "use repro.graph.io.relabel_to_integers first"
-        )
-    indptr = np.zeros(n + 1, dtype=np.int64)
-    for v in range(n):
-        indptr[v + 1] = indptr[v] + graph.degree(v)
-    indices = np.empty(int(indptr[-1]), dtype=np.int64)
-    for v in range(n):
-        nbrs = sorted(graph.neighbors_view(v))
-        indices[indptr[v] : indptr[v + 1]] = nbrs
-    return indptr, indices
+    return build_csr_arrays(graph)
 
 
 class FastPropagator:
     """Vectorised Algorithm 1 over a static graph snapshot.
 
-    Unlike the reference engine this one snapshots the adjacency at
-    construction; rebuild (or export to the reference engine) after graph
-    mutations.
+    Accepts either a mutable :class:`Graph` (snapshotted to a
+    :class:`CSRGraph` at construction) or a ready-made :class:`CSRGraph`.
+    Rebuild (or export to the reference engine) after graph mutations.
     """
 
-    def __init__(self, graph: Graph, seed: int = 0):
+    def __init__(self, graph: Union[Graph, CSRGraph], seed: int = 0):
         check_type(seed, int, "seed")
         self.graph = graph
         self.seed = seed
-        self.indptr, self.indices = graph_to_csr(graph)
-        self.n = graph.num_vertices
+        self.csr = CSRGraph.coerce(graph)
+        self.indptr, self.indices = self.csr.indptr, self.csr.indices
+        self.n = self.csr.num_vertices
         self.degrees = np.diff(self.indptr)
         self._vids = np.arange(self.n, dtype=np.int64)
         init = self._vids.copy()

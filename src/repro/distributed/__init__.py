@@ -1,4 +1,24 @@
-"""Distributed substrate: BSP engine, vertex programs, comm accounting."""
+"""Distributed substrate: BSP engine, vertex programs, comm accounting.
+
+Worker shards come in **two storage backends** behind one API, mirroring
+the library's two-representation architecture (see :mod:`repro.graph`):
+
+* dict-backed :class:`WorkerShard` (:func:`build_shards`) — sorted
+  neighbour lists sliced from the mutable :class:`~repro.graph.Graph`;
+  works for arbitrary vertex ids and is the default.
+* CSR-backed :class:`CSRShard` (:func:`build_csr_shards`) — local
+  ``indptr``/``indices`` arrays sliced straight out of an immutable
+  :class:`~repro.graph.CSRGraph` snapshot by
+  :func:`repro.graph.partition.slice_csr`, so the BSP programs scan arrays
+  instead of dict sets.
+
+Every program in :mod:`repro.distributed.programs` is backend-agnostic and
+bit-identical across backends (the shard API guarantees ascending neighbour
+sequences either way); the high-level wrappers in
+:mod:`repro.distributed.cluster` select a backend via ``shard_backend=``.
+Both shard kinds are picklable, so the in-process :class:`BSPEngine` and the
+:class:`MultiprocessBSPEngine` accept either.
+"""
 
 from repro.distributed.cluster import (
     run_distributed_postprocess,
@@ -19,14 +39,21 @@ from repro.distributed.programs import (
     RSLPAPropagationProgram,
     SLPAPropagationProgram,
 )
-from repro.distributed.worker import WorkerShard, build_shards
+from repro.distributed.worker import (
+    CSRShard,
+    WorkerShard,
+    build_csr_shards,
+    build_shards,
+)
 
 __all__ = [
     "BSPEngine",
     "MessageContext",
     "WorkerProgram",
     "WorkerShard",
+    "CSRShard",
     "build_shards",
+    "build_csr_shards",
     "Message",
     "message_size_bytes",
     "payload_size_bytes",

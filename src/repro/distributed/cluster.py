@@ -29,8 +29,9 @@ from repro.distributed.programs import (
     RSLPAPropagationProgram,
     SLPAPropagationProgram,
 )
-from repro.distributed.worker import build_shards
+from repro.distributed.worker import build_csr_shards, build_shards
 from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch, apply_batch
 from repro.graph.partition import HashPartitioner, Partitioner
 
@@ -48,20 +49,39 @@ def _resolve_partitioner(
     return partitioner or HashPartitioner(num_workers)
 
 
+def _build_backend_shards(graph, part: Partitioner, shard_backend: str):
+    """Build worker shards on the requested local-adjacency backend.
+
+    ``"dict"`` walks the mutable :class:`Graph`; ``"csr"`` slices a
+    :class:`CSRGraph` snapshot (built on demand when ``graph`` is a dict
+    graph) without round-tripping through per-vertex Python structures.
+    A :class:`CSRGraph` input always takes the CSR path.
+    """
+    if shard_backend not in ("dict", "csr"):
+        raise ValueError(
+            f"shard_backend must be 'dict' or 'csr', got {shard_backend!r}"
+        )
+    if isinstance(graph, CSRGraph) or shard_backend == "csr":
+        return build_csr_shards(graph, part)
+    return build_shards(graph, part)
+
+
 def run_distributed_rslpa(
     graph: Graph,
     seed: int = 0,
     iterations: int = 200,
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
+    shard_backend: str = "dict",
 ) -> Tuple[LabelState, CommStats]:
     """Algorithm 1 on the simulated cluster; returns (state, comm stats).
 
     The returned state is fully recorded (provenance + reverse records) and
-    bit-identical to a sequential :class:`ReferencePropagator` run.
+    bit-identical to a sequential :class:`ReferencePropagator` run —
+    on either shard backend (``graph`` may also be a :class:`CSRGraph`).
     """
     part = _resolve_partitioner(partitioner, num_workers)
-    shards = build_shards(graph, part)
+    shards = _build_backend_shards(graph, part, shard_backend)
     engine = BSPEngine(shards, part)
     programs = [
         RSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
@@ -94,10 +114,11 @@ def run_distributed_slpa(
     iterations: int = 100,
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
+    shard_backend: str = "dict",
 ) -> Tuple[Dict[int, List[int]], CommStats]:
     """The SLPA baseline on the simulated cluster; returns (memories, stats)."""
     part = _resolve_partitioner(partitioner, num_workers)
-    shards = build_shards(graph, part)
+    shards = _build_backend_shards(graph, part, shard_backend)
     engine = BSPEngine(shards, part)
     programs = [
         SLPAPropagationProgram(shard, seed=seed, iterations=iterations)
@@ -118,6 +139,7 @@ def run_distributed_update(
     batch_epoch: int = 1,
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
+    shard_backend: str = "dict",
 ) -> Tuple[Graph, LabelState, CommStats]:
     """Algorithm 2 on the simulated cluster.
 
@@ -125,8 +147,25 @@ def run_distributed_update(
     the repaired state (same object, mutated), and communication stats.
     ``batch_epoch`` must count batches the same way the sequential
     :class:`CorrectionPropagator` does for the randomness to line up.
+    ``shard_backend="csr"`` requires the post-batch graph to keep
+    contiguous ids ``0..n-1``.
     """
+    if shard_backend not in ("dict", "csr"):
+        raise ValueError(
+            f"shard_backend must be 'dict' or 'csr', got {shard_backend!r}"
+        )
     batch.validate_against(graph)
+    if shard_backend == "csr":
+        # Fail before mutating anything: apply_batch edits the caller's
+        # graph (and the loop below pads the caller's state) in place, and
+        # the CSR slicer would reject non-contiguous ids only afterwards.
+        ids = set(graph.vertices()) | set(batch.touched_vertices())
+        if ids and (min(ids) < 0 or max(ids) + 1 != len(ids)):
+            raise ValueError(
+                "shard_backend='csr' requires the post-batch graph to keep "
+                "contiguous vertex ids 0..n-1; use shard_backend='dict' or "
+                "repro.graph.relabel_to_integers"
+            )
     new_graph = apply_batch(graph, batch)
     added = batch.added_neighbors()
     removed = batch.removed_neighbors()
@@ -140,7 +179,7 @@ def run_distributed_update(
                 state.epochs[v].append(0)
 
     part = _resolve_partitioner(partitioner, num_workers)
-    shards = build_shards(new_graph, part)
+    shards = _build_backend_shards(new_graph, part, shard_backend)
     engine = BSPEngine(shards, part)
     programs = []
     for shard in shards:

@@ -41,10 +41,11 @@ class HashToMinProgram(WorkerProgram):
 
     def __init__(self, shard: WorkerShard):
         super().__init__(shard)
+        # int() keeps cluster members plain ints on the CSR shard backend.
         self.clusters: Dict[int, Set[int]] = {
-            v: {v, *shard.neighbors(v)} for v in shard.vertices
+            v: {v, *(int(u) for u in shard.neighbors(v))} for v in shard.vertices
         }
-        self._dirty: Set[int] = {v for v in shard.vertices if shard.neighbors(v)}
+        self._dirty: Set[int] = {v for v in shard.vertices if shard.degree(v) > 0}
 
     def _emit(self, ctx: MessageContext) -> None:
         for v in sorted(self._dirty):

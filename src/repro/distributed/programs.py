@@ -54,10 +54,12 @@ class RSLPAPropagationProgram(WorkerProgram):
     def _send_requests(self, ctx: MessageContext, t: int) -> None:
         for v in sorted(self.shard.vertices):
             nbrs = self.shard.neighbors(v)
-            if not nbrs:
+            if len(nbrs) == 0:
                 continue  # fallback slots are padded at collect()
             h = slot_hash(self.seed, v, t, 0)
-            src = nbrs[draw_src_index(h, len(nbrs))]
+            # int() keeps hashes and messages identical on the CSR backend,
+            # whose neighbour sequences are numpy arrays.
+            src = int(nbrs[draw_src_index(h, len(nbrs))])
             pos = draw_position(h, t)
             ctx.send(src, ("req", pos, v, t))
 
@@ -116,6 +118,7 @@ class SLPAPropagationProgram(WorkerProgram):
         for speaker in sorted(self.shard.vertices):
             memory = self.memories[speaker]
             for listener in self.shard.neighbors(speaker):
+                listener = int(listener)  # CSR backend yields numpy ints
                 h = slot_hash(
                     self.seed ^ _SEND, speaker * 0x1F1F1F1F + listener, t, 0
                 )
@@ -256,7 +259,7 @@ class CorrectionPropagationProgram(WorkerProgram):
         self.epochs[v][t] = epoch
         self.touched_slots.add((v, t))
         self.last_seen.pop((v, t), None)  # new provenance: reset staleness gate
-        if not candidates:
+        if len(candidates) == 0:
             old_label = self.labels[v][t]
             self.labels[v][t] = self.labels[v][0]
             self.srcs[v][t] = NO_SOURCE
@@ -266,7 +269,7 @@ class CorrectionPropagationProgram(WorkerProgram):
                 self._broadcast_correction(ctx, v, t)
             return
         idx, pos = repick_draw(self.seed, v, t, epoch, len(candidates))
-        src = candidates[idx]
+        src = int(candidates[idx])
         self.srcs[v][t] = src
         self.poss[v][t] = pos
         if self.shard.owns(src):

@@ -5,16 +5,31 @@ outgoing half of every incident edge, as in an edge-cut partitioning — each
 worker can enumerate its vertices' neighbours locally but must message the
 neighbour's owner to touch its state, exactly the Spark/Pregel model the
 paper runs on).
+
+Two storage backends share the same shard API:
+
+* :class:`WorkerShard` — dict of sorted neighbour lists, built from the
+  mutable :class:`~repro.graph.adjacency.Graph` (works for arbitrary ids);
+* :class:`CSRShard` — local ``indptr``/``indices`` arrays sliced straight
+  out of a :class:`~repro.graph.csr.CSRGraph` by
+  :func:`repro.graph.partition.slice_csr`, so BSP programs scan arrays
+  instead of dict sets.
+
+Both are picklable and yield identical neighbour *sequences* (ascending),
+so every program produces bit-identical results on either backend.
 """
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, List
+from typing import Dict, FrozenSet, List, Sequence, Union
+
+import numpy as np
 
 from repro.graph.adjacency import Graph
-from repro.graph.partition import Partitioner
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import Partitioner, slice_csr
 
-__all__ = ["WorkerShard", "build_shards"]
+__all__ = ["WorkerShard", "CSRShard", "build_shards", "build_csr_shards"]
 
 
 class WorkerShard:
@@ -30,8 +45,8 @@ class WorkerShard:
     def degree(self, v: int) -> int:
         return len(self.adjacency[v])
 
-    def neighbors(self, v: int) -> List[int]:
-        """Sorted neighbour list (do not mutate)."""
+    def neighbors(self, v: int) -> Sequence[int]:
+        """Ascending neighbour sequence (do not mutate)."""
         return self.adjacency[v]
 
     def owns(self, v: int) -> bool:
@@ -46,11 +61,48 @@ class WorkerShard:
         return sum(len(nbrs) for nbrs in self.adjacency.values())
 
     def __repr__(self) -> str:
-        return f"WorkerShard(id={self.worker_id}, |V|={self.num_vertices})"
+        return f"{type(self).__name__}(id={self.worker_id}, |V|={self.num_vertices})"
+
+
+class CSRShard(WorkerShard):
+    """A worker shard whose local adjacency is a CSR array pair.
+
+    ``local_ids[r]`` owns row ``r`` of ``(indptr, indices)``; ``indices``
+    holds *global* neighbour ids, ascending within each row, exactly like
+    the dict backend's sorted lists.
+    """
+
+    __slots__ = ("local_ids", "indptr", "indices", "_row_of")
+
+    def __init__(
+        self,
+        worker_id: int,
+        local_ids: np.ndarray,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+    ):
+        ids = [int(v) for v in local_ids]
+        super().__init__(worker_id, frozenset(ids), {})
+        self.local_ids = np.asarray(local_ids, dtype=np.int64)
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.indices = np.asarray(indices, dtype=np.int64)
+        self._row_of = {v: r for r, v in enumerate(ids)}
+
+    def degree(self, v: int) -> int:
+        r = self._row_of[v]
+        return int(self.indptr[r + 1] - self.indptr[r])
+
+    def neighbors(self, v: int) -> np.ndarray:
+        """Ascending neighbour array (a read-only view into the shard CSR)."""
+        r = self._row_of[v]
+        return self.indices[self.indptr[r] : self.indptr[r + 1]]
+
+    def local_edges(self) -> int:
+        return len(self.indices)
 
 
 def build_shards(graph: Graph, partitioner: Partitioner) -> List[WorkerShard]:
-    """Partition a graph into worker shards (sorted adjacency per vertex)."""
+    """Partition a graph into dict-backed shards (sorted adjacency lists)."""
     groups = partitioner.partition(graph.vertices())
     shards: List[WorkerShard] = []
     for worker_id in range(partitioner.num_partitions):
@@ -60,3 +112,20 @@ def build_shards(graph: Graph, partitioner: Partitioner) -> List[WorkerShard]:
             WorkerShard(worker_id, frozenset(local), adjacency)
         )
     return shards
+
+
+def build_csr_shards(
+    graph: Union[Graph, CSRGraph], partitioner: Partitioner
+) -> List[CSRShard]:
+    """Partition a graph into CSR-backed shards (array local adjacency).
+
+    Accepts a ready :class:`CSRGraph` snapshot or a mutable :class:`Graph`
+    (snapshotted first; requires contiguous ids ``0..n-1``).
+    """
+    csr = CSRGraph.coerce(graph)
+    return [
+        CSRShard(worker_id, local_ids, indptr, indices)
+        for worker_id, (local_ids, indptr, indices) in enumerate(
+            slice_csr(csr, partitioner)
+        )
+    ]

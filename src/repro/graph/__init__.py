@@ -1,6 +1,31 @@
-"""Graph substrate: dynamic binary graphs, edits, partitioning, generators, I/O."""
+"""Graph substrate: dynamic binary graphs, CSR snapshots, edits, partitioning.
+
+The library deliberately keeps **two graph representations** with distinct
+roles (the two-representation architecture):
+
+* :class:`Graph` (``repro.graph.adjacency``) — *mutable* dict-of-set
+  adjacency.  This is the substrate for **edits**: O(1) edge insert/delete/
+  lookup, vertex insertion/deletion, the dynamic workloads and the
+  incremental Correction Propagation all mutate it freely.  Vertex ids are
+  arbitrary integers.
+* :class:`CSRGraph` (``repro.graph.csr``) — an *immutable* compressed
+  sparse row **snapshot** (sorted ``indptr``/``indices`` arrays over
+  contiguous ids ``0..n-1``).  This is the substrate for **compute**: the
+  vectorised engines (``FastPropagator``, ``FastSLPA``), distributed shard
+  slicing (:func:`slice_csr`) and the benchmarks all scan its arrays.
+  Construction is vectorised, and :meth:`CSRGraph.with_edits` (or a
+  :class:`CSRDelta` overlay) re-snapshots after an edit batch in O(m)
+  array ops.
+
+Typical flow: mutate a :class:`Graph` (or stage a :class:`CSRDelta`),
+snapshot with :meth:`CSRGraph.from_graph` / :meth:`CSRDelta.snapshot`, and
+hand the snapshot to whichever engine or shard slicer needs array speed.
+Both representations describe the same binary graph and round-trip
+losslessly (``CSRGraph.from_graph(g).to_graph() == g``).
+"""
 
 from repro.graph.adjacency import Graph, normalize_edge
+from repro.graph.csr import CSRDelta, CSRGraph, build_csr_arrays
 from repro.graph.edits import EditBatch, apply_batch, diff_graphs
 from repro.graph.generators import (
     chung_lu,
@@ -23,6 +48,7 @@ from repro.graph.partition import (
     HashPartitioner,
     Partitioner,
     partition_counts,
+    slice_csr,
 )
 from repro.graph.transform import (
     aggregate_weights,
@@ -34,6 +60,9 @@ from repro.graph.transform import (
 __all__ = [
     "Graph",
     "normalize_edge",
+    "CSRGraph",
+    "CSRDelta",
+    "build_csr_arrays",
     "EditBatch",
     "apply_batch",
     "diff_graphs",
@@ -47,6 +76,7 @@ __all__ = [
     "HashPartitioner",
     "ContiguousPartitioner",
     "partition_counts",
+    "slice_csr",
     "read_edge_list",
     "write_edge_list",
     "parse_edge_lines",

@@ -5,16 +5,32 @@ notion of "which worker owns which vertex".  Partitioners are pure functions
 of the vertex id, so ownership stays stable as the graph mutates and every
 process in the multiprocess backend can compute it locally without
 coordination.
+
+:func:`slice_csr` carves a :class:`repro.graph.csr.CSRGraph` into per-worker
+CSR shard arrays directly (vectorised multi-slice gathers, no round trip
+through the mutable :class:`~repro.graph.adjacency.Graph`), which is how the
+CSR-backed worker shards are built.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
+
+import numpy as np
 
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive, check_type
 
-__all__ = ["Partitioner", "HashPartitioner", "ContiguousPartitioner", "partition_counts"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (csr imports edits)
+    from repro.graph.csr import CSRGraph
+
+__all__ = [
+    "Partitioner",
+    "HashPartitioner",
+    "ContiguousPartitioner",
+    "partition_counts",
+    "slice_csr",
+]
 
 
 class Partitioner:
@@ -27,6 +43,18 @@ class Partitioner:
 
     def owner(self, vertex: int) -> int:
         raise NotImplementedError
+
+    def owners_array(self, vertices: np.ndarray) -> np.ndarray:
+        """Owner of every id in ``vertices`` as an int64 array.
+
+        The base implementation loops over :meth:`owner`; subclasses with a
+        closed-form assignment override it with pure array ops.
+        """
+        return np.fromiter(
+            (self.owner(int(v)) for v in vertices),
+            dtype=np.int64,
+            count=len(vertices),
+        )
 
     def partition(self, vertices: Iterable[int]) -> Dict[int, List[int]]:
         """Group ``vertices`` by owner; every partition index is present."""
@@ -77,6 +105,12 @@ class ContiguousPartitioner(Partitioner):
             return derive_seed("range-overflow", vertex) % self.num_partitions
         return min(vertex // self._block, self.num_partitions - 1)
 
+    def owners_array(self, vertices: np.ndarray) -> np.ndarray:
+        in_range = (vertices >= 0) & (vertices < self.num_vertices)
+        if in_range.all():
+            return np.minimum(vertices // self._block, self.num_partitions - 1)
+        return super().owners_array(vertices)
+
 
 def partition_counts(partitioner: Partitioner, vertices: Iterable[int]) -> List[int]:
     """Return the number of vertices owned by each partition."""
@@ -84,3 +118,40 @@ def partition_counts(partitioner: Partitioner, vertices: Iterable[int]) -> List[
     for vertex in vertices:
         counts[partitioner.owner(vertex)] += 1
     return counts
+
+
+def _gather_rows(
+    indptr: np.ndarray, indices: np.ndarray, rows: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Concatenate the CSR rows ``rows`` into a local (indptr, indices) pair."""
+    lens = (indptr[rows + 1] - indptr[rows]) if len(rows) else np.zeros(0, np.int64)
+    local_indptr = np.zeros(len(rows) + 1, dtype=np.int64)
+    np.cumsum(lens, out=local_indptr[1:])
+    total = int(local_indptr[-1])
+    if total == 0:
+        return local_indptr, np.empty(0, dtype=np.int64)
+    starts = indptr[rows]
+    # Standard multi-slice gather: offsets of each row start, then a ramp.
+    gather = np.repeat(starts - local_indptr[:-1], lens) + np.arange(total)
+    return local_indptr, indices[gather]
+
+
+def slice_csr(
+    csr: "CSRGraph", partitioner: Partitioner
+) -> List[Tuple[np.ndarray, np.ndarray, np.ndarray]]:
+    """Slice a CSR snapshot into per-worker CSR shard arrays.
+
+    Returns one ``(local_ids, indptr, indices)`` triple per partition:
+    ``local_ids`` holds the owned vertex ids ascending, and row ``r`` of the
+    local CSR pair is the (global-id) neighbour list of ``local_ids[r]``.
+    Pure array ops — the snapshot is never converted back to a dict graph.
+    """
+    owners = partitioner.owners_array(
+        np.arange(csr.num_vertices, dtype=np.int64)
+    )
+    shards = []
+    for p in range(partitioner.num_partitions):
+        local_ids = np.flatnonzero(owners == p).astype(np.int64)
+        local_indptr, local_indices = _gather_rows(csr.indptr, csr.indices, local_ids)
+        shards.append((local_ids, local_indptr, local_indices))
+    return shards

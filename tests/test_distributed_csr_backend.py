@@ -1,0 +1,154 @@
+"""Dict-backed vs CSR-backed worker shards: identical results, both engines.
+
+The acceptance oracle for the shared CSR substrate at the distributed
+layer: BSP runs over :class:`CSRShard` arrays must be bit-identical to runs
+over the dict-of-list shards, on the in-process engine and on the true
+multiprocess backend, for a realistic LFR workload.
+"""
+
+from functools import partial
+
+import pytest
+
+from repro.core.rslpa import ReferencePropagator
+from repro.distributed.cluster import run_distributed_rslpa, run_distributed_slpa
+from repro.distributed.multiprocess import MultiprocessBSPEngine
+from repro.distributed.programs import RSLPAPropagationProgram, SLPAPropagationProgram
+from repro.distributed.worker import CSRShard, build_csr_shards, build_shards
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import ring_of_cliques
+from repro.graph.partition import ContiguousPartitioner, HashPartitioner
+
+
+class TestShardParity:
+    def test_csr_shards_expose_same_neighbour_sequences(self, small_lfr):
+        graph = small_lfr.graph
+        part = HashPartitioner(4)
+        dict_shards = build_shards(graph, part)
+        csr_shards = build_csr_shards(graph, part)
+        for dshard, cshard in zip(dict_shards, csr_shards):
+            assert isinstance(cshard, CSRShard)
+            assert dshard.vertices == cshard.vertices
+            assert dshard.local_edges() == cshard.local_edges()
+            for v in dshard.vertices:
+                assert cshard.neighbors(v).tolist() == list(dshard.neighbors(v))
+                assert cshard.degree(v) == dshard.degree(v)
+
+    def test_csr_shards_accept_prebuilt_snapshot(self, cliques_ring):
+        part = ContiguousPartitioner(3, cliques_ring.num_vertices)
+        from_graph = build_csr_shards(cliques_ring, part)
+        from_snapshot = build_csr_shards(CSRGraph.from_graph(cliques_ring), part)
+        for a, b in zip(from_graph, from_snapshot):
+            assert a.vertices == b.vertices
+            assert a.indices.tolist() == b.indices.tolist()
+
+
+class TestInProcessEquality:
+    """In-process BSP: dict and CSR shards agree on an LFR workload."""
+
+    def test_rslpa_identical_on_lfr(self, small_lfr):
+        graph = small_lfr.graph
+        dict_state, dict_stats = run_distributed_rslpa(
+            graph.copy(), seed=7, iterations=20, num_workers=4
+        )
+        csr_state, csr_stats = run_distributed_rslpa(
+            graph.copy(), seed=7, iterations=20, num_workers=4,
+            shard_backend="csr",
+        )
+        assert csr_state.labels == dict_state.labels
+        assert csr_state.srcs == dict_state.srcs
+        assert csr_state.poss == dict_state.poss
+        assert csr_state.receivers == dict_state.receivers
+        assert csr_stats.total_messages == dict_stats.total_messages
+
+    def test_rslpa_csr_matches_sequential_reference(self, small_lfr):
+        graph = small_lfr.graph
+        state, _ = run_distributed_rslpa(
+            graph.copy(), seed=7, iterations=20, num_workers=4,
+            shard_backend="csr",
+        )
+        ref = ReferencePropagator(graph.copy(), seed=7)
+        ref.propagate(20)
+        assert state.labels == ref.state.labels
+
+    def test_slpa_identical_on_lfr(self, small_lfr):
+        graph = small_lfr.graph
+        dict_mem, _ = run_distributed_slpa(
+            graph.copy(), seed=11, iterations=12, num_workers=4
+        )
+        csr_mem, _ = run_distributed_slpa(
+            graph.copy(), seed=11, iterations=12, num_workers=4,
+            shard_backend="csr",
+        )
+        assert csr_mem == dict_mem
+
+    def test_results_are_plain_python_ints(self, small_lfr):
+        """CSR arrays must not leak numpy scalars into collected state."""
+        state, _ = run_distributed_rslpa(
+            small_lfr.graph.copy(), seed=7, iterations=5, num_workers=3,
+            shard_backend="csr",
+        )
+        sample = next(iter(state.labels))
+        assert all(type(x) is int for x in state.labels[sample])
+        assert all(type(x) is int for x in state.srcs[sample])
+
+    def test_invalid_backend_rejected(self, cliques_ring):
+        with pytest.raises(ValueError, match="shard_backend"):
+            run_distributed_rslpa(cliques_ring, shard_backend="arrow")
+
+    def test_invalid_backend_rejected_on_csr_input(self, cliques_ring):
+        with pytest.raises(ValueError, match="shard_backend"):
+            run_distributed_rslpa(
+                CSRGraph.from_graph(cliques_ring), shard_backend="arrow"
+            )
+
+
+class TestUpdateAtomicity:
+    """A rejected CSR update must leave the caller's graph/state untouched."""
+
+    def test_non_contiguous_batch_fails_before_mutation(self):
+        from repro.distributed.cluster import run_distributed_update
+        from repro.graph.adjacency import Graph
+        from repro.graph.edits import EditBatch
+
+        graph = Graph.from_edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+        state, _ = run_distributed_rslpa(graph.copy(), seed=1, iterations=6)
+        batch = EditBatch.build(insertions=[(0, 100)])
+        edges_before = set(graph.edges())
+        vertices_before = sorted(graph.vertices())
+        with pytest.raises(ValueError, match="contiguous"):
+            run_distributed_update(
+                graph, state, batch, seed=1, shard_backend="csr"
+            )
+        assert set(graph.edges()) == edges_before
+        assert sorted(graph.vertices()) == vertices_before
+        assert not state.has_vertex(100)
+
+
+class TestMultiprocessEquality:
+    """The true-parallelism backend agrees across shard storages."""
+
+    def _run(self, shards, part, factory):
+        with MultiprocessBSPEngine(shards, part, factory) as engine:
+            engine.run()
+            results = engine.collect()
+        merged = {}
+        for result in results:
+            merged.update(result)
+        return merged
+
+    def test_rslpa_multiprocess_dict_vs_csr(self):
+        graph = ring_of_cliques(4, 5)
+        part = HashPartitioner(3)
+        factory = partial(RSLPAPropagationProgram, seed=5, iterations=12)
+        dict_merged = self._run(build_shards(graph, part), part, factory)
+        csr_merged = self._run(build_csr_shards(graph, part), part, factory)
+        assert csr_merged == dict_merged
+
+    def test_slpa_multiprocess_dict_vs_csr(self):
+        graph = ring_of_cliques(3, 5)
+        part = HashPartitioner(3)
+        factory = partial(SLPAPropagationProgram, seed=2, iterations=10)
+        dict_merged = self._run(build_shards(graph, part), part, factory)
+        csr_merged = self._run(build_csr_shards(graph, part), part, factory)
+        assert csr_merged == dict_merged
