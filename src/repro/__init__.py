@@ -20,8 +20,10 @@ paper-vs-measured record of every table and figure.
 
 from repro.baselines import SLPA, FastSLPA, fast_slpa_detect, lpa_detect, slpa_detect
 from repro.core import (
+    ArrayLabelState,
     CorrectionPropagator,
     Cover,
+    FastCorrectionPropagator,
     FastPropagator,
     LabelState,
     PostprocessResult,
@@ -78,8 +80,10 @@ __all__ = [
     "ReferencePropagator",
     "FastPropagator",
     "CorrectionPropagator",
+    "FastCorrectionPropagator",
     "UpdateReport",
     "LabelState",
+    "ArrayLabelState",
     "Cover",
     "PostprocessResult",
     "extract_communities",

@@ -29,6 +29,8 @@ from typing import List, Optional, Tuple
 
 from repro.core.detector import RSLPADetector
 from repro.core.incremental import CorrectionPropagator
+from repro.core.incremental_fast import FastCorrectionPropagator
+from repro.core.labels_array import ArrayLabelState
 from repro.core.postprocess import extract_communities
 from repro.core.rslpa import ReferencePropagator
 from repro.core.serialize import load_state, save_cover, save_state
@@ -97,11 +99,39 @@ def _cmd_detect(args, out) -> int:
 def _cmd_update(args, out) -> int:
     graph = read_edge_list(args.graph)
     state = load_state(args.state)
-    propagator = ReferencePropagator.from_state(graph, args.seed, state)
-    corrector = CorrectionPropagator(propagator)
-    corrector.batch_epoch = args.batch_epoch - 1
     batch = parse_edit_file(args.edits)
+    # Backend selection mirrors `detect`: the vectorised corrector needs
+    # contiguous ids (the array substrate's contract, for the graph AND for
+    # any vertices the batch creates); 'auto' checks and falls back, 'fast'
+    # insists, 'reference' always takes the dict engine.
+    ids_contiguous = sorted(graph.vertices()) == list(range(graph.num_vertices))
+    use_fast = args.backend == "fast" or (args.backend == "auto" and ids_contiguous)
+    if use_fast and not ids_contiguous:
+        raise ValueError(
+            "--backend fast requires contiguous vertex ids 0..n-1; "
+            "use --backend reference (or relabel the graph)"
+        )
+    corrector = None
+    if use_fast:
+        state.validate(graph)  # same guarantee from_state gives the reference path
+        corrector = FastCorrectionPropagator(
+            graph, ArrayLabelState.from_label_state(state), args.seed
+        )
+        if not corrector.accepts(batch):
+            if args.backend == "fast":
+                raise ValueError(
+                    "--backend fast cannot apply this batch: new vertex ids "
+                    "must extend the contiguous range (use --backend reference)"
+                )
+            corrector = None  # auto: fall back to the reference engine
+    if corrector is None:
+        propagator = ReferencePropagator.from_state(graph, args.seed, state)
+        corrector = CorrectionPropagator(propagator)
+        use_fast = False
+    corrector.batch_epoch = args.batch_epoch - 1
     report = corrector.apply_batch(batch)
+    if use_fast:
+        state = corrector.state.to_label_state()
     save_state(state, args.state)
     out.write(
         f"applied {batch.size} edits: {report.repicked} repicked, "
@@ -164,6 +194,14 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("edits", help="edit file: '+ u v' / '- u v' lines")
     update.add_argument("--seed", type=int, default=0,
                         help="must match the seed used at detect time")
+    update.add_argument(
+        "--backend",
+        choices=("auto", "reference", "fast"),
+        default="auto",
+        help="correction backend: 'fast' is the vectorised array corrector "
+        "(contiguous ids only), 'reference' the pure-Python one; both make "
+        "bit-identical repairs per seed",
+    )
     update.add_argument("--batch-epoch", type=int, default=1,
                         help="1 for the first update after detect, then 2, ...")
     update.add_argument("--tau-step", type=float, default=0.001)
@@ -183,7 +221,9 @@ def main(argv: Optional[List[str]] = None, out=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args, out)
-    except (ValueError, OSError) as exc:
+    except (ValueError, OSError, AssertionError) as exc:
+        # AssertionError: a loaded label state failed its invariant checks
+        # (corrupt or mismatched file) — an input error, not a crash.
         print(f"error: {exc}", file=sys.stderr)
         return 2
 

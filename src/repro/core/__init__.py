@@ -1,4 +1,25 @@
-"""Core rSLPA: label propagation, post-processing, incremental maintenance."""
+"""Core rSLPA: label propagation, post-processing, incremental maintenance.
+
+Engine matrix — every stage exists in a pure-Python reference form and an
+array-substrate fast form, bit-identical per seed:
+
+====================  =============================  ================================
+stage                 reference (dict/list state)    fast (numpy array state)
+====================  =============================  ================================
+static propagation    :class:`ReferencePropagator`   :class:`FastPropagator`
+label state           :class:`LabelState`            :class:`ArrayLabelState`
+incremental repair    :class:`CorrectionPropagator`  :class:`FastCorrectionPropagator`
+====================  =============================  ================================
+
+The fast column chains without leaving numpy: ``FastPropagator`` runs on a
+CSR snapshot, ``to_array_state()`` exports its ``(T+1, n)`` matrices as an
+:class:`ArrayLabelState` (reverse records built by one argsort), and
+``FastCorrectionPropagator`` repairs that state with O(η) vectorised passes
+per edit batch.  ``to_label_state()`` / ``ArrayLabelState.from_label_state``
+cross between the columns at any point; the reference column remains the
+semantic ground truth the tests compare against (and the only one that
+accepts non-contiguous vertex ids).
+"""
 
 from repro.core.communities import Cover
 from repro.core.complexity import (
@@ -12,7 +33,9 @@ from repro.core.complexity import (
 from repro.core.detector import RSLPADetector, detect_communities
 from repro.core.fast import FastPropagator, graph_to_csr
 from repro.core.incremental import CorrectionPropagator, UpdateReport
+from repro.core.incremental_fast import FastCorrectionPropagator
 from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.labels_array import ArrayLabelState
 from repro.core.postprocess import (
     PostprocessResult,
     edge_weights,
@@ -47,8 +70,10 @@ __all__ = [
     "FastPropagator",
     "graph_to_csr",
     "CorrectionPropagator",
+    "FastCorrectionPropagator",
     "UpdateReport",
     "LabelState",
+    "ArrayLabelState",
     "NO_SOURCE",
     "PostprocessResult",
     "extract_communities",

@@ -11,21 +11,29 @@ This is the public face of the library.  Typical use::
     report = detector.update(batch)     # Algorithm 2 (Correction Propagation)
     cover = detector.communities()      # re-extract on the maintained state
 
-``fit`` uses the vectorised engine when the graph has contiguous ids (and
-converts its output to a fully-recorded label state); ``update`` is always
-the event-driven pure-Python Correction Propagation.  Both paths yield
-bit-identical label states for the same seed.
+Backend matrix (``backend=`` / legacy ``engine=``): the fast path now runs
+the *whole* lifecycle on the array substrate — ``fit`` is the vectorised
+:class:`~repro.core.fast.FastPropagator`, its ``to_array_state()`` export
+hands the ``(T+1, n)`` matrices to the vectorised
+:class:`~repro.core.incremental_fast.FastCorrectionPropagator`, and every
+``update`` stays in numpy.  The reference path keeps the pure-Python
+:class:`~repro.core.rslpa.ReferencePropagator` +
+:class:`~repro.core.incremental.CorrectionPropagator` pair.  Both paths are
+bit-identical per seed for fit *and* for every subsequent update; ``auto``
+picks the fast path whenever the vertex ids are contiguous ``0..n-1``.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Union
 
 from repro.core.communities import Cover
 from repro.core.fast import FastPropagator
 from repro.core.incremental import CorrectionPropagator, UpdateReport
+from repro.core.incremental_fast import FastCorrectionPropagator
 from repro.core.labels import LabelState
+from repro.core.labels_array import ArrayLabelState
 from repro.core.postprocess import PostprocessResult, extract_communities
 from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
@@ -54,7 +62,9 @@ class RSLPADetector:
     backend:
         ``"auto"`` (CSR-vectorised when ids are contiguous), ``"fast"``
         (force the CSR substrate) or ``"reference"`` (pure-Python
-        propagator).  Both backends are bit-identical per seed.
+        propagator).  The choice covers the whole lifecycle — static fit
+        *and* incremental ``update`` — and both backends are bit-identical
+        per seed.
     engine:
         Deprecated alias of ``backend`` (kept for callers of the original
         API); when both are given they must agree.
@@ -92,16 +102,18 @@ class RSLPADetector:
         self.backend = resolved
         self.engine = resolved  # legacy name
         self.tau_step = tau_step
-        self._propagator: Optional[ReferencePropagator] = None
-        self._corrector: Optional[CorrectionPropagator] = None
+        self._corrector: Optional[
+            Union[CorrectionPropagator, FastCorrectionPropagator]
+        ] = None
         self._postprocess_cache: Optional[PostprocessResult] = None
+        self._label_state_cache: Optional[LabelState] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     @property
     def is_fitted(self) -> bool:
-        return self._propagator is not None
+        return self._corrector is not None
 
     def _ids_contiguous(self) -> bool:
         n = self.graph.num_vertices
@@ -117,33 +129,67 @@ class RSLPADetector:
                 "backend='fast' requires contiguous vertex ids 0..n-1; "
                 "use repro.graph.relabel_to_integers or backend='reference'"
             )
-        propagator = ReferencePropagator(self.graph, seed=self.seed)
         if use_fast and self.graph.num_vertices > 0:
-            # Route through the shared array substrate: one CSR snapshot
-            # feeds the vectorised engine.
+            # The whole lifecycle stays on the array substrate: one CSR
+            # snapshot feeds the vectorised propagator, whose array export
+            # feeds the vectorised corrector — no dict round trip, and
+            # updates no longer downgrade to the reference corrector.
             fast = FastPropagator(CSRGraph.from_graph(self.graph), seed=self.seed)
             fast.propagate(self.iterations)
-            propagator.state = fast.to_label_state()
+            self._corrector = FastCorrectionPropagator.from_fast_propagator(
+                fast, self.graph
+            )
         else:
+            propagator = ReferencePropagator(self.graph, seed=self.seed)
             propagator.propagate(self.iterations)
-        self._propagator = propagator
-        self._corrector = CorrectionPropagator(propagator)
+            self._corrector = CorrectionPropagator(propagator)
         self._postprocess_cache = None
+        self._label_state_cache = None
         return self
 
     def _require_fitted(self) -> None:
-        if self._propagator is None:
+        if self._corrector is None:
             raise RuntimeError("detector is not fitted; call fit() first")
 
     # ------------------------------------------------------------------
     # Dynamic maintenance
     # ------------------------------------------------------------------
+    def _downgrade_to_reference(self) -> None:
+        """Swap the array corrector for the reference one, state preserved.
+
+        Used by ``auto`` mode when a batch steps outside the array
+        substrate's contiguous-id contract; the batch epoch carries over so
+        the downgraded detector keeps making bit-identical decisions.
+        """
+        old = self._corrector
+        propagator = ReferencePropagator.from_state(
+            self.graph, self.seed, old.state.to_label_state()
+        )
+        self._corrector = CorrectionPropagator(propagator)
+        self._corrector.batch_epoch = old.batch_epoch
+
     def update(self, batch: EditBatch) -> UpdateReport:
-        """Incrementally apply an edit batch (Algorithm 2)."""
+        """Incrementally apply an edit batch (Algorithm 2).
+
+        Runs on whichever corrector ``fit`` installed — the vectorised
+        array engine on the fast path, the event-driven reference engine
+        otherwise; both make bit-identical repairs.  With ``backend="auto"``
+        a batch that breaks the array substrate's contiguous-id contract
+        (new vertices with gap ids) downgrades the detector to the
+        reference corrector instead of failing; ``backend="fast"`` keeps
+        the hard error.
+        """
         self._require_fitted()
         check_type(batch, EditBatch, "batch")
+        if (
+            self.backend == "auto"
+            and isinstance(self._corrector, FastCorrectionPropagator)
+            and not self._corrector.accepts(batch)
+        ):
+            self._downgrade_to_reference()
         report = self._corrector.apply_batch(batch)
         self._postprocess_cache = None
+        self._label_state_cache = None
         return report
 
     def update_many(self, batches: Iterable[EditBatch]) -> List[UpdateReport]:
@@ -155,23 +201,46 @@ class RSLPADetector:
         self._require_fitted()
         report = self._corrector.remove_vertex(vertex)
         self._postprocess_cache = None
+        self._label_state_cache = None
         return report
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     @property
-    def label_state(self) -> LabelState:
-        """The maintained label sequences (read-only by convention)."""
+    def array_state(self) -> Optional[ArrayLabelState]:
+        """The live array-backed state (fast path only; ``None`` otherwise)."""
         self._require_fitted()
-        return self._propagator.state
+        state = self._corrector.state
+        return state if isinstance(state, ArrayLabelState) else None
+
+    @property
+    def label_state(self) -> LabelState:
+        """The maintained label sequences (read-only by convention).
+
+        On the fast path this is a dict-backed *export* of the live array
+        state (cached until the next update); mutate nothing through it.
+        """
+        self._require_fitted()
+        state = self._corrector.state
+        if isinstance(state, ArrayLabelState):
+            if self._label_state_cache is None:
+                self._label_state_cache = state.to_label_state()
+            return self._label_state_cache
+        return state
 
     def postprocess(self) -> PostprocessResult:
         """Run (or reuse) the Section III-B extraction on the current state."""
         self._require_fitted()
         if self._postprocess_cache is None:
+            state = self._corrector.state
+            sequences = (
+                state.sequences_dict()
+                if isinstance(state, ArrayLabelState)
+                else state.labels
+            )
             self._postprocess_cache = extract_communities(
-                self.graph, self._propagator.state.labels, step=self.tau_step
+                self.graph, sequences, step=self.tau_step
             )
         return self._postprocess_cache
 

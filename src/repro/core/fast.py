@@ -115,11 +115,29 @@ class FastPropagator:
         """The ``(T+1, n)`` label matrix (column v = sequence of vertex v)."""
         return self.labels
 
+    def to_array_state(self):
+        """Export an :class:`~repro.core.labels_array.ArrayLabelState`.
+
+        The vectorised sibling of :meth:`to_label_state`: the label and
+        provenance matrices are adopted as-is (copied), and the reverse
+        records are built by one argsort over source-slot keys instead of
+        the per-slot Python double loop — so a fast static run hands over
+        to :class:`~repro.core.incremental_fast.FastCorrectionPropagator`
+        without ever leaving the array substrate.
+        """
+        from repro.core.labels_array import ArrayLabelState
+
+        return ArrayLabelState.from_matrices(
+            self.labels.copy(), self.srcs.copy(), self.poss.copy()
+        )
+
     def to_label_state(self) -> LabelState:
         """Materialise a fully-recorded :class:`LabelState`.
 
         Builds provenance and reverse records in one pass, so a fast static
-        run can hand over to the incremental Correction Propagation.
+        run can hand over to the incremental Correction Propagation.  For
+        the array-substrate hand-off (no dict round trip) use
+        :meth:`to_array_state`, which is an order of magnitude faster.
         """
         state = LabelState()
         t_max = self.num_iterations

@@ -73,6 +73,13 @@ class UpdateReport:
 
     ``touched_labels`` is the paper's ``η``: the number of slots whose label
     was re-drawn or whose value was corrected by the cascade.
+
+    With ``track_slots=False`` the report counts distinct touched slots
+    without materialising the ``touched_slots`` set (the benchmark fast
+    path).  The count is exact because the two note sources are disjoint: a
+    repicked slot is detached before the cascade starts, so it can never
+    also receive a cascaded correction, and each slot is repicked (and
+    notified) at most once per batch.
     """
 
     batch_size: int = 0
@@ -84,11 +91,38 @@ class UpdateReport:
     cascade_corrections: int = 0
     value_changes: int = 0
     touched_slots: Set[Tuple[int, int]] = field(default_factory=set, repr=False)
+    track_slots: bool = True
+    touched_count: int = 0
+
+    def note_touched(self, v: int, t: int) -> None:
+        """Record slot ``(v, t)`` as touched (set or counter, per mode)."""
+        if self.track_slots:
+            self.touched_slots.add((v, t))
+        else:
+            self.touched_count += 1
+
+    def note_touched_many(self, vs, t: int) -> None:
+        """Record every slot ``(v, t) for v in vs`` as touched."""
+        if self.track_slots:
+            self.touched_slots.update((int(v), t) for v in vs)
+        else:
+            self.touched_count += len(vs)
+
+    def note_touched_pairs(self, vs, ts) -> None:
+        """Record slots ``(vs[i], ts[i])`` as touched (paired arrays)."""
+        if self.track_slots:
+            self.touched_slots.update(
+                zip((int(v) for v in vs), (int(t) for t in ts))
+            )
+        else:
+            self.touched_count += len(vs)
 
     @property
     def touched_labels(self) -> int:
         """η: distinct slots re-drawn or value-corrected."""
-        return len(self.touched_slots)
+        if self.track_slots:
+            return len(self.touched_slots)
+        return self.touched_count
 
 
 class CorrectionPropagator:
@@ -101,14 +135,18 @@ class CorrectionPropagator:
     batches draw fresh lotteries, while the per-slot epoch feeds repick
     randomness so that a slot repicked twice in one batch lifetime gets
     independent draws.
+
+    ``track_slots=False`` switches the reports to the counting fast path
+    (η without the per-slot set; see :class:`UpdateReport`).
     """
 
-    def __init__(self, propagator: ReferencePropagator):
+    def __init__(self, propagator: ReferencePropagator, track_slots: bool = True):
         self.propagator = propagator
         self.graph = propagator.graph
         self.state = propagator.state
         self.seed = propagator.seed
         self.batch_epoch = 0
+        self.track_slots = track_slots
 
     # ------------------------------------------------------------------
     # Public entry points
@@ -126,6 +164,7 @@ class CorrectionPropagator:
             batch_size=batch.size,
             num_inserted=len(batch.insertions),
             num_deleted=len(batch.deletions),
+            track_slots=self.track_slots,
         )
 
         added = batch.added_neighbors()
@@ -216,7 +255,7 @@ class CorrectionPropagator:
                         continue
                     self.state.set_label(v, t, new_label)
                     report.value_changes += 1
-                    report.touched_slots.add((v, t))
+                    report.note_touched(v, t)
                     self._notify_receivers(v, t, new_label, notifications)
             # 3b. repicks at iteration t (read post-correction upstream).
             for v in pending_repick_all.get(t, ()):
@@ -255,7 +294,7 @@ class CorrectionPropagator:
         old_label = state.labels[v][t]
         epoch = state.epochs[v][t] + 1
         report.repicked += 1
-        report.touched_slots.add((v, t))
+        report.note_touched(v, t)
         if len(candidates) == 0:
             # Vertex is now isolated: fall back to its own initial label.
             state.replace_pick(v, t, state.labels[v][0], NO_SOURCE, NO_SOURCE, epoch)
@@ -299,7 +338,11 @@ class CorrectionPropagator:
         incident = EditBatch.build(
             deletions=[(v, u) for u in self.graph.neighbors_view(v)]
         )
-        report = self.apply_batch(incident) if incident else UpdateReport()
+        report = (
+            self.apply_batch(incident)
+            if incident
+            else UpdateReport(track_slots=self.track_slots)
+        )
         # After the batch no slot sources from v (all its edges are gone and
         # every dependent slot was repicked), but v's own slots may still
         # hold sources — detach them so the reverse maps clear.

@@ -33,8 +33,11 @@ __all__ = [
     "draw_position",
     "draw_keep_uniform",
     "slot_hash_array",
+    "slot_hash_flex",
     "draw_src_index_array",
     "draw_position_array",
+    "draw_position_flex",
+    "draw_keep_uniform_array",
 ]
 
 _MASK = (1 << 64) - 1
@@ -110,6 +113,32 @@ def slot_hash_array(
     return h
 
 
+def slot_hash_flex(seed, vertices, iterations, epochs) -> np.ndarray:
+    """Fully-broadcasting :func:`slot_hash`: every argument may be an array.
+
+    Unlike :func:`slot_hash_array` (scalar iteration/epoch), this accepts
+    per-element iteration and epoch arrays — what the incremental engine
+    needs, where each repicked slot sits at its own ``(v, t, epoch)`` — and
+    an *array* seed, which lets the Theorem-5 keep lottery chain two hashes
+    (``slot_hash(slot_hash(seed, v, t, 0), v, t, batch_epoch)``) without
+    leaving numpy.  uint64 wraparound matches the scalar ``& _MASK`` exactly.
+    """
+    if isinstance(seed, (int, np.integer)):
+        seed = np.uint64(int(seed) & _MASK)
+    v = np.asarray(vertices).astype(np.uint64, copy=False)
+    it = np.asarray(iterations).astype(np.uint64, copy=False)
+    ep = np.asarray(epochs).astype(np.uint64, copy=False)
+    h = _np_mix64(seed ^ (v * np.uint64(_C_VERTEX)))
+    h = _np_mix64(h ^ (it * np.uint64(_C_ITER)))
+    h = _np_mix64(h ^ (ep * np.uint64(_C_EPOCH)))
+    return h
+
+
+def draw_keep_uniform_array(h: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`draw_keep_uniform` (same float64 bits)."""
+    return _np_mix64(h ^ np.uint64(_C_KEEP)) / _TWO64
+
+
 def draw_src_index_array(h: np.ndarray, degrees: np.ndarray) -> np.ndarray:
     """Vectorised :func:`draw_src_index`; degree-0 entries yield index 0.
 
@@ -125,6 +154,16 @@ def draw_position_array(h: np.ndarray, iteration: int) -> np.ndarray:
     if iteration <= 0:
         raise ValueError(f"iteration must be positive, got {iteration}")
     return (_np_mix64(h ^ np.uint64(_C_POS)) % np.uint64(iteration)).astype(np.int64)
+
+
+def draw_position_flex(h: np.ndarray, iterations: np.ndarray) -> np.ndarray:
+    """:func:`draw_position` with a per-element iteration array.
+
+    Zero iterations are clamped to 1 as a branch-free placeholder (position
+    draws at ``t = 0`` never occur; callers never read those entries).
+    """
+    safe = np.maximum(np.asarray(iterations).astype(np.uint64, copy=False), np.uint64(1))
+    return (_np_mix64(h ^ np.uint64(_C_POS)) % safe).astype(np.int64)
 
 
 def draw_src_pos(

@@ -81,9 +81,12 @@ class CSRShard(WorkerShard):
         indptr: np.ndarray,
         indices: np.ndarray,
     ):
-        ids = [int(v) for v in local_ids]
-        super().__init__(worker_id, frozenset(ids), {})
+        # np.asarray keeps the caller's buffer when it is already int64
+        # (slice_csr output), and one C-level tolist() feeds both the owned
+        # set and the row lookup — no per-vertex Python conversion loop.
         self.local_ids = np.asarray(local_ids, dtype=np.int64)
+        ids = self.local_ids.tolist()
+        super().__init__(worker_id, frozenset(ids), {})
         self.indptr = np.asarray(indptr, dtype=np.int64)
         self.indices = np.asarray(indices, dtype=np.int64)
         self._row_of = {v: r for r, v in enumerate(ids)}

@@ -108,6 +108,76 @@ class TestUpdate:
         updated.add_edge(0, 12)
         state.validate(updated)
 
+    def test_update_backends_write_identical_state(self, graph_file, tmp_path):
+        ref_path = str(tmp_path / "state_ref.json")
+        fast_path = str(tmp_path / "state_fast.json")
+        run_cli("detect", graph_file, "--seed", "3", "-T", "30",
+                "--state", ref_path)
+        run_cli("detect", graph_file, "--seed", "3", "-T", "30",
+                "--state", fast_path)
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("- 0 1\n+ 0 12\n+ 30 4\n")
+        for path, backend in ((ref_path, "reference"), (fast_path, "fast")):
+            code, _ = run_cli(
+                "update", path, graph_file, str(edits_path),
+                "--seed", "3", "--backend", backend,
+            )
+            assert code == 0
+        with open(ref_path) as ref, open(fast_path) as fast:
+            assert json.load(ref) == json.load(fast)
+
+    def test_update_fast_backend_rejects_gappy_ids(self, tmp_path):
+        from repro.graph.adjacency import Graph
+
+        gap_graph = str(tmp_path / "gap.txt")
+        write_edge_list(Graph.from_edges([(10, 20), (20, 30)]), gap_graph)
+        state_path = str(tmp_path / "state.json")
+        code, _ = run_cli("detect", gap_graph, "--seed", "1", "-T", "10",
+                          "--backend", "reference", "--state", state_path)
+        assert code == 0
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("+ 10 30\n")
+        code, _ = run_cli(
+            "update", state_path, gap_graph, str(edits_path),
+            "--seed", "1", "--backend", "fast",
+        )
+        assert code == 2  # clean CLI error, not a crash
+
+    def test_update_auto_falls_back_on_gap_vertex_batch(self, graph_file, tmp_path):
+        auto_path = str(tmp_path / "state_auto.json")
+        ref_path = str(tmp_path / "state_ref.json")
+        run_cli("detect", graph_file, "--seed", "3", "-T", "30",
+                "--state", auto_path)
+        run_cli("detect", graph_file, "--seed", "3", "-T", "30",
+                "--state", ref_path)
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("+ 0 100\n")  # vertex 100 leaves a gap
+        code, _ = run_cli("update", auto_path, graph_file, str(edits_path),
+                          "--seed", "3")  # default --backend auto
+        assert code == 0
+        code, _ = run_cli("update", ref_path, graph_file, str(edits_path),
+                          "--seed", "3", "--backend", "reference")
+        assert code == 0
+        with open(auto_path) as a, open(ref_path) as r:
+            assert json.load(a) == json.load(r)
+
+    def test_update_corrupt_state_is_clean_error(self, graph_file, tmp_path):
+        state_path = str(tmp_path / "state.json")
+        run_cli("detect", graph_file, "--seed", "3", "-T", "20",
+                "--state", state_path)
+        with open(state_path) as handle:
+            payload = json.load(handle)
+        payload["vertices"]["0"]["labels"][5] = 999_999  # break an invariant
+        with open(state_path, "w") as handle:
+            json.dump(payload, handle)
+        edits_path = tmp_path / "edits.txt"
+        edits_path.write_text("- 0 1\n")
+        for backend in ("auto", "reference", "fast"):
+            code, _ = run_cli("update", state_path, graph_file,
+                              str(edits_path), "--seed", "3",
+                              "--backend", backend)
+            assert code == 2  # clean CLI error, not a traceback
+
     def test_update_with_cover_extraction(self, graph_file, tmp_path):
         state_path = str(tmp_path / "state.json")
         run_cli("detect", graph_file, "--seed", "3", "-T", "40",

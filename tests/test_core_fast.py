@@ -85,6 +85,34 @@ class TestExport:
         state.validate(g)
         assert state.labels[2] == [2] * 9
 
+    def test_to_array_state_equals_dict_export(self, cliques_ring):
+        fast = FastPropagator(cliques_ring, seed=5)
+        fast.propagate(15)
+        dict_state = fast.to_label_state()
+        array_state = fast.to_array_state()
+        back = array_state.to_label_state()
+        assert back.labels == dict_state.labels
+        assert back.srcs == dict_state.srcs
+        assert back.poss == dict_state.poss
+        assert back.epochs == dict_state.epochs
+        assert back.receivers == dict_state.receivers
+        array_state.validate(cliques_ring)
+
+    def test_to_array_state_owns_its_matrices(self, cliques_ring):
+        fast = FastPropagator(cliques_ring, seed=5)
+        fast.propagate(10)
+        array_state = fast.to_array_state()
+        array_state.labels[1, 0] = -99  # must not write through to the engine
+        assert fast.labels[1, 0] != -99
+
+    def test_to_array_state_zero_degree(self):
+        g = Graph.from_edges([(0, 1)], vertices=[2])
+        fast = FastPropagator(g, seed=1)
+        fast.propagate(8)
+        array_state = fast.to_array_state()
+        array_state.validate(g)
+        assert array_state.labels[:, 2].tolist() == [2] * 9
+
 
 class TestEdgeCases:
     def test_edgeless_graph(self):

@@ -1,0 +1,174 @@
+"""Property tests: reference vs vectorised corrector under arbitrary edits.
+
+Two drivers push the same edit streams through
+:class:`CorrectionPropagator` and :class:`FastCorrectionPropagator` from
+the same seed:
+
+* a deterministic 30+-batch torture stream mixing random edits, vertex
+  births, and isolation events (the ISSUE's headline property test);
+* Hypothesis-generated batch plans, like ``test_property_incremental.py``
+  but asserting cross-engine label/src/pos/epoch equality and the full
+  ``validate()`` invariant set after every batch.
+"""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.incremental import CorrectionPropagator
+from repro.core.incremental_fast import FastCorrectionPropagator
+from repro.core.labels_array import ArrayLabelState
+from repro.core.rslpa import ReferencePropagator
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.workloads.dynamic import random_edit_batch
+
+N = 14
+ITERATIONS = 12
+
+
+def fresh_pair(edges, seed, n=N, iterations=ITERATIONS):
+    g_ref = Graph.from_edges(edges, vertices=range(n))
+    g_fast = g_ref.copy()
+    ref = ReferencePropagator(g_ref, seed=seed)
+    ref.propagate(iterations)
+    fast_base = ReferencePropagator(g_fast, seed=seed)
+    fast_base.propagate(iterations)
+    reference = CorrectionPropagator(ref)
+    fast = FastCorrectionPropagator(
+        g_fast, ArrayLabelState.from_label_state(fast_base.state), seed
+    )
+    return reference, fast
+
+
+def assert_engines_agree(reference, fast):
+    back = fast.state.to_label_state()
+    state = reference.state
+    assert back.labels == state.labels
+    assert back.srcs == state.srcs
+    assert back.poss == state.poss
+    assert back.epochs == state.epochs
+    assert reference.graph == fast.graph
+
+
+class TestThirtyBatchTortureStream:
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_long_mixed_stream_stays_bit_identical(self, seed):
+        """30+ batches: random edits, vertex births, isolations, rebirths."""
+        rng = random.Random(seed)
+        start = [(u, v) for u in range(N) for v in range(u + 1, N) if rng.random() < 0.3]
+        reference, fast = fresh_pair(start, seed)
+        graph = reference.graph
+        next_vertex = N
+        applied = 0
+        while applied < 32:
+            kind = rng.randrange(4)
+            if kind == 0 and graph.num_edges > 4:
+                batch = random_edit_batch(graph, rng.randrange(1, 7), seed=applied)
+            elif kind == 1:
+                # Vertex birth: attach a brand-new id to 1-3 existing vertices.
+                anchors = rng.sample(sorted(graph.vertices()), rng.randrange(1, 4))
+                batch = EditBatch.build(
+                    insertions=[(next_vertex, a) for a in anchors]
+                )
+                next_vertex += 1
+            elif kind == 2:
+                # Isolation: delete every incident edge of one vertex.
+                candidates = [v for v in graph.vertices() if graph.degree(v) > 0]
+                if not candidates:
+                    continue
+                victim = rng.choice(candidates)
+                batch = EditBatch.build(
+                    deletions=[(victim, u) for u in graph.neighbors_view(victim)]
+                )
+            else:
+                # Random insertions among existing ids.
+                pool = sorted(graph.vertices())
+                raw = {
+                    tuple(sorted(rng.sample(pool, 2))) for _ in range(rng.randrange(1, 5))
+                }
+                ins = [e for e in raw if not graph.has_edge(*e)]
+                if not ins:
+                    continue
+                batch = EditBatch.build(insertions=ins)
+            if not batch:
+                continue
+            r_ref = reference.apply_batch(batch)
+            r_fast = fast.apply_batch(batch)
+            assert r_ref.touched_slots == r_fast.touched_slots
+            assert r_ref.repicked == r_fast.repicked
+            assert r_ref.value_changes == r_fast.value_changes
+            assert_engines_agree(reference, fast)
+            fast.state.validate(fast.graph)
+            applied += 1
+        assert applied >= 30
+
+
+edge_strategy = st.tuples(st.integers(0, N - 1), st.integers(0, N - 1)).filter(
+    lambda e: e[0] < e[1]
+)
+edges_strategy = st.sets(edge_strategy, min_size=5, max_size=30)
+
+
+@st.composite
+def batch_plans(draw):
+    initial = draw(edges_strategy)
+    steps = draw(
+        st.lists(
+            st.tuples(
+                st.sets(edge_strategy, max_size=5),
+                st.sets(edge_strategy, max_size=5),
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    return initial, steps
+
+
+def realise_batch(graph, inserts, deletes):
+    ins = {e for e in inserts if not graph.has_edge(*e)}
+    dels = {e for e in deletes if graph.has_edge(*e) and e not in ins}
+    return EditBatch(insertions=frozenset(ins), deletions=frozenset(dels))
+
+
+class TestHypothesisStreams:
+    @settings(
+        max_examples=25,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(batch_plans(), st.integers(0, 3))
+    def test_engines_agree_after_every_batch(self, plan, seed):
+        initial, steps = plan
+        reference, fast = fresh_pair(initial, seed)
+        for inserts, deletes in steps:
+            batch = realise_batch(reference.graph, inserts, deletes)
+            if not batch:
+                continue
+            reference.apply_batch(batch)
+            fast.apply_batch(batch)
+            assert_engines_agree(reference, fast)
+            fast.state.validate(fast.graph)
+
+    @settings(
+        max_examples=15,
+        deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(edges_strategy, st.integers(0, 3))
+    def test_batch_then_inverse_agree(self, initial, seed):
+        reference, fast = fresh_pair(initial, seed)
+        snapshot = reference.graph.copy()
+        batch = random_edit_batch(reference.graph, min(6, reference.graph.num_edges), seed=seed)
+        reference.apply_batch(batch)
+        fast.apply_batch(batch)
+        assert_engines_agree(reference, fast)
+        reference.apply_batch(batch.inverse())
+        fast.apply_batch(batch.inverse())
+        assert_engines_agree(reference, fast)
+        assert reference.graph == snapshot
+        fast.state.validate(fast.graph)
