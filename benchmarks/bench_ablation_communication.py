@@ -1,12 +1,26 @@
-"""Ablation: per-iteration communication — rSLPA O(|V|) vs SLPA O(|E|).
+"""Ablation: per-iteration communication — rSLPA O(|V|) vs SLPA O(|E|) —
+plus the engine sweep: columnar vs tuple message plane with wall-clock.
 
 Section III-A: replacing the full received multiset with a single fetched
 label cuts the labels moved per iteration from one per directed edge to one
 (request + reply) per vertex.  We measure actual message counts on the BSP
 engine across graph densities, and the O(η) cost of Correction Propagation.
+
+The ``engine sweep`` harness runs rSLPA and SLPA across
+``engine={reference,array}`` × ``shard_backend={dict,csr}`` on LFR
+instances, asserts all combinations bit-identical, and records messages,
+bytes and wall-clock per superstep in ``BENCH_distributed.json`` — so the
+comm-volume figures finally come with timings.
+
+Run:  PYTHONPATH=src:. python -m pytest benchmarks/bench_ablation_communication.py -q
+The ``-k smoke`` selection runs a scaled-down, time-bounded sweep (CI).
 """
 
-from benchmarks.bench_common import banner, print_table, scaled
+import json
+import time
+from pathlib import Path
+
+from benchmarks.bench_common import SCALE, banner, print_table, scaled
 from repro.core.rslpa import ReferencePropagator
 from repro.distributed.cluster import (
     run_distributed_rslpa,
@@ -15,10 +29,18 @@ from repro.distributed.cluster import (
 )
 from repro.graph.generators import erdos_renyi
 from repro.workloads.dynamic import random_edit_batch
+from repro.workloads.lfr import LFRParams, generate_lfr
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
 
 N = scaled(300, 1000, 4000)
 ITERATIONS = 10
 DEGREES = [4, 8, 16, 32]
+
+# Engine-sweep dimensions (tentpole PR 3): LFR sizes per scale.
+LFR_SIZES = scaled([300, 1500], [1000, 4000], [5000, 20000])
+SWEEP_ITERATIONS = scaled(20, 30, 40)
+SWEEP_WORKERS = 4
 
 
 def test_message_volume_by_density(benchmark, report):
@@ -68,6 +90,189 @@ def test_message_volume_by_density(benchmark, report):
     assert max(rslpa_per_iter) <= 2 * N
     assert slpa_per_iter[-1] > slpa_per_iter[0] * 4
     assert rows[-1][4] > rows[0][4]
+
+
+def _sweep_lfr(n: int) -> "Graph":
+    return generate_lfr(
+        LFRParams(
+            n=n, avg_degree=12, max_degree=30, mu=0.1,
+            overlap_fraction=0.1, overlap_membership=2,
+        ),
+        seed=n,
+    ).graph
+
+
+def _engine_sweep(sizes, iterations, workers=SWEEP_WORKERS):
+    """Sweep engine × shard_backend for rSLPA and SLPA over LFR sizes.
+
+    Each combination is timed end to end through the cluster wrapper with
+    its *native* state export (reference → dict-backed ``LabelState``,
+    array → ``ArrayLabelState``), asserted bit-identical against the
+    reference run, and recorded with per-superstep message/byte/time
+    averages.
+    """
+    rows = []
+    for n in sizes:
+        graph = _sweep_lfr(n)
+        oracles = {}
+        for algo, runner in (
+            ("rslpa", run_distributed_rslpa),
+            ("slpa", run_distributed_slpa),
+        ):
+            for engine in ("reference", "array"):
+                for shard_backend in ("dict", "csr"):
+                    kwargs = dict(
+                        seed=1, iterations=iterations, num_workers=workers,
+                        shard_backend=shard_backend, engine=engine,
+                    )
+                    if algo == "rslpa" and engine == "array":
+                        kwargs["state_format"] = "array"
+                    t0 = time.perf_counter()
+                    result, stats = runner(graph.copy(), **kwargs)
+                    wall_s = time.perf_counter() - t0
+                    # Equality oracle: every combination reproduces the
+                    # first run of the same algorithm bit for bit.
+                    if algo == "rslpa":
+                        observed = (
+                            result.to_label_state().labels
+                            if engine == "array"
+                            else result.labels
+                        )
+                    else:
+                        observed = result
+                    oracle = oracles.setdefault(algo, observed)
+                    assert observed == oracle, (n, algo, engine, shard_backend)
+                    counts = oracles.setdefault(
+                        (algo, "stats"), stats.messages_per_superstep()
+                    )
+                    assert stats.messages_per_superstep() == counts
+                    rows.append(
+                        {
+                            "n": n,
+                            "num_edges": graph.num_edges,
+                            "algo": algo,
+                            "engine": engine,
+                            "shard_backend": shard_backend,
+                            "iterations": iterations,
+                            "workers": workers,
+                            "wall_s": wall_s,
+                            "supersteps": stats.supersteps,
+                            "messages": stats.total_messages,
+                            "bytes": stats.total_bytes,
+                            "remote_messages": stats.total_remote_messages,
+                            "wall_per_superstep_s": wall_s / stats.supersteps,
+                            "messages_per_superstep": (
+                                stats.total_messages / stats.supersteps
+                            ),
+                        }
+                    )
+    return rows
+
+
+def _speedup(rows, n, algo):
+    """array(csr) over reference(dict) wall-clock ratio at size ``n``."""
+    def pick(engine, shard_backend):
+        for row in rows:
+            if (
+                row["n"] == n and row["algo"] == algo
+                and row["engine"] == engine
+                and row["shard_backend"] == shard_backend
+            ):
+                return row["wall_s"]
+        raise KeyError((n, algo, engine, shard_backend))
+
+    return pick("reference", "dict") / pick("array", "csr")
+
+
+def _report_engine_sweep(report, title, rows, iterations):
+    report(
+        banner(
+            title,
+            "Section V-B2: per-round message exchange on the BSP cluster",
+            "identical volumes per engine; columnar routing far faster",
+        )
+    )
+    report(f"LFR sweep, workers={SWEEP_WORKERS}, T={iterations}")
+    print_table(
+        report,
+        ["n", "algo", "engine", "shards", "wall (s)", "msgs", "MB",
+         "steps", "ms/step"],
+        [
+            (
+                row["n"], row["algo"], row["engine"], row["shard_backend"],
+                round(row["wall_s"], 4), row["messages"],
+                round(row["bytes"] / 1e6, 2), row["supersteps"],
+                round(row["wall_per_superstep_s"] * 1e3, 3),
+            )
+            for row in rows
+        ],
+    )
+
+
+def test_engine_sweep_records_timings(benchmark, report):
+    results = {}
+
+    def run():
+        results["rows"] = _engine_sweep(LFR_SIZES, SWEEP_ITERATIONS)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = results["rows"]
+    _report_engine_sweep(
+        report,
+        "Engine sweep: columnar vs tuple message plane (rSLPA and SLPA)",
+        rows,
+        SWEEP_ITERATIONS,
+    )
+
+    largest = max(LFR_SIZES)
+    rslpa_speedup = _speedup(rows, largest, "rslpa")
+    slpa_speedup = _speedup(rows, largest, "slpa")
+    report(
+        f"array-plane speedup at n={largest}: "
+        f"rSLPA {rslpa_speedup:.1f}x, SLPA {slpa_speedup:.1f}x"
+    )
+    payload = {
+        "benchmark": "distributed_engine_sweep",
+        "scale": SCALE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "sweep": {
+            "sizes": LFR_SIZES,
+            "iterations": SWEEP_ITERATIONS,
+            "workers": SWEEP_WORKERS,
+        },
+        "results": rows,
+        "speedups": {
+            "rslpa_array_over_reference_at_largest": rslpa_speedup,
+            "slpa_array_over_reference_at_largest": slpa_speedup,
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    report(f"results recorded in {RESULT_PATH}")
+
+    # The tentpole's acceptance gate: the columnar plane pays off.
+    assert rslpa_speedup >= 5.0, f"rSLPA array plane only {rslpa_speedup:.1f}x"
+    assert slpa_speedup >= 5.0, f"SLPA array plane only {slpa_speedup:.1f}x"
+
+
+def test_engine_sweep_smoke(benchmark, report):
+    """Scaled-down sweep for CI (`-k smoke`): exercises every
+    engine × shard_backend × algorithm combination with the bit-identity
+    assertions, no timing regression gate."""
+    results = {}
+
+    def run():
+        results["rows"] = _engine_sweep([250], 10)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    _report_engine_sweep(
+        report,
+        "Engine sweep smoke: columnar vs tuple plane on a small LFR",
+        results["rows"],
+        10,
+    )
+    assert len(results["rows"]) == 8  # 2 algos x 2 engines x 2 shard backends
 
 
 def test_correction_volume_scales_with_eta(benchmark, report):

@@ -84,7 +84,18 @@ def _cmd_detect(args, out) -> int:
         iterations=args.iterations,
         backend=args.backend,
         tau_step=args.tau_step,
-    ).fit()
+    )
+    if args.distributed:
+        # Same fitted state as a local fit (all engines are bit-identical
+        # per seed), plus the run's communication accounting.
+        detector.fit_distributed(
+            num_workers=args.distributed,
+            engine=args.dist_engine,
+            shard_backend=args.shard_backend,
+        )
+        out.write(f"distributed fit: {detector.comm_stats.summary()}\n")
+    else:
+        detector.fit()
     cover = detector.communities()
     if args.state:
         save_state(detector.label_state, args.state)
@@ -184,6 +195,28 @@ def build_parser() -> argparse.ArgumentParser:
     detect.add_argument("--tau-step", type=float, default=0.001)
     detect.add_argument("--state", help="save the label state here (JSON)")
     detect.add_argument("--cover", help="save the cover here (JSON)")
+    detect.add_argument(
+        "--distributed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fit on the simulated BSP cluster with N workers "
+        "(0 = local fit); results are bit-identical either way",
+    )
+    detect.add_argument(
+        "--dist-engine",
+        choices=("auto", "reference", "array"),
+        default="auto",
+        help="distributed message plane: 'array' routes struct-of-arrays "
+        "columns, 'reference' Python tuples; 'auto' prefers the array "
+        "plane on CSR shards",
+    )
+    detect.add_argument(
+        "--shard-backend",
+        choices=("auto", "dict", "csr"),
+        default="auto",
+        help="worker shard adjacency storage for --distributed runs",
+    )
     detect.set_defaults(func=_cmd_detect)
 
     update = sub.add_parser(

@@ -107,6 +107,8 @@ class RSLPADetector:
         ] = None
         self._postprocess_cache: Optional[PostprocessResult] = None
         self._label_state_cache: Optional[LabelState] = None
+        #: CommStats of the last fit_distributed() run (None for local fits).
+        self.comm_stats = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -119,16 +121,22 @@ class RSLPADetector:
         n = self.graph.num_vertices
         return sorted(self.graph.vertices()) == list(range(n))
 
-    def fit(self) -> "RSLPADetector":
-        """Run Algorithm 1 from scratch on the current graph."""
-        use_fast = self.backend == "fast" or (
-            self.backend == "auto" and self._ids_contiguous()
-        )
-        if use_fast and not self._ids_contiguous():
+    def _resolve_use_fast(self) -> bool:
+        """Whether this fit takes the array substrate (``fast``/eligible
+        ``auto``); a forced ``fast`` on non-contiguous ids is an error."""
+        contiguous = self._ids_contiguous()
+        if self.backend == "fast" and not contiguous:
             raise ValueError(
                 "backend='fast' requires contiguous vertex ids 0..n-1; "
                 "use repro.graph.relabel_to_integers or backend='reference'"
             )
+        return self.backend == "fast" or (
+            self.backend == "auto" and contiguous
+        )
+
+    def fit(self) -> "RSLPADetector":
+        """Run Algorithm 1 from scratch on the current graph."""
+        use_fast = self._resolve_use_fast()
         if use_fast and self.graph.num_vertices > 0:
             # The whole lifecycle stays on the array substrate: one CSR
             # snapshot feeds the vectorised propagator, whose array export
@@ -143,6 +151,51 @@ class RSLPADetector:
             propagator = ReferencePropagator(self.graph, seed=self.seed)
             propagator.propagate(self.iterations)
             self._corrector = CorrectionPropagator(propagator)
+        self.comm_stats = None  # a local fit has no communication counters
+        self._postprocess_cache = None
+        self._label_state_cache = None
+        return self
+
+    def fit_distributed(
+        self,
+        num_workers: int = 4,
+        engine: str = "auto",
+        shard_backend: str = "auto",
+        partitioner=None,
+    ) -> "RSLPADetector":
+        """Run Algorithm 1 on the simulated BSP cluster instead of locally.
+
+        Produces exactly the state :meth:`fit` produces (all engines are
+        bit-identical per seed) and installs the same corrector the
+        configured ``backend`` would, so the ``update``/``communities``
+        lifecycle continues unchanged; the run's communication counters
+        are kept in :attr:`comm_stats`.  ``engine`` selects the message
+        plane (``reference`` tuples / ``array`` columns; ``auto`` prefers
+        the array plane on CSR shards) and ``shard_backend`` the worker
+        adjacency storage (``dict``/``csr``/``auto``) — see
+        :func:`repro.distributed.run_distributed_rslpa`.
+        """
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        use_fast = self._resolve_use_fast()
+        state, stats = run_distributed_rslpa(
+            self.graph,  # read-only for the wrapper: shards snapshot/copy
+            seed=self.seed,
+            iterations=self.iterations,
+            num_workers=num_workers,
+            partitioner=partitioner,
+            shard_backend=shard_backend,
+            engine=engine,
+            state_format="array" if use_fast else "dict",
+        )
+        if use_fast:
+            self._corrector = FastCorrectionPropagator(self.graph, state, self.seed)
+        else:
+            propagator = ReferencePropagator.from_state(
+                self.graph, self.seed, state
+            )
+            self._corrector = CorrectionPropagator(propagator)
+        self.comm_stats = stats
         self._postprocess_cache = None
         self._label_state_cache = None
         return self

@@ -28,6 +28,7 @@ import numpy as np
 
 __all__ = [
     "mix64",
+    "mix64_array",
     "slot_hash",
     "draw_src_index",
     "draw_position",
@@ -100,6 +101,16 @@ def _np_mix64(x: np.ndarray) -> np.ndarray:
     x = ((x ^ (x >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)) & _NP_MASK
     x = ((x ^ (x >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)) & _NP_MASK
     return x ^ (x >> np.uint64(31))
+
+
+def mix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorised :func:`mix64` over a ``uint64`` array (same bits).
+
+    Public entry point for callers that compose their own hash chains —
+    the vectorised partitioners and the columnar BSP programs' tie-breaks
+    both reduce to one :func:`mix64` over an id array.
+    """
+    return _np_mix64(np.asarray(x, dtype=np.uint64))
 
 
 def slot_hash_array(

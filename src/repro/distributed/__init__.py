@@ -1,23 +1,44 @@
-"""Distributed substrate: BSP engine, vertex programs, comm accounting.
+"""Distributed substrate: BSP engines, vertex programs, comm accounting.
 
-Worker shards come in **two storage backends** behind one API, mirroring
-the library's two-representation architecture (see :mod:`repro.graph`):
+Two independent axes select how a distributed run executes, mirroring the
+library's two-representation architecture (see :mod:`repro.graph`):
+
+**Shard storage** (``shard_backend=`` on the cluster wrappers):
 
 * dict-backed :class:`WorkerShard` (:func:`build_shards`) — sorted
   neighbour lists sliced from the mutable :class:`~repro.graph.Graph`;
   works for arbitrary vertex ids and is the default.
 * CSR-backed :class:`CSRShard` (:func:`build_csr_shards`) — local
-  ``indptr``/``indices`` arrays sliced straight out of an immutable
+  ``indptr``/``indices`` arrays (read-only, so programs cannot corrupt
+  the shared adjacency) sliced straight out of an immutable
   :class:`~repro.graph.CSRGraph` snapshot by
-  :func:`repro.graph.partition.slice_csr`, so the BSP programs scan arrays
-  instead of dict sets.
+  :func:`repro.graph.partition.slice_csr`.
 
-Every program in :mod:`repro.distributed.programs` is backend-agnostic and
-bit-identical across backends (the shard API guarantees ascending neighbour
-sequences either way); the high-level wrappers in
-:mod:`repro.distributed.cluster` select a backend via ``shard_backend=``.
-Both shard kinds are picklable, so the in-process :class:`BSPEngine` and the
-:class:`MultiprocessBSPEngine` accept either.
+**Message plane** (``engine=`` on the cluster wrappers, ``plane=`` on the
+multiprocess backend):
+
+* the **tuple plane** — :class:`BSPEngine` routes Python
+  ``(dst, payload)`` tuples one ``partitioner.owner()`` call at a time
+  and delivers sorted tuple inboxes to
+  :class:`~repro.distributed.engine.WorkerProgram` subclasses
+  (:mod:`repro.distributed.programs`);
+* the **columnar plane** — :class:`ArrayBSPEngine` accumulates sends as
+  typed struct-of-arrays int64 columns
+  (:mod:`repro.distributed.message_array`), routes a whole superstep with
+  one vectorised ``owner_array`` gather + lexsort barrier, and delivers
+  per-kind column inboxes to
+  :class:`~repro.distributed.engine_array.ArrayWorkerProgram` subclasses
+  (:mod:`repro.distributed.programs_array`); tuple programs run here
+  unmodified through :class:`TupleProgramAdapter`.
+
+Every (shard backend × message plane) combination is bit-identical — same
+results, same per-superstep :class:`CommStats` counters — because all
+programs derive their randomness from the same counter-based slot hashes
+over the same ascending neighbour sequences; ``engine="auto"`` prefers the
+columnar plane on CSR shards.  Both shard kinds and both program flavours
+are picklable, so the in-process engines and the
+:class:`MultiprocessBSPEngine` (tuple pickles or packed-array pickles over
+the pipes, per ``plane=``) accept either.
 """
 
 from repro.distributed.cluster import (
@@ -31,13 +52,31 @@ from repro.distributed.components import (
     distributed_connected_components,
 )
 from repro.distributed.engine import BSPEngine, MessageContext, WorkerProgram
+from repro.distributed.engine_array import (
+    ArrayBSPEngine,
+    ArrayWorkerProgram,
+    TupleProgramAdapter,
+)
 from repro.distributed.message import Message, message_size_bytes, payload_size_bytes
+from repro.distributed.message_array import (
+    SCHEMAS,
+    ArrayInbox,
+    ArrayMessageContext,
+    MessageSchema,
+    register_schema,
+    route_columns,
+)
 from repro.distributed.metrics import CommStats, SuperstepStats
 from repro.distributed.multiprocess import MultiprocessBSPEngine
 from repro.distributed.programs import (
     CorrectionPropagationProgram,
     RSLPAPropagationProgram,
     SLPAPropagationProgram,
+)
+from repro.distributed.programs_array import (
+    FastRSLPAPropagationProgram,
+    FastSLPAPropagationProgram,
+    shard_local_csr,
 )
 from repro.distributed.worker import (
     CSRShard,
@@ -48,20 +87,32 @@ from repro.distributed.worker import (
 
 __all__ = [
     "BSPEngine",
+    "ArrayBSPEngine",
     "MessageContext",
+    "ArrayMessageContext",
+    "ArrayInbox",
     "WorkerProgram",
+    "ArrayWorkerProgram",
+    "TupleProgramAdapter",
     "WorkerShard",
     "CSRShard",
     "build_shards",
     "build_csr_shards",
+    "shard_local_csr",
     "Message",
     "message_size_bytes",
     "payload_size_bytes",
+    "MessageSchema",
+    "SCHEMAS",
+    "register_schema",
+    "route_columns",
     "CommStats",
     "SuperstepStats",
     "RSLPAPropagationProgram",
     "SLPAPropagationProgram",
     "CorrectionPropagationProgram",
+    "FastRSLPAPropagationProgram",
+    "FastSLPAPropagationProgram",
     "HashToMinProgram",
     "distributed_connected_components",
     "MultiprocessBSPEngine",

@@ -16,20 +16,28 @@ communication-cost experiments:
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple, Union
+
+import numpy as np
 
 from repro.core.communities import Cover
 from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.labels_array import ArrayLabelState
 from repro.core.postprocess import edge_weights, sweep_tau1, weak_threshold
 from repro.distributed.components import distributed_connected_components
 from repro.distributed.engine import BSPEngine
+from repro.distributed.engine_array import ArrayBSPEngine, TupleProgramAdapter
 from repro.distributed.metrics import CommStats
 from repro.distributed.programs import (
     CorrectionPropagationProgram,
     RSLPAPropagationProgram,
     SLPAPropagationProgram,
 )
-from repro.distributed.worker import build_csr_shards, build_shards
+from repro.distributed.programs_array import (
+    FastRSLPAPropagationProgram,
+    FastSLPAPropagationProgram,
+)
+from repro.distributed.worker import CSRShard, build_csr_shards, build_shards
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch, apply_batch
@@ -49,21 +57,124 @@ def _resolve_partitioner(
     return partitioner or HashPartitioner(num_workers)
 
 
+def _ids_contiguous(graph) -> bool:
+    if isinstance(graph, CSRGraph):
+        return True
+    n = graph.num_vertices
+    if n == 0:
+        return True
+    ids = list(graph.vertices())  # ids are unique, so min/max suffice
+    return min(ids) == 0 and max(ids) == n - 1
+
+
 def _build_backend_shards(graph, part: Partitioner, shard_backend: str):
     """Build worker shards on the requested local-adjacency backend.
 
     ``"dict"`` walks the mutable :class:`Graph`; ``"csr"`` slices a
     :class:`CSRGraph` snapshot (built on demand when ``graph`` is a dict
-    graph) without round-tripping through per-vertex Python structures.
-    A :class:`CSRGraph` input always takes the CSR path.
+    graph) without round-tripping through per-vertex Python structures;
+    ``"auto"`` picks CSR whenever the ids are contiguous ``0..n-1`` (the
+    CSR slicer's contract).  A :class:`CSRGraph` input always takes the
+    CSR path.
     """
-    if shard_backend not in ("dict", "csr"):
+    if shard_backend not in ("auto", "dict", "csr"):
         raise ValueError(
-            f"shard_backend must be 'dict' or 'csr', got {shard_backend!r}"
+            f"shard_backend must be 'auto', 'dict' or 'csr', "
+            f"got {shard_backend!r}"
         )
+    if shard_backend == "auto":
+        shard_backend = "csr" if _ids_contiguous(graph) else "dict"
     if isinstance(graph, CSRGraph) or shard_backend == "csr":
         return build_csr_shards(graph, part)
     return build_shards(graph, part)
+
+
+def _merge_array_rslpa_state(programs, iterations: int) -> LabelState:
+    """Fully-recorded :class:`LabelState` from array-program matrices.
+
+    Produces exactly what the tuple-plane merge below builds from per-vertex
+    lists, but from the ``(T+1, n_local)`` matrices: sequence dicts come
+    from one ``tolist`` per matrix, and the reverse records from one
+    ``nonzero`` + ``lexsort`` group-split over all recorded slots instead
+    of a per-slot Python loop.
+    """
+    state = LabelState()
+    ids_parts, srcs_parts, poss_parts = [], [], []
+    for program in programs:
+        if program.n_local == 0:
+            continue
+        ids_parts.append(program.local_ids)
+        srcs_parts.append(program.srcs)
+        poss_parts.append(program.poss)
+        vids = program.local_ids.tolist()
+        state.labels.update(zip(vids, program.labels.T.tolist()))
+        state.srcs.update(zip(vids, program.srcs.T.tolist()))
+        state.poss.update(zip(vids, program.poss.T.tolist()))
+        state.epochs.update((v, [0] * (iterations + 1)) for v in vids)
+        state.receivers.update((v, {}) for v in vids)
+    if ids_parts:
+        ids = np.concatenate(ids_parts)
+        srcs_m = np.concatenate(srcs_parts, axis=1)[1:, :]
+        poss_m = np.concatenate(poss_parts, axis=1)[1:, :]
+        t_idx, v_idx = np.nonzero(srcs_m != NO_SOURCE)
+        if len(t_idx):
+            src = srcs_m[t_idx, v_idx]
+            pos = poss_m[t_idx, v_idx]
+            order = np.lexsort((t_idx, v_idx, pos, src))
+            src_s, pos_s = src[order], pos[order]
+            new_group = np.empty(len(order), dtype=bool)
+            new_group[0] = True
+            new_group[1:] = (src_s[1:] != src_s[:-1]) | (pos_s[1:] != pos_s[:-1])
+            starts = np.flatnonzero(new_group).tolist()
+            starts.append(len(order))
+            src_l, pos_l = src_s.tolist(), pos_s.tolist()
+            pairs = list(
+                zip(ids[v_idx[order]].tolist(), (t_idx[order] + 1).tolist())
+            )
+            for a, b in zip(starts, starts[1:]):
+                state.receivers[src_l[a]][pos_l[a]] = set(pairs[a:b])
+    state.set_num_iterations(iterations)
+    return state
+
+
+def _assemble_array_rslpa_state(programs, iterations: int) -> ArrayLabelState:
+    """:class:`ArrayLabelState` straight from array-program matrices.
+
+    The array plane's native export: per-worker ``(T+1, n_local)`` matrices
+    scatter into global matrices by vertex id and the reverse records come
+    from the state's vectorised ``reindex`` — no per-vertex Python at all.
+    Requires contiguous vertex ids ``0..n-1`` (the array-state contract).
+    """
+    n = sum(program.n_local for program in programs)
+    parts = [program.local_ids for program in programs if program.n_local]
+    ids = np.concatenate(parts) if parts else np.empty(0, dtype=np.int64)
+    if n and (int(ids.min()) < 0 or int(ids.max()) + 1 != n):
+        raise ValueError(
+            "state_format='array' requires contiguous vertex ids 0..n-1; "
+            "use state_format='dict' or repro.graph.relabel_to_integers"
+        )
+    shape = (iterations + 1, n)
+    labels = np.empty(shape, dtype=np.int64)
+    srcs = np.empty(shape, dtype=np.int64)
+    poss = np.empty(shape, dtype=np.int64)
+    for program in programs:
+        if program.n_local == 0:
+            continue
+        labels[:, program.local_ids] = program.labels
+        srcs[:, program.local_ids] = program.srcs
+        poss[:, program.local_ids] = program.poss
+    return ArrayLabelState.from_matrices(labels, srcs, poss)
+
+
+def _resolve_engine(engine: str, shards) -> str:
+    """Pick the message plane: ``auto`` prefers columnar on CSR shards."""
+    if engine not in ("auto", "reference", "array"):
+        raise ValueError(
+            f"engine must be 'auto', 'reference' or 'array', got {engine!r}"
+        )
+    if engine == "auto":
+        return "array" if isinstance(shards[0], CSRShard) else "reference"
+    return engine
 
 
 def run_distributed_rslpa(
@@ -73,21 +184,43 @@ def run_distributed_rslpa(
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
     shard_backend: str = "dict",
-) -> Tuple[LabelState, CommStats]:
+    engine: str = "auto",
+    state_format: str = "dict",
+) -> Tuple[Union[LabelState, ArrayLabelState], CommStats]:
     """Algorithm 1 on the simulated cluster; returns (state, comm stats).
 
     The returned state is fully recorded (provenance + reverse records) and
     bit-identical to a sequential :class:`ReferencePropagator` run —
-    on either shard backend (``graph`` may also be a :class:`CSRGraph`).
+    on either shard backend (``graph`` may also be a :class:`CSRGraph`)
+    and on either message plane (``engine="reference"`` routes Python
+    tuples, ``"array"`` routes struct-of-arrays columns; ``"auto"`` takes
+    the array plane on CSR shards).  ``state_format="array"`` returns an
+    :class:`~repro.core.labels_array.ArrayLabelState` (contiguous ids
+    required) — the array engine's native export, assembled without any
+    per-vertex Python, and what the fast incremental lifecycle consumes.
     """
+    if state_format not in ("dict", "array"):
+        raise ValueError(
+            f"state_format must be 'dict' or 'array', got {state_format!r}"
+        )
     part = _resolve_partitioner(partitioner, num_workers)
     shards = _build_backend_shards(graph, part, shard_backend)
-    engine = BSPEngine(shards, part)
+    if _resolve_engine(engine, shards) == "array":
+        bsp = ArrayBSPEngine(shards, part)
+        programs = [
+            FastRSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
+            for shard in shards
+        ]
+        bsp.run(programs)
+        if state_format == "array":
+            return _assemble_array_rslpa_state(programs, iterations), bsp.stats
+        return _merge_array_rslpa_state(programs, iterations), bsp.stats
+    bsp = BSPEngine(shards, part)
     programs = [
         RSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
         for shard in shards
     ]
-    engine.run(programs)
+    bsp.run(programs)
 
     state = LabelState()
     collected: Dict[int, tuple] = {}
@@ -105,7 +238,9 @@ def run_distributed_rslpa(
             if src != NO_SOURCE:
                 state.receivers[src].setdefault(poss[t], set()).add((v, t))
     state.set_num_iterations(iterations)
-    return state, engine.stats
+    if state_format == "array":
+        return ArrayLabelState.from_label_state(state), bsp.stats
+    return state, bsp.stats
 
 
 def run_distributed_slpa(
@@ -115,20 +250,28 @@ def run_distributed_slpa(
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
     shard_backend: str = "dict",
+    engine: str = "auto",
 ) -> Tuple[Dict[int, List[int]], CommStats]:
     """The SLPA baseline on the simulated cluster; returns (memories, stats)."""
     part = _resolve_partitioner(partitioner, num_workers)
     shards = _build_backend_shards(graph, part, shard_backend)
-    engine = BSPEngine(shards, part)
-    programs = [
-        SLPAPropagationProgram(shard, seed=seed, iterations=iterations)
-        for shard in shards
-    ]
-    engine.run(programs)
+    if _resolve_engine(engine, shards) == "array":
+        bsp = ArrayBSPEngine(shards, part)
+        programs = [
+            FastSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
+            for shard in shards
+        ]
+    else:
+        bsp = BSPEngine(shards, part)
+        programs = [
+            SLPAPropagationProgram(shard, seed=seed, iterations=iterations)
+            for shard in shards
+        ]
+    bsp.run(programs)
     memories: Dict[int, List[int]] = {}
     for program in programs:
         memories.update(program.collect())
-    return memories, engine.stats
+    return memories, bsp.stats
 
 
 def run_distributed_update(
@@ -140,6 +283,7 @@ def run_distributed_update(
     num_workers: int = 4,
     partitioner: Optional[Partitioner] = None,
     shard_backend: str = "dict",
+    engine: str = "auto",
 ) -> Tuple[Graph, LabelState, CommStats]:
     """Algorithm 2 on the simulated cluster.
 
@@ -148,19 +292,27 @@ def run_distributed_update(
     ``batch_epoch`` must count batches the same way the sequential
     :class:`CorrectionPropagator` does for the randomness to line up.
     ``shard_backend="csr"`` requires the post-batch graph to keep
-    contiguous ids ``0..n-1``.
+    contiguous ids ``0..n-1``.  ``engine="array"`` runs the correction
+    program through the columnar message plane (same repairs, same stats).
     """
-    if shard_backend not in ("dict", "csr"):
+    if shard_backend not in ("auto", "dict", "csr"):
         raise ValueError(
-            f"shard_backend must be 'dict' or 'csr', got {shard_backend!r}"
+            f"shard_backend must be 'auto', 'dict' or 'csr', "
+            f"got {shard_backend!r}"
         )
     batch.validate_against(graph)
-    if shard_backend == "csr":
-        # Fail before mutating anything: apply_batch edits the caller's
-        # graph (and the loop below pads the caller's state) in place, and
-        # the CSR slicer would reject non-contiguous ids only afterwards.
-        ids = set(graph.vertices()) | set(batch.touched_vertices())
-        if ids and (min(ids) < 0 or max(ids) + 1 != len(ids)):
+    if shard_backend != "dict":  # an explicit dict never needs the id scan
+        post_ids = set(graph.vertices()) | set(batch.touched_vertices())
+        post_contiguous = not post_ids or (
+            min(post_ids) >= 0 and max(post_ids) + 1 == len(post_ids)
+        )
+        if shard_backend == "auto":
+            shard_backend = "csr" if post_contiguous else "dict"
+        if shard_backend == "csr" and not post_contiguous:
+            # Fail before mutating anything: apply_batch edits the caller's
+            # graph (and the loop below pads the caller's state) in place,
+            # and the CSR slicer would reject non-contiguous ids only
+            # afterwards.
             raise ValueError(
                 "shard_backend='csr' requires the post-batch graph to keep "
                 "contiguous vertex ids 0..n-1; use shard_backend='dict' or "
@@ -180,7 +332,6 @@ def run_distributed_update(
 
     part = _resolve_partitioner(partitioner, num_workers)
     shards = _build_backend_shards(new_graph, part, shard_backend)
-    engine = BSPEngine(shards, part)
     programs = []
     for shard in shards:
         local = shard.vertices
@@ -199,10 +350,18 @@ def run_distributed_update(
                 batch_epoch=batch_epoch,
             )
         )
-    engine.run(programs)
+    if _resolve_engine(engine, shards) == "array":
+        # The correction program stays tuple-level (its cascade is sparse,
+        # O(eta) messages); the adapter runs it unmodified on the columnar
+        # plane, exercising the vectorised barrier end to end.
+        bsp = ArrayBSPEngine(shards, part)
+        bsp.run([TupleProgramAdapter(program) for program in programs])
+    else:
+        bsp = BSPEngine(shards, part)
+        bsp.run(programs)
     # Worker slices alias the state's own lists/dicts, so the state is
     # already repaired in place; nothing to merge back.
-    return new_graph, state, engine.stats
+    return new_graph, state, bsp.stats
 
 
 def run_distributed_postprocess(

@@ -1,16 +1,31 @@
 """True multi-process execution of BSP programs (one machine, N processes).
 
-The in-process :class:`BSPEngine` simulates the cluster deterministically;
-this backend demonstrates the same programs running with *real* parallelism,
-one OS process per worker, pipes for message exchange, and the driver acting
-as the synchronisation barrier — the closest single-machine analogue to the
+The in-process engines simulate the cluster deterministically; this backend
+demonstrates the same programs running with *real* parallelism, one OS
+process per worker, pipes for message exchange, and the driver acting as
+the synchronisation barrier — the closest single-machine analogue to the
 paper's 7-node Spark deployment.
 
-Programs must be picklable (all programs in :mod:`repro.distributed.programs`
-are, as long as their state dictionaries are plain builtins).  Mutations a
-program makes to its state stay inside its process; results come back via
-``collect()``, so this backend suits the *propagation* programs (whose
-results are collected), not the in-place correction program.
+Two message planes, selected with ``plane=``:
+
+* ``"tuple"`` (default) — programs are
+  :class:`~repro.distributed.engine.WorkerProgram` subclasses; outboxes
+  cross the pipes as pickled tuple lists and the driver routes them with
+  the reference per-message loop.
+* ``"array"`` — programs are
+  :class:`~repro.distributed.engine_array.ArrayWorkerProgram` subclasses
+  (or adapter-wrapped tuple programs); outboxes cross the pipes as packed
+  per-kind numpy columns and the driver barrier is the vectorised
+  :func:`~repro.distributed.message_array.route_columns` — far fewer,
+  far larger pickles.
+
+Programs must be picklable (all programs in
+:mod:`repro.distributed.programs` and
+:mod:`repro.distributed.programs_array` are, as long as their state is
+builtins/ndarrays).  Mutations a program makes to its state stay inside
+its process; results come back via ``collect()``, so this backend suits
+the *propagation* programs (whose results are collected), not the
+in-place correction program.
 
 Usage::
 
@@ -22,35 +37,57 @@ Usage::
 from __future__ import annotations
 
 import multiprocessing as mp
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from repro.distributed.engine import MessageContext, WorkerProgram
+from repro.distributed.engine_array import ArrayWorkerProgram, TupleProgramAdapter
 from repro.distributed.message import Message, message_size_bytes
+from repro.distributed.message_array import (
+    ArrayInbox,
+    ArrayMessageContext,
+    ArrayOutbox,
+    route_columns,
+)
 from repro.distributed.metrics import CommStats, SuperstepStats
 from repro.distributed.worker import WorkerShard
 from repro.graph.partition import Partitioner
 
 __all__ = ["MultiprocessBSPEngine"]
 
-ProgramFactory = Callable[[WorkerShard], WorkerProgram]
+ProgramFactory = Callable[
+    [WorkerShard], Union[WorkerProgram, ArrayWorkerProgram]
+]
 
 
-def _worker_main(conn, shard: WorkerShard, factory: ProgramFactory) -> None:
+def _worker_main(
+    conn, shard: WorkerShard, factory: ProgramFactory, plane: str
+) -> None:
     """Child-process loop: execute one program over commands from the driver."""
     program = factory(shard)
+    if plane == "array" and not isinstance(program, ArrayWorkerProgram):
+        # Tuple programs run on the columnar plane through the adapter
+        # (same contract as the in-process ArrayBSPEngine).
+        program = TupleProgramAdapter(program)
+    make_ctx = ArrayMessageContext if plane == "array" else MessageContext
     try:
         while True:
             command = conn.recv()
             verb = command[0]
             if verb == "start":
-                ctx = MessageContext()
+                ctx = make_ctx()
                 program.on_start(ctx)
-                conn.send(ctx.outbox)
+                conn.send(
+                    ctx.finalize() if plane == "array" else ctx.outbox
+                )
             elif verb == "step":
                 _verb, superstep, inbox = command
-                ctx = MessageContext()
-                program.on_superstep(ctx, superstep, inbox)
-                conn.send(ctx.outbox)
+                ctx = make_ctx()
+                if plane == "array":
+                    program.on_superstep(ctx, superstep, ArrayInbox(inbox))
+                    conn.send(ctx.finalize())
+                else:
+                    program.on_superstep(ctx, superstep, inbox)
+                    conn.send(ctx.outbox)
             elif verb == "collect":
                 conn.send(program.collect())
             elif verb == "stop":
@@ -70,13 +107,25 @@ class MultiprocessBSPEngine:
         partitioner: Partitioner,
         factory: ProgramFactory,
         mp_context: Optional[str] = None,
+        plane: str = "tuple",
     ):
         if len(shards) != partitioner.num_partitions:
             raise ValueError(
                 f"{len(shards)} shards but partitioner has "
                 f"{partitioner.num_partitions} partitions"
             )
+        if plane not in ("tuple", "array"):
+            raise ValueError(f"plane must be 'tuple' or 'array', got {plane!r}")
+        if plane == "array":
+            worker_ids = sorted(shard.worker_id for shard in shards)
+            if worker_ids != list(range(partitioner.num_partitions)):
+                # The columnar barrier addresses inboxes by partition index.
+                raise ValueError(
+                    f"shard worker_ids {worker_ids} must be the partition "
+                    f"indices 0..{partitioner.num_partitions - 1}"
+                )
         self.partitioner = partitioner
+        self.plane = plane
         self.stats = CommStats()
         ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self._connections = []
@@ -85,7 +134,9 @@ class MultiprocessBSPEngine:
         for shard in shards:
             parent_conn, child_conn = ctx.Pipe()
             process = ctx.Process(
-                target=_worker_main, args=(child_conn, shard, factory), daemon=True
+                target=_worker_main,
+                args=(child_conn, shard, factory, plane),
+                daemon=True,
             )
             process.start()
             child_conn.close()
@@ -96,7 +147,7 @@ class MultiprocessBSPEngine:
     # ------------------------------------------------------------------
     # Superstep loop
     # ------------------------------------------------------------------
-    def _route(
+    def _route_tuples(
         self, outboxes: Dict[int, List[Message]], superstep: int
     ) -> Dict[int, List[tuple]]:
         step_stats = SuperstepStats(superstep=superstep)
@@ -116,10 +167,20 @@ class MultiprocessBSPEngine:
         self.stats.record(step_stats)
         return inboxes
 
+    def _route_arrays(
+        self, outboxes: Dict[int, ArrayOutbox], superstep: int
+    ) -> Dict[int, ArrayOutbox]:
+        inboxes, step_stats = route_columns(
+            outboxes, self.partitioner, self.partitioner.num_partitions, superstep
+        )
+        self.stats.record(step_stats)
+        return inboxes
+
     def run(self, max_supersteps: int = 100_000) -> CommStats:
         """Run until message quiescence; returns the communication stats."""
         if self._closed:
             raise RuntimeError("engine already shut down")
+        route = self._route_arrays if self.plane == "array" else self._route_tuples
         for conn in self._connections:
             conn.send(("start",))
         outboxes = {
@@ -133,7 +194,7 @@ class MultiprocessBSPEngine:
                 raise RuntimeError(
                     f"program did not quiesce within {max_supersteps} supersteps"
                 )
-            inboxes = self._route(outboxes, superstep)
+            inboxes = route(outboxes, superstep)
             for wid, conn in zip(self._worker_ids, self._connections):
                 conn.send(("step", superstep, inboxes[wid]))
             outboxes = {

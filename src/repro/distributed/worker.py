@@ -32,6 +32,13 @@ from repro.graph.partition import Partitioner, slice_csr
 __all__ = ["WorkerShard", "CSRShard", "build_shards", "build_csr_shards"]
 
 
+def _read_only(array: np.ndarray) -> np.ndarray:
+    """A read-only view of ``array`` (the caller's array stays writeable)."""
+    view = array.view()
+    view.flags.writeable = False
+    return view
+
+
 class WorkerShard:
     """One worker's slice of the graph (picklable for the MP backend)."""
 
@@ -84,11 +91,14 @@ class CSRShard(WorkerShard):
         # np.asarray keeps the caller's buffer when it is already int64
         # (slice_csr output), and one C-level tolist() feeds both the owned
         # set and the row lookup — no per-vertex Python conversion loop.
-        self.local_ids = np.asarray(local_ids, dtype=np.int64)
+        # The shard then stores read-only *views* (freezing the view, not
+        # the caller's array), so neighbors() hands out immutable slices
+        # and program code cannot silently corrupt the shared adjacency.
+        self.local_ids = _read_only(np.asarray(local_ids, dtype=np.int64))
         ids = self.local_ids.tolist()
         super().__init__(worker_id, frozenset(ids), {})
-        self.indptr = np.asarray(indptr, dtype=np.int64)
-        self.indices = np.asarray(indices, dtype=np.int64)
+        self.indptr = _read_only(np.asarray(indptr, dtype=np.int64))
+        self.indices = _read_only(np.asarray(indices, dtype=np.int64))
         self._row_of = {v: r for r, v in enumerate(ids)}
 
     def degree(self, v: int) -> int:

@@ -18,6 +18,7 @@ from typing import TYPE_CHECKING, Dict, Iterable, List, Tuple
 
 import numpy as np
 
+from repro.core.randomness import mix64, mix64_array
 from repro.utils.rng import derive_seed
 from repro.utils.validation import check_positive, check_type
 
@@ -44,12 +45,20 @@ class Partitioner:
     def owner(self, vertex: int) -> int:
         raise NotImplementedError
 
-    def owners_array(self, vertices: np.ndarray) -> np.ndarray:
+    def owner_array(self, vertices: np.ndarray) -> np.ndarray:
         """Owner of every id in ``vertices`` as an int64 array.
 
-        The base implementation loops over :meth:`owner`; subclasses with a
-        closed-form assignment override it with pure array ops.
+        The canonical vectorised hook: both built-in partitioners override
+        it with pure array ops (it sits on the hot routing path of the
+        columnar BSP engine, which gathers the owner of every message
+        destination in one call per superstep).  The base implementation
+        dispatches through the legacy :meth:`owners_array` name so PR-1
+        subclasses that overrode *that* keep their vectorised form.
         """
+        return self.owners_array(vertices)
+
+    def owners_array(self, vertices: np.ndarray) -> np.ndarray:
+        """Legacy name of :meth:`owner_array`; generic per-element fallback."""
         return np.fromiter(
             (self.owner(int(v)) for v in vertices),
             dtype=np.int64,
@@ -67,21 +76,36 @@ class Partitioner:
         return f"{type(self).__name__}(num_partitions={self.num_partitions})"
 
 
+# Odd 64-bit multiplier decorrelating vertex ids before the mix (same role
+# as the domain constants in repro.core.randomness, local to partitioning).
+_C_PARTITION = 0x8D8AC1B3F8A7351B
+_MASK64 = (1 << 64) - 1
+
+
 class HashPartitioner(Partitioner):
     """Uniform hash partitioning (the Spark default for pair RDDs).
 
-    Uses the library's stable BLAKE2b-derived hash so the assignment is
-    reproducible across processes and runs; ``salt`` lets tests create
-    distinct assignments.
+    The per-vertex assignment is one SplitMix64 mix over the id under a
+    BLAKE2b-derived base key, so it is reproducible across processes and
+    runs *and* has an exactly-matching vectorised form
+    (:meth:`owner_array`) for the columnar routing barrier; ``salt`` lets
+    tests create distinct assignments.
     """
 
     def __init__(self, num_partitions: int, salt: int = 0):
         super().__init__(num_partitions)
         check_type(salt, int, "salt")
         self.salt = salt
+        self._base = derive_seed("hash-partition", salt)
 
     def owner(self, vertex: int) -> int:
-        return derive_seed("hash-partition", self.salt, vertex) % self.num_partitions
+        h = mix64(self._base ^ ((vertex * _C_PARTITION) & _MASK64))
+        return h % self.num_partitions
+
+    def owner_array(self, vertices: np.ndarray) -> np.ndarray:
+        v = np.asarray(vertices).astype(np.uint64, copy=False)
+        h = mix64_array(np.uint64(self._base) ^ (v * np.uint64(_C_PARTITION)))
+        return (h % np.uint64(self.num_partitions)).astype(np.int64)
 
 
 class ContiguousPartitioner(Partitioner):
@@ -105,11 +129,12 @@ class ContiguousPartitioner(Partitioner):
             return derive_seed("range-overflow", vertex) % self.num_partitions
         return min(vertex // self._block, self.num_partitions - 1)
 
-    def owners_array(self, vertices: np.ndarray) -> np.ndarray:
+    def owner_array(self, vertices: np.ndarray) -> np.ndarray:
+        vertices = np.asarray(vertices, dtype=np.int64)
         in_range = (vertices >= 0) & (vertices < self.num_vertices)
         if in_range.all():
             return np.minimum(vertices // self._block, self.num_partitions - 1)
-        return super().owners_array(vertices)
+        return super().owner_array(vertices)
 
 
 def partition_counts(partitioner: Partitioner, vertices: Iterable[int]) -> List[int]:
@@ -146,7 +171,7 @@ def slice_csr(
     local CSR pair is the (global-id) neighbour list of ``local_ids[r]``.
     Pure array ops — the snapshot is never converted back to a dict graph.
     """
-    owners = partitioner.owners_array(
+    owners = partitioner.owner_array(
         np.arange(csr.num_vertices, dtype=np.int64)
     )
     shards = []

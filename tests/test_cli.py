@@ -82,6 +82,27 @@ class TestDetect:
         assert state.num_iterations == 40
         assert json.load(open(cover_path))["format"] == "repro.cover"
 
+    def test_detect_distributed_matches_local(self, graph_file, tmp_path):
+        """--distributed N produces the same state/cover as a local fit."""
+        local_state = str(tmp_path / "local.json")
+        dist_state = str(tmp_path / "dist.json")
+        code, _ = run_cli(
+            "detect", graph_file, "--seed", "1", "-T", "40",
+            "--state", local_state,
+        )
+        assert code == 0
+        for dist_engine in ("array", "reference"):
+            code, output = run_cli(
+                "detect", graph_file, "--seed", "1", "-T", "40",
+                "--state", dist_state,
+                "--distributed", "3", "--dist-engine", dist_engine,
+            )
+            assert code == 0
+            assert "distributed fit:" in output
+            assert (
+                load_state(dist_state).labels == load_state(local_state).labels
+            )
+
 
 class TestUpdate:
     def test_full_detect_update_cycle(self, graph_file, tmp_path, cliques_ring):

@@ -1,10 +1,12 @@
 """Tests for repro.graph.partition."""
 
+import numpy as np
 import pytest
 
 from repro.graph.partition import (
     ContiguousPartitioner,
     HashPartitioner,
+    Partitioner,
     partition_counts,
 )
 
@@ -36,6 +38,49 @@ class TestHashPartitioner:
     def test_rejects_non_int(self):
         with pytest.raises(TypeError):
             HashPartitioner(2.5)
+
+
+class TestOwnerArray:
+    """The vectorised owner gather must match the scalar owner() exactly."""
+
+    def test_hash_partitioner_matches_scalar(self):
+        part = HashPartitioner(5, salt=3)
+        ids = np.arange(2000, dtype=np.int64)
+        assert part.owner_array(ids).tolist() == [
+            part.owner(v) for v in range(2000)
+        ]
+
+    def test_contiguous_partitioner_matches_scalar(self):
+        part = ContiguousPartitioner(4, num_vertices=100)
+        ids = np.arange(100, dtype=np.int64)
+        assert part.owner_array(ids).tolist() == [
+            part.owner(v) for v in range(100)
+        ]
+
+    def test_contiguous_out_of_range_fallback_matches_scalar(self):
+        part = ContiguousPartitioner(3, num_vertices=10)
+        ids = np.array([0, 5, 9, 10, 1_000_000], dtype=np.int64)
+        assert part.owner_array(ids).tolist() == [
+            part.owner(int(v)) for v in ids
+        ]
+
+    def test_base_class_fallback(self):
+        class OddEven(Partitioner):
+            def owner(self, vertex):
+                return vertex % 2
+
+        part = OddEven(2)
+        ids = np.arange(10, dtype=np.int64)
+        assert part.owner_array(ids).tolist() == [v % 2 for v in range(10)]
+
+    def test_empty_input(self):
+        part = HashPartitioner(3)
+        assert part.owner_array(np.empty(0, dtype=np.int64)).tolist() == []
+
+    def test_deprecated_alias(self):
+        part = HashPartitioner(3)
+        ids = np.arange(50, dtype=np.int64)
+        assert part.owners_array(ids).tolist() == part.owner_array(ids).tolist()
 
 
 class TestContiguousPartitioner:

@@ -17,7 +17,7 @@ from repro.baselines.slpa import SLPA
 from repro.baselines.slpa_fast import FastSLPA
 from repro.core.fast import FastPropagator
 from repro.core.rslpa import ReferencePropagator
-from repro.distributed.cluster import run_distributed_rslpa
+from repro.distributed.cluster import run_distributed_rslpa, run_distributed_slpa
 from repro.distributed.components import distributed_connected_components
 from repro.graph.adjacency import Graph
 
@@ -76,6 +76,27 @@ class TestRSLPAEngines:
         fast.propagate(10)
         fast.to_label_state().validate(graph)
 
+    @common_settings
+    @given(contiguous_graphs(), st.integers(0, 3), st.integers(1, 4))
+    def test_array_engine_equals_reference_engine(self, graph, seed, workers):
+        """Columnar message plane == tuple plane, results and accounting."""
+        ref_state, ref_stats = run_distributed_rslpa(
+            graph.copy(), seed=seed, iterations=8, num_workers=workers,
+            shard_backend="dict", engine="reference",
+        )
+        arr_state, arr_stats = run_distributed_rslpa(
+            graph.copy(), seed=seed, iterations=8, num_workers=workers,
+            shard_backend="csr", engine="array",
+        )
+        assert arr_state.labels == ref_state.labels
+        assert arr_state.srcs == ref_state.srcs
+        assert arr_state.receivers == ref_state.receivers
+        assert arr_stats.messages_per_superstep() == (
+            ref_stats.messages_per_superstep()
+        )
+        assert arr_stats.total_bytes == ref_stats.total_bytes
+        assert arr_stats.total_remote_messages == ref_stats.total_remote_messages
+
 
 class TestSLPAEngines:
     @common_settings
@@ -86,6 +107,17 @@ class TestSLPAEngines:
         fast = FastSLPA(graph, seed=seed, iterations=iterations)
         fast.propagate()
         assert fast.memories_as_dict() == ref.memories
+
+    @common_settings
+    @given(contiguous_graphs(), st.integers(0, 3), st.integers(1, 3))
+    def test_distributed_array_equals_sequential(self, graph, seed, workers):
+        ref = SLPA(graph.copy(), seed=seed, iterations=8)
+        ref.propagate()
+        memories, _ = run_distributed_slpa(
+            graph.copy(), seed=seed, iterations=8, num_workers=workers,
+            shard_backend="csr", engine="array",
+        )
+        assert memories == ref.memories
 
     @common_settings
     @given(contiguous_graphs(), st.integers(0, 3))
