@@ -1,0 +1,286 @@
+"""Service layer — ingest throughput and query latency decoupling.
+
+The paper's operating mode (Section V-B3) separates absorbing changes from
+computing communities.  The service layer turns that into an architectural
+guarantee: queries are dictionary lookups against the cached
+``MembershipIndex`` extraction, so their latency must be *flat* while the
+ingest batch size sweeps 10 → 10k, and ingest throughput must *grow* with
+the batch size (Correction Propagation's sublinear η amortises).  A second
+sweep varies the staleness bound K to show the query-side cost of
+freshness, and the ingest sweep is repeated with the write-ahead log
+enabled to price durability.
+
+Records ``BENCH_service.json``.
+
+Run:  PYTHONPATH=src:. python -m pytest benchmarks/bench_service_throughput.py -q
+The ``-k smoke`` selection runs a scaled-down, time-bounded sweep (CI).
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from benchmarks.bench_common import SCALE, banner, print_table, scaled
+from repro.service import CommunityService
+from repro.workloads.dynamic import EditStream
+from repro.workloads.webgraph import WebGraphParams, generate_webgraph
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+ITERATIONS = scaled(30, 60, 100)
+# The acceptance sweep: ingest batch size 10 -> 10k at every scale.
+BATCH_SIZES = scaled(
+    [10, 100, 1000, 10_000],
+    [10, 100, 1000, 10_000],
+    [10, 100, 1000, 10_000, 100_000],
+)
+EDITS_TOTAL = scaled(6_000, 30_000, 200_000)
+NUM_QUERIES = scaled(3_000, 10_000, 30_000)
+STALENESS_SWEEP = scaled([1, 4, 16], [1, 4, 16], [1, 4, 16, 64])
+
+
+def _build_service(graph, batch_size, staleness, checkpoint_dir=None):
+    return CommunityService(
+        graph,
+        seed=3,
+        iterations=ITERATIONS,
+        backend="fast",
+        batch_size=batch_size,
+        staleness_batches=staleness,
+        checkpoint_every=0,  # WAL-only durability: price the log, not npz writes
+        checkpoint_dir=checkpoint_dir,
+    ).start()
+
+
+def _ingest(service, graph, batch_size, edits_total):
+    """Apply ``edits_total`` edits in ``batch_size`` windows; return seconds."""
+    num_batches = max(1, edits_total // batch_size)
+    stream = EditStream(graph, batch_size=batch_size, seed=17)
+    batches = stream.take(num_batches)
+    t0 = time.perf_counter()
+    for batch in batches:
+        service.apply(batch)
+    return time.perf_counter() - t0, num_batches * batch_size
+
+
+def _measure_queries(service, num_queries):
+    """Mean query latency (µs) against the cached index, post-refresh."""
+    service.refresh()
+    n = service.graph.num_vertices
+    vertices = [(v * 9973) % n for v in range(num_queries)]
+    t0 = time.perf_counter()
+    for v in vertices:
+        service.communities_of(v)
+    elapsed = time.perf_counter() - t0
+    return elapsed / num_queries * 1e6
+
+
+def _ingest_sweep(graph, batch_sizes, edits_total, num_queries):
+    rows = []
+    for batch_size in batch_sizes:
+        service = _build_service(graph, batch_size, staleness=10**9)
+        ingest_s, edits = _ingest(service, graph, batch_size, edits_total)
+
+        with tempfile.TemporaryDirectory() as wal_dir:
+            durable = _build_service(
+                graph, batch_size, staleness=10**9, checkpoint_dir=wal_dir
+            )
+            durable_s, _ = _ingest(durable, graph, batch_size, edits_total)
+            durable.close()
+
+        query_us = _measure_queries(service, num_queries)
+        rows.append(
+            {
+                "batch_size": batch_size,
+                "edits": edits,
+                "ingest_s": ingest_s,
+                "ingest_eps": edits / ingest_s if ingest_s else float("inf"),
+                "durable_ingest_s": durable_s,
+                "durable_ingest_eps": edits / durable_s if durable_s else float("inf"),
+                "query_mean_us": query_us,
+            }
+        )
+    return rows
+
+
+def _staleness_sweep(graph, staleness_values, num_batches=20, queries_per_batch=50):
+    """Interleaved ingest/query under different staleness bounds K."""
+    rows = []
+    for staleness in staleness_values:
+        service = _build_service(graph, batch_size=100, staleness=staleness)
+        stream = EditStream(graph, batch_size=100, seed=29)
+        batches = stream.take(num_batches)
+        extractions_before = service.extractions
+        n = service.graph.num_vertices
+        t0 = time.perf_counter()
+        for batch in batches:
+            service.apply(batch)
+            for q in range(queries_per_batch):
+                service.communities_of((q * 7919) % n)
+        elapsed = time.perf_counter() - t0
+        queries = num_batches * queries_per_batch
+        rows.append(
+            {
+                "staleness_batches": staleness,
+                "batches": num_batches,
+                "queries": queries,
+                "extractions": service.extractions - extractions_before,
+                "amortised_query_us": elapsed / queries * 1e6,
+            }
+        )
+    return rows
+
+
+def _report_sweeps(report, title, graph, ingest_rows, staleness_rows):
+    report(
+        banner(
+            title,
+            "Section V-B3 operating mode: update continuously, extract on demand",
+            "query latency flat across batch sizes; ingest eps grows with batching",
+        )
+    )
+    report(
+        f"substitute graph: |V|={graph.num_vertices}, "
+        f"|E|={graph.num_edges}, T={ITERATIONS}, backend=fast"
+    )
+    print_table(
+        report,
+        [
+            "batch size",
+            "edits",
+            "ingest (s)",
+            "edits/s",
+            "+WAL edits/s",
+            "query mean (us)",
+        ],
+        [
+            (
+                row["batch_size"],
+                row["edits"],
+                round(row["ingest_s"], 3),
+                round(row["ingest_eps"]),
+                round(row["durable_ingest_eps"]),
+                round(row["query_mean_us"], 2),
+            )
+            for row in ingest_rows
+        ],
+    )
+    report("")
+    print_table(
+        report,
+        ["staleness K", "batches", "queries", "extractions", "amortised query (us)"],
+        [
+            (
+                row["staleness_batches"],
+                row["batches"],
+                row["queries"],
+                row["extractions"],
+                round(row["amortised_query_us"], 1),
+            )
+            for row in staleness_rows
+        ],
+    )
+
+
+def test_service_throughput(benchmark, report, webgraph):
+    graph = webgraph.graph
+    results = {}
+
+    def run_sweeps():
+        results["ingest"] = _ingest_sweep(
+            graph, BATCH_SIZES, EDITS_TOTAL, NUM_QUERIES
+        )
+        results["staleness"] = _staleness_sweep(graph, STALENESS_SWEEP)
+        return results
+
+    benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    ingest_rows, staleness_rows = results["ingest"], results["staleness"]
+
+    _report_sweeps(
+        report,
+        "Service layer: ingest throughput vs query latency",
+        graph,
+        ingest_rows,
+        staleness_rows,
+    )
+
+    payload = {
+        "benchmark": "service_throughput",
+        "scale": SCALE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "graph": {
+            "kind": "webgraph_eu2015tpd_substitute",
+            "num_vertices": graph.num_vertices,
+            "num_edges": graph.num_edges,
+            "iterations": ITERATIONS,
+        },
+        "config": {
+            "edits_total": EDITS_TOTAL,
+            "num_queries": NUM_QUERIES,
+            "backend": "fast",
+        },
+        "results": results,
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    report(f"results recorded in {RESULT_PATH}")
+
+    # Shape assertions — the decoupling contract.
+    latencies = [row["query_mean_us"] for row in ingest_rows]
+    assert max(latencies) <= 5 * min(latencies), (
+        f"query latency not flat across ingest batch sizes: {latencies}"
+    )
+    # Batching amortises the per-batch overhead: the biggest window must
+    # out-ingest the smallest by a clear margin.
+    assert ingest_rows[-1]["ingest_eps"] > 2 * ingest_rows[0]["ingest_eps"], (
+        "ingest throughput did not grow with batch size"
+    )
+    # Laxer staleness must not extract more often than stricter staleness.
+    extractions = [row["extractions"] for row in staleness_rows]
+    assert all(a >= b for a, b in zip(extractions, extractions[1:])), (
+        f"extraction counts not monotone in K: {extractions}"
+    )
+
+
+def test_service_smoke(benchmark, report):
+    """Scaled-down sweep for CI (`pytest benchmarks -k smoke`): exercises the
+    full ingest/query/staleness paths plus WAL-priced ingest in seconds,
+    without the timing-based shape gates."""
+    graph = generate_webgraph(
+        WebGraphParams(n=1500, avg_out_degree=8.0), seed=7
+    ).graph
+    results = {}
+
+    def run_sweeps():
+        results["ingest"] = _ingest_sweep(
+            graph, [10, 100], edits_total=400, num_queries=500
+        )
+        results["staleness"] = _staleness_sweep(
+            graph, [1, 4], num_batches=6, queries_per_batch=10
+        )
+        return results
+
+    benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
+    _report_sweeps(
+        report,
+        "Service layer smoke: ingest/query sweeps on a small webgraph",
+        graph,
+        results["ingest"],
+        results["staleness"],
+    )
+    assert len(results["ingest"]) == 2
+    assert all(row["extractions"] >= 1 for row in results["staleness"])
+
+
+if __name__ == "__main__":  # pragma: no cover - ad-hoc run without pytest
+    instance = generate_webgraph(WebGraphParams(n=8000, avg_out_degree=10.0), seed=7)
+
+    class _Bench:
+        @staticmethod
+        def pedantic(fn, rounds=1, iterations=1):
+            fn()
+
+    class _Webgraph:
+        graph = instance.graph
+
+    test_service_throughput(_Bench(), print, _Webgraph())

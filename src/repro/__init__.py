@@ -48,6 +48,13 @@ from repro.graph import (
     write_edge_list,
 )
 from repro.metrics import nmi_overlapping, omega_index, overlapping_f1
+from repro.service import (
+    CheckpointStore,
+    CommunityService,
+    EditQueue,
+    MembershipIndex,
+    ServiceConfig,
+)
 from repro.workloads import (
     EditStream,
     LFRParams,
@@ -87,6 +94,12 @@ __all__ = [
     "Cover",
     "PostprocessResult",
     "extract_communities",
+    # service layer
+    "CommunityService",
+    "ServiceConfig",
+    "EditQueue",
+    "MembershipIndex",
+    "CheckpointStore",
     # baselines
     "SLPA",
     "FastSLPA",

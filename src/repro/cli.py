@@ -1,11 +1,13 @@
-"""Command-line interface: detect, update, and inspect without writing code.
+"""Command-line interface: detect, update, serve, and inspect without code.
 
-Three subcommands mirroring the library lifecycle::
+Four subcommands mirroring the library lifecycle::
 
     python -m repro.cli detect graph.txt --seed 7 -T 200 \
         --state state.json --cover cover.json
     python -m repro.cli update state.json graph.txt edits.txt \
         --seed 7 --cover cover.json
+    python -m repro.cli serve graph.txt --edits edits.txt \
+        --checkpoint-dir state/ --query 17 --query 23
     python -m repro.cli stats graph.txt
 
 ``graph.txt`` is a whitespace edge list (directions/duplicates/self-loops
@@ -18,6 +20,12 @@ same format prefixed with ``+``/``-`` per line::
 The ``update`` subcommand loads a saved label state, applies the batch with
 Correction Propagation, saves the state back, and (optionally) re-extracts
 the communities — the paper's continuous-monitoring loop as a shell command.
+
+The ``serve`` subcommand runs one session of the
+:class:`~repro.service.CommunityService`: fit (or ``--recover`` from a
+checkpoint directory), stream the edit file through the coalescing ingest
+queue, answer ``--query`` membership lookups from the stable-id index, and
+leave a checkpoint + WAL behind for the next session.
 """
 
 from __future__ import annotations
@@ -38,13 +46,12 @@ from repro.graph.adjacency import Graph
 from repro.graph.edits import EditBatch
 from repro.graph.io import read_edge_list
 
-__all__ = ["main", "build_parser", "parse_edit_file"]
+__all__ = ["main", "build_parser", "parse_edit_file", "iter_edit_file"]
 
 
-def parse_edit_file(path: str) -> EditBatch:
-    """Read a ``+/- u v`` edit file into a batch."""
-    insertions: List[Tuple[int, int]] = []
-    deletions: List[Tuple[int, int]] = []
+def iter_edit_file(path: str) -> List[Tuple[str, int, int]]:
+    """Read a ``+/- u v`` edit file as an ordered list of single edits."""
+    edits: List[Tuple[str, int, int]] = []
     with open(path, "r", encoding="utf-8") as handle:
         for lineno, raw in enumerate(handle, start=1):
             line = raw.strip()
@@ -59,8 +66,17 @@ def parse_edit_file(path: str) -> EditBatch:
                 u, v = int(parts[1]), int(parts[2])
             except ValueError as exc:
                 raise ValueError(f"{path}:{lineno}: non-integer vertex id") from exc
-            (insertions if parts[0] == "+" else deletions).append((u, v))
-    return EditBatch.build(insertions=insertions, deletions=deletions)
+            edits.append((parts[0], u, v))
+    return edits
+
+
+def parse_edit_file(path: str) -> EditBatch:
+    """Read a ``+/- u v`` edit file into a batch."""
+    edits = iter_edit_file(path)
+    return EditBatch.build(
+        insertions=[(u, v) for op, u, v in edits if op == "+"],
+        deletions=[(u, v) for op, u, v in edits if op == "-"],
+    )
 
 
 def _print_cover(cover, out) -> None:
@@ -109,7 +125,10 @@ def _cmd_detect(args, out) -> int:
 
 def _cmd_update(args, out) -> int:
     graph = read_edge_list(args.graph)
+    # Either representation may come back (JSON -> LabelState, npz ->
+    # ArrayLabelState); the chosen backend decides what it runs on.
     state = load_state(args.state)
+    is_array = isinstance(state, ArrayLabelState)
     batch = parse_edit_file(args.edits)
     # Backend selection mirrors `detect`: the vectorised corrector needs
     # contiguous ids (the array substrate's contract, for the graph AND for
@@ -126,7 +145,9 @@ def _cmd_update(args, out) -> int:
     if use_fast:
         state.validate(graph)  # same guarantee from_state gives the reference path
         corrector = FastCorrectionPropagator(
-            graph, ArrayLabelState.from_label_state(state), args.seed
+            graph,
+            state if is_array else ArrayLabelState.from_label_state(state),
+            args.seed,
         )
         if not corrector.accepts(batch):
             if args.backend == "fast":
@@ -136,24 +157,87 @@ def _cmd_update(args, out) -> int:
                 )
             corrector = None  # auto: fall back to the reference engine
     if corrector is None:
-        propagator = ReferencePropagator.from_state(graph, args.seed, state)
+        propagator = ReferencePropagator.from_state(
+            graph, args.seed, state.to_label_state() if is_array else state
+        )
         corrector = CorrectionPropagator(propagator)
         use_fast = False
     corrector.batch_epoch = args.batch_epoch - 1
     report = corrector.apply_batch(batch)
-    if use_fast:
-        state = corrector.state.to_label_state()
-    save_state(state, args.state)
+    # save_state converts as needed; the target's format follows its suffix.
+    save_state(corrector.state, args.state)
     out.write(
         f"applied {batch.size} edits: {report.repicked} repicked, "
         f"{report.touched_labels} labels touched; "
         f"state saved to {args.state}\n"
     )
     if args.cover:
-        result = extract_communities(graph, state.labels, step=args.tau_step)
+        sequences = (
+            corrector.state.sequences_dict()
+            if isinstance(corrector.state, ArrayLabelState)
+            else corrector.state.labels
+        )
+        result = extract_communities(graph, sequences, step=args.tau_step)
         save_cover(result.cover, args.cover)
         out.write(f"cover saved to {args.cover}\n")
         _print_cover(result.cover, out)
+    return 0
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.service import CommunityService
+
+    if args.recover:
+        if not args.checkpoint_dir:
+            raise ValueError("--recover requires --checkpoint-dir")
+        service = CommunityService.recover(
+            args.checkpoint_dir,
+            backend=args.backend,
+            batch_size=args.batch_size,
+            staleness_batches=args.staleness,
+            checkpoint_every=args.checkpoint_every,
+            tau_step=args.tau_step,
+        )
+        out.write(
+            f"recovered from {args.checkpoint_dir}: "
+            f"{service.batches_applied} batches durable\n"
+        )
+    else:
+        if not args.graph:
+            raise ValueError("a graph file is required unless --recover is given")
+        graph = read_edge_list(args.graph)
+        service = CommunityService(
+            graph,
+            seed=args.seed,
+            iterations=args.iterations,
+            backend=args.backend,
+            tau_step=args.tau_step,
+            batch_size=args.batch_size,
+            staleness_batches=args.staleness,
+            checkpoint_every=args.checkpoint_every,
+            checkpoint_dir=args.checkpoint_dir,
+        )
+        service.start(num_workers=args.distributed)
+    if args.edits:
+        # The service ingest path proper: single edits in file order through
+        # the coalescing queue, windows flushed as they fill.  Unlike
+        # `update`, opposite edits of one edge cancel instead of conflicting.
+        for op, u, v in iter_edit_file(args.edits):
+            service.submit(op, u, v)
+        service.flush()
+    payload = {"stats": service.stats()}
+    if args.query:
+        memberships = {}
+        for v in args.query:
+            cids = service.communities_of(v)
+            memberships[str(v)] = {
+                "communities": list(cids),
+                "sizes": [len(service.members(c)) for c in cids],
+            }
+        payload["memberships"] = memberships
+    service.close()
+    json.dump(payload, out, indent=2)
+    out.write("\n")
     return 0
 
 
@@ -240,6 +324,69 @@ def build_parser() -> argparse.ArgumentParser:
     update.add_argument("--tau-step", type=float, default=0.001)
     update.add_argument("--cover", help="re-extract and save the cover here")
     update.set_defaults(func=_cmd_update)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run one community-service session (ingest + query + durability)",
+    )
+    serve.add_argument(
+        "graph",
+        nargs="?",
+        help="edge-list file (omit with --recover; the checkpoint has the graph)",
+    )
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("-T", "--iterations", type=int, default=200)
+    serve.add_argument(
+        "--backend", choices=("auto", "reference", "fast"), default="auto"
+    )
+    serve.add_argument("--tau-step", type=float, default=0.001)
+    serve.add_argument("--edits", help="edit file streamed through the ingest queue")
+    serve.add_argument(
+        "--batch-size",
+        type=int,
+        default=256,
+        help="ingest micro-batch window (edits per flush)",
+    )
+    serve.add_argument(
+        "--staleness",
+        type=int,
+        default=4,
+        metavar="K",
+        help="re-extract lazily once K batches landed since the last extraction",
+    )
+    serve.add_argument(
+        "--checkpoint-dir",
+        help="enable durability: npz checkpoints + write-ahead log here",
+    )
+    serve.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=1,
+        metavar="N",
+        help="checkpoint every N applied batches (0 = only at start)",
+    )
+    serve.add_argument(
+        "--recover",
+        action="store_true",
+        help="restore from --checkpoint-dir (latest checkpoint + WAL replay) "
+        "instead of fitting",
+    )
+    serve.add_argument(
+        "--distributed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="fit on the simulated BSP cluster with N workers (0 = local)",
+    )
+    serve.add_argument(
+        "--query",
+        type=int,
+        action="append",
+        default=[],
+        metavar="V",
+        help="report stable community ids of vertex V (repeatable)",
+    )
+    serve.set_defaults(func=_cmd_serve)
 
     stats = sub.add_parser("stats", help="print normalised graph statistics")
     stats.add_argument("graph", help="edge-list file")

@@ -22,6 +22,7 @@ algorithm and Figure 9.  The switch probability is the complement,
 
 from __future__ import annotations
 
+import math
 from typing import List
 
 from repro.utils.validation import check_non_negative, check_positive, check_type
@@ -125,5 +126,9 @@ def worst_case_updates(num_vertices: int, iterations: int, pc: float) -> float:
         raise ValueError(f"pc must be in [0, 1], got {pc}")
     if pc == 0.0:
         return 0.0
-    geometric_sum = ((1.0 - pc) - (1.0 - pc) ** (iterations + 1)) / pc
+    # Sum the geometric series directly instead of the closed form
+    # ((1-pc) - (1-pc)^{T+1}) / pc: for tiny pc the closed form cancels
+    # catastrophically and can dip below the best-case bound (even negative).
+    ratio = 1.0 - pc
+    geometric_sum = math.fsum(ratio ** t for t in range(1, iterations + 1))
     return iterations * num_vertices - num_vertices * geometric_sum

@@ -200,6 +200,54 @@ class RSLPADetector:
         self._label_state_cache = None
         return self
 
+    @classmethod
+    def from_state(
+        cls,
+        graph: Graph,
+        state: Union[LabelState, ArrayLabelState],
+        seed: int,
+        backend: str = "auto",
+        tau_step: float = 0.001,
+        batch_epoch: int = 0,
+    ) -> "RSLPADetector":
+        """Adopt a previously fitted label state without re-propagating.
+
+        This is the restart path: a state loaded from disk (either
+        representation — it is converted to whatever the chosen ``backend``
+        runs on) comes back as a fitted detector whose ``update`` /
+        ``communities`` lifecycle continues exactly where it left off.
+        ``seed`` and ``batch_epoch`` must match the original run for the
+        correction lotteries to keep drawing the same numbers; ``state`` is
+        adopted (mutated by future updates), not copied.
+        """
+        check_type(batch_epoch, int, "batch_epoch")
+        detector = cls(
+            graph,
+            seed=seed,
+            iterations=state.num_iterations,
+            backend=backend,
+            tau_step=tau_step,
+        )
+        if detector._resolve_use_fast():
+            astate = (
+                state
+                if isinstance(state, ArrayLabelState)
+                else ArrayLabelState.from_label_state(state)
+            )
+            detector._corrector = FastCorrectionPropagator(
+                detector.graph, astate, seed
+            )
+        else:
+            lstate = (
+                state.to_label_state()
+                if isinstance(state, ArrayLabelState)
+                else state
+            )
+            propagator = ReferencePropagator.from_state(detector.graph, seed, lstate)
+            detector._corrector = CorrectionPropagator(propagator)
+        detector._corrector.batch_epoch = batch_epoch
+        return detector
+
     def _require_fitted(self) -> None:
         if self._corrector is None:
             raise RuntimeError("detector is not fitted; call fit() first")

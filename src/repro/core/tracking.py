@@ -20,7 +20,13 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Tuple
 from repro.core.communities import Cover
 from repro.utils.validation import check_fraction
 
-__all__ = ["CommunityEvent", "TransitionReport", "match_covers", "CommunityTracker"]
+__all__ = [
+    "CommunityEvent",
+    "TransitionReport",
+    "match_covers",
+    "assign_stable_ids",
+    "CommunityTracker",
+]
 
 
 def _jaccard(a: FrozenSet[int], b: FrozenSet[int]) -> float:
@@ -178,6 +184,60 @@ def match_covers(
             report.events.append(CommunityEvent("born", (), (j,)))
 
     return report
+
+
+def assign_stable_ids(
+    old: Cover,
+    old_ids: Sequence[int],
+    new: Cover,
+    next_id: int,
+    match_threshold: float = 0.3,
+    drift_tolerance: float = 0.1,
+) -> Tuple[Tuple[int, ...], int, TransitionReport]:
+    """Carry stable community ids from ``old`` (labelled ``old_ids``) to ``new``.
+
+    The matching is :func:`match_covers`; ids flow along its events —
+    survivors inherit, a merge target inherits from its closest constituent,
+    a split's closest child keeps the parent's id while its siblings are
+    births, and every unmatched new community draws a fresh id from
+    ``next_id`` upward.  Returns ``(new_ids, next_id, report)`` with
+    ``new_ids[j]`` the stable id of ``new[j]``; ids of died/absorbed
+    communities are retired, never reused.
+
+    This is what gives the service layer's query plane identity across
+    extractions: ``members(cid)`` keeps answering for the same sociological
+    community even as its membership drifts.
+    """
+    if len(old_ids) != len(old):
+        raise ValueError(
+            f"old_ids has {len(old_ids)} entries for {len(old)} communities"
+        )
+    report = match_covers(
+        old,
+        new,
+        match_threshold=match_threshold,
+        drift_tolerance=drift_tolerance,
+    )
+    new_ids: List[Optional[int]] = [None] * len(new)
+
+    def closest(candidates: Sequence[int], target: FrozenSet[int], side: Cover) -> int:
+        # Deterministic tie-break: highest Jaccard, then lowest index.
+        return max(candidates, key=lambda idx: (_jaccard(side[idx], target), -idx))
+
+    for event in report.events:
+        if event.kind in ("continued", "grown", "shrunk"):
+            new_ids[event.after[0]] = old_ids[event.before[0]]
+        elif event.kind == "merged":
+            j = event.after[0]
+            new_ids[j] = old_ids[closest(event.before, new[j], old)]
+        elif event.kind == "split":
+            i = event.before[0]
+            new_ids[closest(event.after, old[i], new)] = old_ids[i]
+    for j in range(len(new)):
+        if new_ids[j] is None:
+            new_ids[j] = next_id
+            next_id += 1
+    return tuple(new_ids), next_id, report
 
 
 class CommunityTracker:

@@ -1,0 +1,56 @@
+"""Service layer: the detector wrapped for long-lived serving.
+
+The paper's operating mode (Section V-B3) is a state that absorbs edit
+batches continuously and extracts communities on demand — an online
+service, not a batch job.  This package is that service, organised as
+**three planes around one fitted detector** (the three-plane architecture,
+sibling to the two-representation story in ``graph/`` and the two-plane
+story in ``distributed/``):
+
+* **Ingest plane** (``repro.service.ingest``) — :class:`EditQueue`
+  coalesces a stream of single edge edits into net
+  :class:`~repro.graph.edits.EditBatch` windows (opposite edits cancel,
+  duplicates absorb, ``max_pending`` backpressures), each window paid for
+  once by Correction Propagation via ``detector.update``.
+* **Query plane** (``repro.service.index``) — :class:`MembershipIndex`
+  inverts the latest extraction into ``vertex -> stable community ids``
+  and ``stable id -> members`` maps, with identity carried across
+  extractions by :func:`repro.core.tracking.assign_stable_ids`.  Queries
+  are dictionary lookups against this cached extraction; a max-staleness
+  policy (re-extract lazily after K batches, or on demand) keeps query
+  latency decoupled from ingest volume.
+* **Durability plane** (``repro.service.durability``) —
+  :class:`CheckpointStore` persists array-native npz checkpoints of the
+  label state plus a CRC-tagged write-ahead log of applied batches;
+  because every random draw is keyed, checkpoint + WAL replay restores a
+  **bit-identical** state after a crash, on any backend.
+
+:class:`CommunityService` (``repro.service.facade``) wires the planes
+together and is the one class most deployments need::
+
+    from repro.service import CommunityService
+
+    service = CommunityService(graph, seed=7, batch_size=64,
+                               checkpoint_dir="state/").start()
+    service.submit_insert(17, 23)          # queued; flushes per window
+    service.communities_of(17)             # stable ids, served from cache
+    # after a crash:
+    service = CommunityService.recover("state/")
+"""
+
+from repro.service.durability import Checkpoint, CheckpointStore
+from repro.service.facade import CommunityService, ServiceConfig
+from repro.service.index import MembershipIndex
+from repro.service.ingest import DELETE, INSERT, BackpressureError, EditQueue
+
+__all__ = [
+    "CommunityService",
+    "ServiceConfig",
+    "EditQueue",
+    "BackpressureError",
+    "INSERT",
+    "DELETE",
+    "MembershipIndex",
+    "Checkpoint",
+    "CheckpointStore",
+]

@@ -1,0 +1,262 @@
+"""Durability plane: binary checkpoints plus a write-ahead log.
+
+The service's recovery contract is *bit-identical restart*: after a crash,
+``recover()`` must produce exactly the label matrices (and therefore
+exactly the extracted cover) that the uninterrupted run would hold.  Two
+pieces make that possible:
+
+* **Checkpoints** — the full :class:`~repro.core.labels_array.ArrayLabelState`
+  written array-native with :func:`numpy.savez_compressed` (the
+  ``core.serialize`` npz layout), together with the graph's edge array and
+  the run metadata (seed, batch epoch, edits applied).  Writes go to a
+  temp file and are published with ``os.replace``, so a crash mid-write
+  never corrupts the latest good checkpoint.
+* **Write-ahead log** — every applied :class:`~repro.graph.edits.EditBatch`
+  is appended (fsynced, CRC-tagged JSON lines) *before* the in-memory
+  apply.  Because every random draw in Correction Propagation is keyed by
+  ``(seed, slot, epoch)`` — never by wall clock or iteration order —
+  replaying the logged batches from the checkpoint's epoch reproduces the
+  exact post-crash state on either backend.
+
+A torn tail (the record being written when the process died) fails its CRC
+and is discarded; everything before it replays.  On checkpoint the WAL is
+rotated down to the records newer than the checkpoint epoch and older
+checkpoint files are pruned, so disk usage stays bounded by
+``keep`` checkpoints + one WAL window.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+from dataclasses import dataclass
+from pathlib import Path
+from typing import List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.core.labels_array import ArrayLabelState
+from repro.core.serialize import state_from_arrays, state_to_arrays
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+
+__all__ = ["Checkpoint", "CheckpointStore"]
+
+CHECKPOINT_FORMAT = "repro.service_checkpoint"
+CHECKPOINT_VERSION = 1
+WAL_NAME = "wal.log"
+
+
+@dataclass
+class Checkpoint:
+    """One recovered checkpoint: state + graph + the run metadata."""
+
+    state: ArrayLabelState
+    graph: Graph
+    seed: int
+    batch_epoch: int
+    edits_applied: int
+
+    @property
+    def iterations(self) -> int:
+        return self.state.num_iterations
+
+
+def _wal_crc(epoch: int, ins: List[List[int]], dels: List[List[int]]) -> int:
+    body = json.dumps(
+        {"epoch": epoch, "ins": ins, "del": dels},
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return zlib.crc32(body.encode("utf-8"))
+
+
+def _encode_wal_record(epoch: int, batch: EditBatch) -> str:
+    """One WAL line; the single encoder both append and rotation use, so
+    rotated records always re-pass their CRC on later reads."""
+    ins = [list(e) for e in sorted(batch.insertions)]
+    dels = [list(e) for e in sorted(batch.deletions)]
+    record = {
+        "epoch": epoch,
+        "ins": ins,
+        "del": dels,
+        "crc": _wal_crc(epoch, ins, dels),
+    }
+    return json.dumps(record, separators=(",", ":")) + "\n"
+
+
+class CheckpointStore:
+    """Checkpoint + WAL files under one directory.
+
+    Layout: ``checkpoint-<epoch>.npz`` (zero-padded batch epochs) and one
+    ``wal.log``.  The store is an inert file manager — the replay policy
+    (which records to apply, in what order) lives in
+    :meth:`CommunityService.recover`.
+    """
+
+    def __init__(self, directory: Union[str, Path], keep: int = 2):
+        if keep < 1:
+            raise ValueError(f"keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.keep = keep
+        self._wal_handle = None
+
+    # ------------------------------------------------------------------
+    # Checkpoints
+    # ------------------------------------------------------------------
+    def _checkpoint_path(self, epoch: int) -> Path:
+        return self.directory / f"checkpoint-{epoch:010d}.npz"
+
+    def checkpoint_epochs(self) -> List[int]:
+        """Epochs of all on-disk checkpoints, ascending."""
+        epochs = []
+        for path in self.directory.glob("checkpoint-*.npz"):
+            try:
+                epochs.append(int(path.stem.split("-", 1)[1]))
+            except ValueError:
+                continue  # foreign file; not ours to interpret
+        return sorted(epochs)
+
+    def latest_epoch(self) -> Optional[int]:
+        epochs = self.checkpoint_epochs()
+        return epochs[-1] if epochs else None
+
+    def write_checkpoint(
+        self,
+        state: ArrayLabelState,
+        graph: Graph,
+        seed: int,
+        batch_epoch: int,
+        edits_applied: int = 0,
+    ) -> Path:
+        """Atomically publish a checkpoint, rotate the WAL, prune old files."""
+        edges = sorted(graph.edges())
+        arrays = state_to_arrays(state)
+        arrays.update(
+            ckpt_format=np.array(CHECKPOINT_FORMAT),
+            ckpt_version=np.array(CHECKPOINT_VERSION, dtype=np.int64),
+            edges=np.array(edges, dtype=np.int64).reshape(len(edges), 2),
+            seed=np.array(seed, dtype=np.int64),
+            batch_epoch=np.array(batch_epoch, dtype=np.int64),
+            edits_applied=np.array(edits_applied, dtype=np.int64),
+        )
+        final = self._checkpoint_path(batch_epoch)
+        tmp = final.with_suffix(".npz.tmp")
+        with open(tmp, "wb") as handle:
+            np.savez_compressed(handle, **arrays)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, final)
+        self._rotate_wal(batch_epoch)
+        for epoch in self.checkpoint_epochs()[: -self.keep]:
+            self._checkpoint_path(epoch).unlink(missing_ok=True)
+        return final
+
+    def load_checkpoint(self, epoch: Optional[int] = None) -> Checkpoint:
+        """Load the checkpoint at ``epoch`` (latest by default)."""
+        if epoch is None:
+            epoch = self.latest_epoch()
+            if epoch is None:
+                raise FileNotFoundError(
+                    f"no checkpoints under {self.directory}"
+                )
+        path = self._checkpoint_path(epoch)
+        with np.load(path) as arrays:
+            if str(arrays["ckpt_format"]) != CHECKPOINT_FORMAT:
+                raise ValueError(f"{path} is not a service checkpoint")
+            if int(arrays["ckpt_version"]) != CHECKPOINT_VERSION:
+                raise ValueError(
+                    f"{path}: unsupported checkpoint version "
+                    f"{int(arrays['ckpt_version'])}"
+                )
+            state = state_from_arrays(arrays)
+            edges = [tuple(edge) for edge in arrays["edges"].tolist()]
+            meta = {
+                key: int(arrays[key])
+                for key in ("seed", "batch_epoch", "edits_applied")
+            }
+        vertices = np.nonzero(state.alive)[0].tolist()
+        graph = Graph.from_edges(edges, vertices=vertices)
+        return Checkpoint(state=state, graph=graph, **meta)
+
+    # ------------------------------------------------------------------
+    # Write-ahead log
+    # ------------------------------------------------------------------
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / WAL_NAME
+
+    def append_wal(self, epoch: int, batch: EditBatch) -> None:
+        """Durably append one applied batch (call *before* the apply)."""
+        if self._wal_handle is None:
+            self._wal_handle = open(self.wal_path, "a", encoding="utf-8")
+        self._wal_handle.write(_encode_wal_record(epoch, batch))
+        self._wal_handle.flush()
+        os.fsync(self._wal_handle.fileno())
+
+    def read_wal(self, after_epoch: int = -1) -> List[Tuple[int, EditBatch]]:
+        """All intact WAL records with epoch > ``after_epoch``, in order.
+
+        Reading stops at the first torn or corrupt record — by the
+        write-ahead ordering everything after it was never applied.
+        """
+        if not self.wal_path.exists():
+            return []
+        records: List[Tuple[int, EditBatch]] = []
+        with open(self.wal_path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                record = self._parse_wal_line(line)
+                if record is None:
+                    break
+                epoch, batch = record
+                if epoch > after_epoch:
+                    records.append((epoch, batch))
+        return records
+
+    @staticmethod
+    def _parse_wal_line(line: str) -> Optional[Tuple[int, EditBatch]]:
+        try:
+            payload = json.loads(line)
+            epoch = payload["epoch"]
+            ins = payload["ins"]
+            dels = payload["del"]
+            if payload["crc"] != _wal_crc(epoch, ins, dels):
+                return None
+            batch = EditBatch(
+                insertions=frozenset(tuple(e) for e in ins),
+                deletions=frozenset(tuple(e) for e in dels),
+            )
+        except (ValueError, KeyError, TypeError):
+            return None
+        return epoch, batch
+
+    def _rotate_wal(self, checkpoint_epoch: int) -> None:
+        """Drop WAL records the new checkpoint has made redundant."""
+        survivors = self.read_wal(after_epoch=checkpoint_epoch)
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+        tmp = self.wal_path.with_suffix(".log.tmp")
+        with open(tmp, "w", encoding="utf-8") as handle:
+            for epoch, batch in survivors:
+                handle.write(_encode_wal_record(epoch, batch))
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, self.wal_path)
+
+    def wal_records(self) -> int:
+        """Number of intact records currently in the WAL."""
+        return len(self.read_wal())
+
+    def close(self) -> None:
+        if self._wal_handle is not None:
+            self._wal_handle.close()
+            self._wal_handle = None
+
+    def __repr__(self) -> str:
+        return (
+            f"CheckpointStore({str(self.directory)!r}, "
+            f"checkpoints={self.checkpoint_epochs()}, wal={self.wal_records()})"
+        )

@@ -1,0 +1,426 @@
+"""The :class:`CommunityService` facade: ingest, query, survive.
+
+One object wires the three planes together around a fitted
+:class:`~repro.core.detector.RSLPADetector`:
+
+* edits stream in through :meth:`submit` → the :class:`EditQueue`
+  micro-batcher → ``detector.update`` (Correction Propagation) whenever a
+  window fills;
+* queries (:meth:`communities_of`, :meth:`members`, :meth:`overlap`) are
+  answered from the :class:`MembershipIndex` over a cached extraction,
+  re-extracted lazily once ``staleness_batches`` batches have landed since
+  the last one — the paper's "update continuously, extract periodically"
+  policy (Section V-B3) as a max-staleness bound;
+* with a checkpoint directory configured, every applied batch is logged
+  write-ahead and the state checkpoints every ``checkpoint_every``
+  batches, so :meth:`recover` restores a bit-identical service after a
+  crash.
+
+The facade works unchanged over every engine the detector offers: local
+reference, the vectorised array substrate, or a :meth:`start`
+``num_workers > 0`` distributed BSP fit — all bit-identical per seed, so
+the durability contract holds across them too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, FrozenSet, Optional, Tuple, Union
+
+from repro.core.communities import Cover
+from repro.core.detector import DEFAULT_ITERATIONS, RSLPADetector
+from repro.core.incremental import UpdateReport
+from repro.core.labels_array import ArrayLabelState
+from repro.core.tracking import TransitionReport
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.service.durability import CheckpointStore
+from repro.service.index import MembershipIndex
+from repro.service.ingest import EditQueue
+
+__all__ = ["CommunityService", "ServiceConfig"]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Everything tunable about a service instance, in one place.
+
+    ``staleness_batches`` is K in the lazy re-extraction policy: a query
+    finding K or more batches applied since the last extraction triggers
+    one (0 = always fresh).  ``checkpoint_every`` = 0 disables automatic
+    checkpoints (explicit :meth:`CommunityService.checkpoint` still works);
+    it only matters when a checkpoint directory is configured.  With
+    ``strict_edits`` off, flushed edits that are no-ops against the live
+    graph (inserting a present edge, deleting an absent one) are dropped
+    instead of raising.
+    """
+
+    seed: int = 0
+    iterations: int = DEFAULT_ITERATIONS
+    backend: str = "auto"
+    tau_step: float = 0.001
+    batch_size: int = 256
+    max_pending: Optional[int] = None
+    staleness_batches: int = 4
+    match_threshold: float = 0.3
+    drift_tolerance: float = 0.1
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 2
+    strict_edits: bool = True
+
+
+class CommunityService:
+    """A long-lived overlapping-community service over a dynamic graph.
+
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> service = CommunityService(
+    ...     ring_of_cliques(4, 5), seed=3, iterations=60, batch_size=2
+    ... ).start()
+    >>> service.communities_of(0) != ()
+    True
+    >>> _ = service.submit_insert(0, 10)   # queued, window not full
+    >>> service.stats()["pending_edits"]
+    1
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        config: Optional[ServiceConfig] = None,
+        checkpoint_dir: Optional[str] = None,
+        **overrides,
+    ):
+        cfg = config if config is not None else ServiceConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        self.config = cfg
+        self.detector = RSLPADetector(
+            graph,
+            seed=cfg.seed,
+            iterations=cfg.iterations,
+            backend=cfg.backend,
+            tau_step=cfg.tau_step,
+        )
+        self.queue = EditQueue(
+            batch_size=cfg.batch_size, max_pending=cfg.max_pending
+        )
+        self.index = MembershipIndex(
+            match_threshold=cfg.match_threshold,
+            drift_tolerance=cfg.drift_tolerance,
+        )
+        self.store = (
+            CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
+            if checkpoint_dir is not None
+            else None
+        )
+        if self.store is not None and not self._ids_contiguous():
+            raise ValueError(
+                "durability (checkpoint_dir) requires contiguous vertex ids "
+                "0..n-1 — checkpoints are array-native; use "
+                "repro.graph.relabel_to_integers first"
+            )
+        self._started = False
+        self.checkpoints_skipped = 0
+        self.batches_applied = 0
+        self.edits_applied = 0
+        self.batches_since_extract = 0
+        self.extractions = 0
+        self.queries_served = 0
+        self.last_report: Optional[UpdateReport] = None
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def graph(self) -> Graph:
+        """The live graph (the detector's private copy; read-only)."""
+        return self.detector.graph
+
+    def start(
+        self,
+        num_workers: int = 0,
+        dist_engine: str = "auto",
+        shard_backend: str = "auto",
+    ) -> "CommunityService":
+        """Fit the detector (locally, or on ``num_workers`` BSP workers),
+        build the first extraction, and write the baseline checkpoint."""
+        if self._started:
+            raise RuntimeError("service already started")
+        if num_workers:
+            self.detector.fit_distributed(
+                num_workers=num_workers,
+                engine=dist_engine,
+                shard_backend=shard_backend,
+            )
+        else:
+            self.detector.fit()
+        self._started = True
+        self.refresh()
+        if self.store is not None:
+            self.checkpoint()
+        return self
+
+    @classmethod
+    def recover(
+        cls,
+        checkpoint_dir: str,
+        config: Optional[ServiceConfig] = None,
+        **overrides,
+    ) -> "CommunityService":
+        """Restore a service from its checkpoint directory.
+
+        Loads the latest checkpoint, replays the WAL tail through
+        ``detector.update``, and re-extracts — the result is bit-identical
+        (label matrices and cover) to the state the crashed service held
+        after its last durably-applied batch.  The seed is taken from the
+        checkpoint; other config (backend, staleness, batching) may differ
+        from the original run without affecting the recovered state.
+        """
+        cfg = config if config is not None else ServiceConfig()
+        if overrides:
+            cfg = replace(cfg, **overrides)
+        store = CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
+        ckpt = store.load_checkpoint()
+        cfg = replace(cfg, seed=ckpt.seed, iterations=ckpt.iterations)
+        service = cls.__new__(cls)
+        service.config = cfg
+        service.detector = RSLPADetector.from_state(
+            ckpt.graph,
+            ckpt.state,
+            ckpt.seed,
+            backend=cfg.backend,
+            tau_step=cfg.tau_step,
+            batch_epoch=ckpt.batch_epoch,
+        )
+        service.queue = EditQueue(
+            batch_size=cfg.batch_size, max_pending=cfg.max_pending
+        )
+        service.index = MembershipIndex(
+            match_threshold=cfg.match_threshold,
+            drift_tolerance=cfg.drift_tolerance,
+        )
+        service.store = store
+        service._started = True
+        service.batches_applied = ckpt.batch_epoch
+        service.edits_applied = ckpt.edits_applied
+        service.batches_since_extract = 0
+        service.extractions = 0
+        service.queries_served = 0
+        service.checkpoints_skipped = 0
+        service.last_report = None
+        for epoch, batch in store.read_wal(after_epoch=ckpt.batch_epoch):
+            if epoch != service.batches_applied + 1:
+                raise ValueError(
+                    f"WAL does not continue from checkpoint: expected epoch "
+                    f"{service.batches_applied + 1}, found {epoch}"
+                )
+            service.last_report = service.detector.update(batch)
+            service.batches_applied = epoch
+            service.edits_applied += batch.size
+        service.refresh()
+        return service
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("service not started; call start() first")
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def submit(self, op: str, u: int, v: int) -> Optional[UpdateReport]:
+        """Offer one edit ('+' insert / '-' delete); flush if a window fills.
+
+        Returns the flush's :class:`UpdateReport` when this edit completed
+        a window, else ``None`` (the edit is pending, coalesced, or
+        cancelled).
+        """
+        self._require_started()
+        self.queue.offer(op, u, v)
+        if self.queue.ready:
+            return self.flush()
+        return None
+
+    def submit_insert(self, u: int, v: int) -> Optional[UpdateReport]:
+        return self.submit("+", u, v)
+
+    def submit_delete(self, u: int, v: int) -> Optional[UpdateReport]:
+        return self.submit("-", u, v)
+
+    def flush(self) -> Optional[UpdateReport]:
+        """Drain the queue and apply the net batch now (empty → no-op)."""
+        self._require_started()
+        return self._apply(self.queue.drain())
+
+    def apply(self, batch: EditBatch) -> Optional[UpdateReport]:
+        """Apply a pre-built batch directly (bulk ingest path).
+
+        Pending queued edits are flushed first so the edit order stays the
+        arrival order.
+        """
+        self._require_started()
+        if self.queue.pending:
+            self.flush()
+        return self._apply(batch)
+
+    def _apply(self, batch: EditBatch) -> Optional[UpdateReport]:
+        if not batch:
+            return None
+        if not self.config.strict_edits:
+            graph = self.detector.graph
+            batch = EditBatch(
+                insertions=frozenset(
+                    e for e in batch.insertions if not graph.has_edge(*e)
+                ),
+                deletions=frozenset(
+                    e for e in batch.deletions if graph.has_edge(*e)
+                ),
+            )
+            if not batch:
+                return None
+        # Validate before logging: the WAL must only ever contain batches
+        # that are guaranteed to apply (write-ahead implies replay-ahead).
+        batch.validate_against(self.detector.graph)
+        epoch = self.batches_applied + 1
+        if self.store is not None:
+            self.store.append_wal(epoch, batch)
+        report = self.detector.update(batch)
+        self.batches_applied = epoch
+        self.edits_applied += batch.size
+        self.batches_since_extract += 1
+        self.last_report = report
+        if (
+            self.store is not None
+            and self.config.checkpoint_every
+            and epoch % self.config.checkpoint_every == 0
+        ):
+            if self._checkpointable():
+                self.checkpoint()
+            else:
+                # A batch stepped outside the array id contract (auto mode
+                # downgraded the corrector).  Recovery stays exact — the WAL
+                # keeps every batch since the last good checkpoint and the
+                # replay re-downgrades the same way — but the WAL stops
+                # rotating; surface that in stats rather than crash ingest.
+                self.checkpoints_skipped += 1
+        return report
+
+    # ------------------------------------------------------------------
+    # Durability
+    # ------------------------------------------------------------------
+    def _ids_contiguous(self) -> bool:
+        graph = self.detector.graph
+        return sorted(graph.vertices()) == list(range(graph.num_vertices))
+
+    def _checkpointable(self) -> bool:
+        """Whether the current state fits the array-native checkpoint layout."""
+        return self.detector.array_state is not None or self._ids_contiguous()
+
+    def checkpoint(self) -> None:
+        """Write a checkpoint of the current state (and rotate the WAL)."""
+        self._require_started()
+        if self.store is None:
+            raise RuntimeError("no checkpoint directory configured")
+        state = self.detector.array_state
+        if state is None:
+            # Reference backend: checkpoints are array-native regardless.
+            if not self._ids_contiguous():
+                raise ValueError(
+                    "cannot checkpoint: vertex ids are no longer contiguous "
+                    "0..n-1 (array-native checkpoints cannot represent id "
+                    "gaps); recovery still works from the last checkpoint + "
+                    "WAL"
+                )
+            state = ArrayLabelState.from_label_state(self.detector.label_state)
+        self.store.write_checkpoint(
+            state,
+            self.detector.graph,
+            seed=self.config.seed,
+            batch_epoch=self.batches_applied,
+            edits_applied=self.edits_applied,
+        )
+
+    # ------------------------------------------------------------------
+    # Query plane
+    # ------------------------------------------------------------------
+    def refresh(self) -> Optional[TransitionReport]:
+        """Re-extract now and rebuild the index (the on-demand path)."""
+        self._require_started()
+        report = self.index.update(self.detector.communities())
+        self.extractions += 1
+        self.batches_since_extract = 0
+        return report
+
+    def _maybe_refresh(self) -> None:
+        if self.index.generation == 0:
+            self.refresh()  # never extracted (defensive; start() extracts)
+        elif (
+            self.batches_since_extract
+            and self.batches_since_extract >= self.config.staleness_batches
+        ):
+            self.refresh()
+
+    def communities_of(self, vertex: int) -> Tuple[int, ...]:
+        """Stable ids of the communities containing ``vertex``."""
+        self._require_started()
+        self._maybe_refresh()
+        self.queries_served += 1
+        return self.index.communities_of(vertex)
+
+    def members(self, cid: int) -> FrozenSet[int]:
+        """Members of the community with stable id ``cid``."""
+        self._require_started()
+        self._maybe_refresh()
+        self.queries_served += 1
+        return self.index.members(cid)
+
+    def overlap(self, u: int, v: int) -> Tuple[int, ...]:
+        """Stable ids of communities containing both ``u`` and ``v``."""
+        self._require_started()
+        self._maybe_refresh()
+        self.queries_served += 1
+        return self.index.overlap(u, v)
+
+    def cover(self) -> Cover:
+        """The indexed cover (refreshing it first if stale)."""
+        self._require_started()
+        self._maybe_refresh()
+        return self.index.cover
+
+    def stats(self) -> Dict[str, Union[int, bool, None]]:
+        """A JSON-serialisable operational snapshot."""
+        graph = self.detector.graph
+        payload: Dict[str, Union[int, bool, None]] = {
+            "started": self._started,
+            "vertices": graph.num_vertices,
+            "edges": graph.num_edges,
+            "pending_edits": self.queue.pending,
+            "batches_applied": self.batches_applied,
+            "edits_applied": self.edits_applied,
+            "batches_since_extract": self.batches_since_extract,
+            "staleness_batches": self.config.staleness_batches,
+            "extractions": self.extractions,
+            "queries_served": self.queries_served,
+            "num_communities": len(self.index) if self.index.generation else None,
+            "index_generation": self.index.generation,
+            "queue_cancelled_pairs": self.queue.cancelled_pairs,
+            "queue_duplicates": self.queue.duplicates,
+        }
+        if self.store is not None:
+            payload["checkpoints"] = len(self.store.checkpoint_epochs())
+            payload["latest_checkpoint_epoch"] = self.store.latest_epoch()
+            payload["wal_records"] = self.store.wal_records()
+            payload["checkpoints_skipped"] = self.checkpoints_skipped
+        return payload
+
+    def close(self) -> None:
+        """Release file handles (the WAL appender); the state stays usable."""
+        if self.store is not None:
+            self.store.close()
+
+    def __repr__(self) -> str:
+        status = (
+            f"batches={self.batches_applied}, pending={self.queue.pending}"
+            if self._started
+            else "unstarted"
+        )
+        return f"CommunityService(seed={self.config.seed}, {status})"

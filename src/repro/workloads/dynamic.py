@@ -150,14 +150,32 @@ class EditStream:
     graph state and applies it, so consecutive batches compose exactly like
     a real update feed.  The stream owns a working copy — the caller's graph
     is never mutated.
+
+    With ``rate`` set (mean edits per unit time), the stream also models
+    *arrival times*: :meth:`timed_edits` decomposes the batches into single
+    edits carrying seeded exponential inter-arrival gaps — a Poisson-like
+    ingest feed for exercising the service layer's micro-batcher under
+    bursty load.  Timing is pure metadata; the edit sequence is identical
+    to the untimed stream for the same seed.
     """
 
-    def __init__(self, graph: Graph, batch_size: int, seed: int = 0):
+    def __init__(
+        self,
+        graph: Graph,
+        batch_size: int,
+        seed: int = 0,
+        rate: Optional[float] = None,
+    ):
         check_type(batch_size, int, "batch_size")
         check_non_negative(batch_size, "batch_size")
+        if rate is not None and not rate > 0:
+            raise ValueError(f"rate must be positive, got {rate}")
         self.graph = graph.copy()
         self.batch_size = batch_size
         self.seed = seed
+        self.rate = rate
+        #: Simulated arrival clock, advanced by :meth:`timed_edits`.
+        self.clock = 0.0
         self._step = 0
 
     def next_batch(self) -> EditBatch:
@@ -172,6 +190,39 @@ class EditStream:
     def take(self, count: int) -> List[EditBatch]:
         """Return the next ``count`` batches."""
         return [self.next_batch() for _ in range(count)]
+
+    def timed_edits(self, count: int) -> Iterator[Tuple[float, str, int, int]]:
+        """Yield ``count`` single edits as ``(arrival_time, op, u, v)``.
+
+        ``op`` is ``'+'``/``'-'`` (the CLI edit-file spelling).  Each
+        batch's edits are emitted in a seeded shuffle, and every arrival
+        advances :attr:`clock` by a seeded ``Exp(rate)`` gap — fully
+        deterministic per seed, like everything else in the library.
+        Requires ``rate``.
+        """
+        if self.rate is None:
+            raise ValueError("timed_edits requires a stream built with rate=")
+        if self.batch_size == 0:
+            raise ValueError(
+                "timed_edits requires batch_size >= 1 (empty batches yield "
+                "no edits, so the feed could never make progress)"
+            )
+        check_type(count, int, "count")
+        check_non_negative(count, "count")
+        emitted = 0
+        while emitted < count:
+            step = self._step
+            batch = self.next_batch()
+            edits = [("-", e) for e in sorted(batch.deletions)]
+            edits += [("+", e) for e in sorted(batch.insertions)]
+            arrival_rng = derive_rng(self.seed, "arrival", step)
+            arrival_rng.shuffle(edits)
+            for op, (u, v) in edits:
+                self.clock += arrival_rng.expovariate(self.rate)
+                yield (self.clock, op, u, v)
+                emitted += 1
+                if emitted >= count:
+                    return
 
     def __iter__(self) -> Iterator[EditBatch]:
         while True:

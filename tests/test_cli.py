@@ -212,3 +212,106 @@ class TestUpdate:
         )
         assert code == 0
         assert "num_communities" in output
+
+
+class TestServe:
+    def test_serve_runs_and_reports(self, graph_file, tmp_path):
+        edits = tmp_path / "edits.txt"
+        edits.write_text("+ 0 12\n+ 3 18\n- 0 1\n+ 0 1\n- 0 1\n")
+        code, output = run_cli(
+            "serve", graph_file, "--seed", "3", "-T", "40",
+            "--edits", str(edits), "--batch-size", "2", "--query", "0",
+        )
+        assert code == 0
+        payload = json.loads(output)
+        # 5 raw edits: one insert/delete pair cancels in the queue, the
+        # re-offered delete lands in the final flush -> 2 batches, 3 edits.
+        assert payload["stats"]["batches_applied"] == 2
+        assert payload["stats"]["edits_applied"] == 3
+        assert payload["stats"]["queue_cancelled_pairs"] == 1
+        assert payload["memberships"]["0"]["communities"]
+
+    def test_serve_with_durability_then_recover(self, graph_file, tmp_path):
+        ckpt_dir = str(tmp_path / "svc")
+        edits = tmp_path / "edits.txt"
+        edits.write_text("+ 0 12\n+ 3 18\n+ 7 25\n")
+        code, first = run_cli(
+            "serve", graph_file, "--seed", "3", "-T", "40",
+            "--edits", str(edits), "--batch-size", "2",
+            "--checkpoint-dir", ckpt_dir, "--query", "0",
+        )
+        assert code == 0
+        code, second = run_cli(
+            "serve", "--recover", "--checkpoint-dir", ckpt_dir, "--query", "0",
+        )
+        assert code == 0
+        body = second[second.index("{"):]
+        recovered = json.loads(body)
+        original = json.loads(first)
+        assert recovered["stats"]["batches_applied"] == \
+            original["stats"]["batches_applied"]
+        assert recovered["stats"]["edges"] == original["stats"]["edges"]
+        assert recovered["memberships"] == original["memberships"]
+
+    def test_serve_recover_requires_dir(self):
+        code, _ = run_cli("serve", "--recover")
+        assert code == 2
+
+    def test_serve_requires_graph_without_recover(self):
+        code, _ = run_cli("serve")
+        assert code == 2
+
+    def test_serve_distributed_matches_local(self, graph_file):
+        code_l, local = run_cli("serve", graph_file, "--seed", "3", "-T", "40",
+                                "--query", "5")
+        code_d, dist = run_cli("serve", graph_file, "--seed", "3", "-T", "40",
+                               "--query", "5", "--distributed", "2")
+        assert code_l == 0 and code_d == 0
+        assert json.loads(local)["memberships"] == json.loads(dist)["memberships"]
+
+
+class TestUpdateNpzState:
+    """`update` must handle array-native state files exactly like JSON ones."""
+
+    @pytest.mark.parametrize("backend", ["auto", "fast", "reference"])
+    def test_npz_state_update_matches_json_state_update(
+        self, graph_file, tmp_path, backend
+    ):
+        json_state = str(tmp_path / "state.json")
+        npz_state = str(tmp_path / "state.npz")
+        for state_path in (json_state, npz_state):
+            code, _ = run_cli(
+                "detect", graph_file, "--seed", "1", "-T", "40",
+                "--state", state_path,
+            )
+            assert code == 0
+        edits = tmp_path / "edits.txt"
+        edits.write_text("+ 0 12\n- 0 1\n+ 7 25\n- 6 8\n")
+        outputs = {}
+        for state_path in (json_state, npz_state):
+            cover_path = state_path + ".cover"
+            code, output = run_cli(
+                "update", state_path, graph_file, str(edits),
+                "--seed", "1", "--backend", backend, "--cover", cover_path,
+            )
+            assert code == 0
+            # "applied N edits: R repicked, L labels touched; state saved..."
+            outputs[state_path] = output.splitlines()[0].split("; state saved")[0]
+        # Identical repick/η line and identical covers for both formats.
+        assert outputs[json_state] == outputs[npz_state]
+        from repro.core.serialize import load_cover
+
+        assert load_cover(json_state + ".cover") == load_cover(npz_state + ".cover")
+
+    def test_npz_state_stays_npz_after_update(self, graph_file, tmp_path):
+        npz_state = str(tmp_path / "state.npz")
+        run_cli("detect", graph_file, "--seed", "1", "-T", "40",
+                "--state", npz_state)
+        edits = tmp_path / "edits.txt"
+        edits.write_text("+ 0 12\n")
+        code, _ = run_cli("update", npz_state, graph_file, str(edits),
+                          "--seed", "1")
+        assert code == 0
+        with open(npz_state, "rb") as handle:
+            assert handle.read(2) == b"PK"
+        assert type(load_state(npz_state)).__name__ == "ArrayLabelState"

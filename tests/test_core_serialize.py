@@ -145,3 +145,117 @@ class TestCoverRoundtrip:
     def test_rejects_wrong_version(self):
         with pytest.raises(ValueError, match="version"):
             cover_from_dict({"format": "repro.cover", "version": -1})
+
+
+class TestArrayStateNpz:
+    """The array-native npz sidecar: no dict-state detour on either side."""
+
+    @pytest.fixture
+    def array_state(self, state):
+        from repro.core.labels_array import ArrayLabelState
+
+        return ArrayLabelState.from_label_state(state)
+
+    def test_npz_roundtrip_is_bitwise(self, array_state, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "state.npz")
+        save_state(array_state, path)
+        rebuilt = load_state(path)
+        assert type(rebuilt).__name__ == "ArrayLabelState"
+        for name in ("labels", "srcs", "poss", "epochs"):
+            assert np.array_equal(getattr(rebuilt, name), getattr(array_state, name))
+        assert np.array_equal(rebuilt.alive, array_state.alive)
+
+    def test_label_state_converts_through_npz(self, state, tmp_path):
+        path = str(tmp_path / "state.npz")
+        save_state(state, path)
+        rebuilt = load_state(path)
+        assert rebuilt.to_label_state().labels == state.labels
+
+    def test_array_state_converts_through_json(self, array_state, state, tmp_path):
+        path = str(tmp_path / "state.json")
+        save_state(array_state, path)
+        rebuilt = load_state(path)
+        assert rebuilt.labels == state.labels
+        assert rebuilt.receivers == state.receivers
+
+    def test_binary_stream_roundtrip(self, array_state):
+        import numpy as np
+
+        buffer = io.BytesIO()
+        save_state(array_state, buffer)
+        buffer.seek(0)
+        rebuilt = load_state(buffer)
+        assert np.array_equal(rebuilt.labels, array_state.labels)
+
+    def test_format_sniffed_not_suffixed(self, array_state, tmp_path):
+        """A .npz file renamed to .json still loads as an array state."""
+        import os
+
+        npz = str(tmp_path / "state.npz")
+        save_state(array_state, npz)
+        disguised = str(tmp_path / "state.json")
+        os.rename(npz, disguised)
+        assert type(load_state(disguised)).__name__ == "ArrayLabelState"
+
+    def test_roundtripped_state_supports_updates(self, array_state, cliques_ring, tmp_path):
+        from repro.core.incremental_fast import FastCorrectionPropagator
+        from repro.workloads.dynamic import random_edit_batch
+
+        path = str(tmp_path / "state.npz")
+        save_state(array_state, path)
+        rebuilt = load_state(path)
+        corrector = FastCorrectionPropagator(cliques_ring.copy(), rebuilt, 5)
+        corrector.apply_batch(random_edit_batch(cliques_ring, 4, seed=1))
+        rebuilt.validate()
+
+    def test_rejects_wrong_array_version(self, array_state, tmp_path):
+        import numpy as np
+
+        from repro.core.serialize import state_to_arrays
+
+        arrays = state_to_arrays(array_state)
+        arrays["version"] = np.array(999)
+        path = str(tmp_path / "state.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            load_state(path)
+
+    def test_rejects_missing_arrays(self, array_state, tmp_path):
+        import numpy as np
+
+        from repro.core.serialize import state_to_arrays
+
+        arrays = state_to_arrays(array_state)
+        del arrays["epochs"]
+        path = str(tmp_path / "state.npz")
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="missing"):
+            load_state(path)
+
+    def test_rejects_foreign_npz(self, tmp_path):
+        import numpy as np
+
+        path = str(tmp_path / "other.npz")
+        np.savez_compressed(path, values=np.arange(3))
+        with pytest.raises(ValueError, match="format"):
+            load_state(path)
+
+    def test_non_seekable_stream_keeps_json_contract(self, state):
+        """Pipes/stdin (no seeking) must still load JSON states."""
+
+        class OneWayReader(io.TextIOBase):
+            def __init__(self, text):
+                self._inner = io.StringIO(text)
+
+            def read(self, size=-1):
+                return self._inner.read(size)
+
+            def seekable(self):
+                return False
+
+        buffer = io.StringIO()
+        save_state(state, buffer)
+        rebuilt = load_state(OneWayReader(buffer.getvalue()))
+        assert rebuilt.labels == state.labels

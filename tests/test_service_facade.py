@@ -1,0 +1,221 @@
+"""Tests for the CommunityService facade: lifecycle, ingest, staleness."""
+
+import numpy as np
+import pytest
+
+from repro.core.detector import RSLPADetector
+from repro.core.labels_array import ArrayLabelState
+from repro.graph.edits import EditBatch
+from repro.service import BackpressureError, CommunityService, ServiceConfig
+from repro.workloads.dynamic import EditStream
+
+ITERATIONS = 40
+
+
+def make_service(graph, **overrides):
+    overrides.setdefault("seed", 3)
+    overrides.setdefault("iterations", ITERATIONS)
+    overrides.setdefault("batch_size", 4)
+    return CommunityService(graph, **overrides)
+
+
+def state_matrices(detector) -> ArrayLabelState:
+    state = detector.array_state
+    if state is None:
+        state = ArrayLabelState.from_label_state(detector.label_state)
+    return state
+
+
+class TestLifecycle:
+    def test_start_fits_and_extracts(self, cliques_ring):
+        service = make_service(cliques_ring).start()
+        assert service.stats()["num_communities"] == 5
+        assert service.extractions == 1
+
+    def test_queries_before_start_rejected(self, cliques_ring):
+        service = make_service(cliques_ring)
+        with pytest.raises(RuntimeError, match="not started"):
+            service.communities_of(0)
+        with pytest.raises(RuntimeError, match="not started"):
+            service.submit_insert(0, 10)
+
+    def test_double_start_rejected(self, cliques_ring):
+        service = make_service(cliques_ring).start()
+        with pytest.raises(RuntimeError, match="already started"):
+            service.start()
+
+    def test_caller_graph_not_mutated(self, cliques_ring):
+        edges_before = set(cliques_ring.edges())
+        service = make_service(cliques_ring, batch_size=1).start()
+        service.submit_insert(0, 10)
+        assert set(cliques_ring.edges()) == edges_before
+
+    def test_distributed_start_matches_local(self, cliques_ring):
+        local = make_service(cliques_ring).start()
+        dist = make_service(cliques_ring).start(num_workers=3)
+        assert dist.detector.comm_stats is not None
+        assert local.cover() == dist.cover()
+        assert np.array_equal(
+            state_matrices(local.detector).labels,
+            state_matrices(dist.detector).labels,
+        )
+
+    def test_config_object_and_overrides_compose(self, cliques_ring):
+        config = ServiceConfig(seed=3, iterations=ITERATIONS, batch_size=9)
+        service = CommunityService(cliques_ring, config, staleness_batches=1)
+        assert service.config.batch_size == 9
+        assert service.config.staleness_batches == 1
+
+
+class TestIngest:
+    def test_submit_flushes_full_windows(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=2).start()
+        assert service.submit_insert(0, 10) is None
+        report = service.submit_insert(1, 11)
+        assert report is not None
+        assert report.batch_size == 2
+        assert service.batches_applied == 1
+        assert service.graph.has_edge(0, 10)
+
+    def test_cancelling_edits_never_reach_detector(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=4).start()
+        service.submit_insert(0, 10)
+        service.submit_delete(0, 10)
+        assert service.flush() is None
+        assert service.batches_applied == 0
+
+    def test_flush_on_demand(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=100).start()
+        service.submit_insert(0, 10)
+        report = service.flush()
+        assert report is not None and report.batch_size == 1
+
+    def test_apply_direct_batch(self, cliques_ring):
+        service = make_service(cliques_ring).start()
+        report = service.apply(EditBatch.build(insertions=[(0, 10)]))
+        assert report.num_inserted == 1
+        assert service.edits_applied == 1
+
+    def test_apply_flushes_pending_first(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=100).start()
+        service.submit_insert(0, 10)
+        service.apply(EditBatch.build(deletions=[(0, 10)]))
+        assert service.batches_applied == 2
+        assert not service.graph.has_edge(0, 10)
+
+    def test_strict_edits_propagate_validation_error(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=1).start()
+        with pytest.raises(ValueError, match="already present"):
+            service.submit_insert(0, 1)  # clique edge already exists
+
+    def test_lenient_mode_drops_noops(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=4, strict_edits=False
+        ).start()
+        service.submit_insert(0, 1)    # already present: dropped at flush
+        service.submit_delete(0, 10)   # absent: dropped at flush
+        assert service.flush() is None
+        report = service.apply(
+            EditBatch.build(insertions=[(0, 1), (0, 10)])
+        )
+        assert report.num_inserted == 1  # only the genuinely new edge
+
+    def test_backpressure_surfaces(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=2, max_pending=2, staleness_batches=0
+        ).start()
+        # Fill the window with edits that cannot flush (strict validation
+        # happens at flush; the queue itself enforces depth).
+        queue = service.queue
+        queue.offer_insert(0, 10)
+        queue.offer_insert(0, 11)
+        with pytest.raises(BackpressureError):
+            queue.offer_insert(0, 12)
+
+    def test_ingest_equivalent_to_plain_detector(self, cliques_ring):
+        """Feeding whole stream batches through the service == detector.update."""
+        service = make_service(cliques_ring, batch_size=4).start()
+        detector = RSLPADetector(
+            cliques_ring, seed=3, iterations=ITERATIONS
+        ).fit()
+        stream = EditStream(cliques_ring, batch_size=4, seed=11)
+        for batch in stream.take(5):
+            service.apply(batch)
+            detector.update(batch)
+        assert np.array_equal(
+            state_matrices(service.detector).labels,
+            state_matrices(detector).labels,
+        )
+        assert service.cover() == detector.communities()
+
+
+class TestStalenessPolicy:
+    def test_queries_do_not_extract_until_k_batches(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=3
+        ).start()
+        service.submit_insert(0, 10)
+        service.submit_insert(0, 11)
+        for _ in range(5):
+            service.communities_of(0)
+        assert service.extractions == 1  # still the start() extraction
+        service.submit_insert(0, 12)     # third batch reaches K
+        service.communities_of(0)
+        assert service.extractions == 2
+        service.communities_of(0)        # fresh again: no further extraction
+        assert service.extractions == 2
+
+    def test_staleness_zero_means_always_fresh(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=0
+        ).start()
+        service.submit_insert(0, 10)
+        service.communities_of(0)
+        assert service.extractions == 2
+        service.communities_of(0)  # nothing new applied: stays cached
+        assert service.extractions == 2
+
+    def test_refresh_on_demand(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=100
+        ).start()
+        service.submit_insert(0, 10)
+        service.refresh()
+        assert service.extractions == 2
+        assert service.batches_since_extract == 0
+
+    def test_stable_ids_survive_refreshes(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=1
+        ).start()
+        before = service.communities_of(0)
+        service.submit_insert(0, 10)   # one batch: next query re-extracts
+        after = service.communities_of(0)
+        assert before == after
+
+    def test_members_and_overlap_queries(self, cliques_ring):
+        service = make_service(cliques_ring).start()
+        cids = service.communities_of(0)
+        assert len(cids) >= 1
+        members = service.members(cids[0])
+        assert 0 in members
+        assert service.overlap(0, 1) == cids
+        assert service.queries_served == 3
+
+
+class TestStats:
+    def test_stats_shape(self, cliques_ring):
+        service = make_service(cliques_ring, batch_size=2).start()
+        service.submit_insert(0, 10)
+        stats = service.stats()
+        assert stats["started"] is True
+        assert stats["pending_edits"] == 1
+        assert stats["batches_applied"] == 0
+        assert stats["num_communities"] == 5
+        assert "checkpoints" not in stats  # no durability configured
+
+    def test_stats_json_serialisable(self, cliques_ring):
+        import json
+
+        service = make_service(cliques_ring).start()
+        json.dumps(service.stats())

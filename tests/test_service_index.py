@@ -1,0 +1,116 @@
+"""Tests for the query-plane membership index and stable-id assignment."""
+
+import pytest
+
+from repro.core.communities import Cover
+from repro.core.tracking import assign_stable_ids
+from repro.service.index import MembershipIndex
+
+
+class TestAssignStableIds:
+    def test_first_assignment_is_positional(self):
+        new = Cover([{0, 1, 2}, {3, 4}])
+        ids, next_id, _ = assign_stable_ids(Cover([]), (), new, 0)
+        assert ids == (0, 1)
+        assert next_id == 2
+
+    def test_survivors_keep_ids(self):
+        old = Cover([{0, 1, 2, 3}, {6, 7, 8}])
+        new = Cover([{0, 1, 2, 3, 4}, {6, 7, 8}])
+        ids, next_id, _ = assign_stable_ids(old, (5, 9), new, 10)
+        # Cover orders by size: new[0]={0..4} matches old[0] (id 5).
+        assert set(ids) == {5, 9}
+        assert next_id == 10
+
+    def test_birth_draws_fresh_id(self):
+        old = Cover([{0, 1, 2}])
+        new = Cover([{0, 1, 2}, {7, 8, 9}])
+        ids, next_id, _ = assign_stable_ids(old, (0,), new, 1)
+        assert 0 in ids and 1 in ids
+        assert next_id == 2
+
+    def test_death_retires_id(self):
+        old = Cover([{0, 1, 2}, {7, 8, 9}])
+        new = Cover([{0, 1, 2}])
+        ids, next_id, _ = assign_stable_ids(old, (0, 1), new, 2)
+        assert ids == (0,)
+        assert next_id == 2  # id 1 retired, never reassigned
+
+    def test_split_keeps_id_on_closest_child(self):
+        old = Cover([{0, 1, 2, 3, 4, 5}])
+        new = Cover([{0, 1, 2, 3}, {4, 5}])
+        ids, next_id, report = assign_stable_ids(old, (7,), new, 8)
+        assert report.of_kind("split")
+        assert ids[0] == 7      # the larger child continues the identity
+        assert ids[1] == 8
+        assert next_id == 9
+
+    def test_merge_inherits_from_closest_constituent(self):
+        old = Cover([{0, 1, 2, 3}, {5, 6}])
+        new = Cover([{0, 1, 2, 3, 5, 6}])
+        ids, next_id, report = assign_stable_ids(old, (3, 4), new, 9)
+        assert report.of_kind("merged")
+        assert ids == (3,)      # closest constituent is the bigger one
+        assert next_id == 9
+
+    def test_mismatched_ids_length_rejected(self):
+        with pytest.raises(ValueError, match="old_ids"):
+            assign_stable_ids(Cover([{0, 1}]), (), Cover([{0, 1}]), 0)
+
+
+class TestMembershipIndex:
+    def test_first_update_returns_none(self):
+        index = MembershipIndex()
+        assert index.update(Cover([{0, 1, 2}])) is None
+        assert index.generation == 1
+
+    def test_queries(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2}, {2, 3}]))
+        assert index.communities_of(2) == (0, 1)
+        assert index.communities_of(99) == ()
+        assert index.members(0) == frozenset({0, 1, 2})
+        assert index.overlap(0, 2) == (0,)
+        assert index.overlap(0, 3) == ()
+        assert index.community_ids() == (0, 1)
+        assert len(index) == 2
+
+    def test_unknown_cid_raises(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2}]))
+        with pytest.raises(KeyError, match="stable id"):
+            index.members(42)
+
+    def test_ids_stable_under_drift(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2, 3}, {7, 8, 9}]))
+        before = index.communities_of(7)
+        report = index.update(Cover([{0, 1, 2, 3, 4}, {7, 8}]))
+        assert report is not None
+        assert index.communities_of(7) == before
+        assert index.members(before[0]) == frozenset({7, 8})
+
+    def test_dead_id_is_not_reused(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2}, {5, 6, 7}]))
+        dead = index.communities_of(5)[0]
+        index.update(Cover([{0, 1, 2}]))
+        with pytest.raises(KeyError):
+            index.members(dead)
+        index.update(Cover([{0, 1, 2}, {10, 11, 12}]))
+        born = index.communities_of(10)[0]
+        assert born != dead
+
+    def test_snapshot_is_a_copy(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2}]))
+        snap = index.snapshot()
+        snap[99] = frozenset()
+        assert 99 not in index.snapshot()
+
+    def test_last_transition_tracks_events(self):
+        index = MembershipIndex()
+        index.update(Cover([{0, 1, 2, 3}]))
+        assert index.last_transition is None
+        index.update(Cover([{0, 1, 2, 3, 4, 5}]))
+        assert index.last_transition.of_kind("grown")

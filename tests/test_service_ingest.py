@@ -1,0 +1,142 @@
+"""Tests for the ingest-plane micro-batcher."""
+
+import pytest
+
+from repro.service.ingest import BackpressureError, EditQueue
+
+
+class TestOfferCoalescing:
+    def test_offer_enqueues(self):
+        queue = EditQueue(batch_size=4)
+        assert queue.offer_insert(1, 2) is True
+        assert queue.pending == 1
+
+    def test_edges_are_normalised(self):
+        queue = EditQueue(batch_size=4)
+        queue.offer_insert(2, 1)
+        assert queue.offer_insert(1, 2) is False  # same edge, duplicate
+        assert queue.pending == 1
+        assert queue.duplicates == 1
+
+    def test_opposite_ops_cancel(self):
+        queue = EditQueue(batch_size=4)
+        queue.offer_insert(1, 2)
+        assert queue.offer_delete(1, 2) is False
+        assert queue.pending == 0
+        assert queue.cancelled_pairs == 1
+
+    def test_delete_then_insert_cancels_too(self):
+        queue = EditQueue(batch_size=4)
+        queue.offer_delete(3, 4)
+        queue.offer_insert(4, 3)
+        assert queue.pending == 0
+        assert queue.cancelled_pairs == 1
+
+    def test_cancel_then_reoffer_is_pending_again(self):
+        queue = EditQueue(batch_size=4)
+        queue.offer_insert(1, 2)
+        queue.offer_delete(1, 2)
+        assert queue.offer_delete(1, 2) is True
+        assert queue.pending == 1
+        batch = queue.drain()
+        assert batch.deletions == frozenset({(1, 2)})
+
+    def test_rejects_unknown_op(self):
+        with pytest.raises(ValueError, match="op"):
+            EditQueue(batch_size=2).offer("x", 1, 2)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            EditQueue(batch_size=2).offer_insert(3, 3)
+
+
+class TestFlushPolicy:
+    def test_ready_at_batch_size(self):
+        queue = EditQueue(batch_size=2)
+        queue.offer_insert(1, 2)
+        assert not queue.ready
+        queue.offer_insert(2, 3)
+        assert queue.ready
+
+    def test_cancellation_can_unready(self):
+        queue = EditQueue(batch_size=2)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(2, 3)
+        assert queue.ready
+        queue.offer_delete(1, 2)
+        assert not queue.ready
+
+    def test_drain_returns_net_batch(self):
+        queue = EditQueue(batch_size=8)
+        queue.offer_insert(1, 2)
+        queue.offer_delete(3, 4)
+        queue.offer_insert(5, 6)
+        queue.offer_delete(5, 6)  # cancels
+        batch = queue.drain()
+        assert batch.insertions == frozenset({(1, 2)})
+        assert batch.deletions == frozenset({(3, 4)})
+        assert queue.pending == 0
+
+    def test_drain_limit_preserves_arrival_order(self):
+        queue = EditQueue(batch_size=8)
+        queue.offer_insert(1, 2)
+        queue.offer_delete(3, 4)
+        queue.offer_insert(5, 6)
+        first = queue.drain(limit=2)
+        assert first.insertions == frozenset({(1, 2)})
+        assert first.deletions == frozenset({(3, 4)})
+        rest = queue.drain()
+        assert rest.insertions == frozenset({(5, 6)})
+
+    def test_drain_empty_is_empty_batch(self):
+        queue = EditQueue(batch_size=2)
+        batch = queue.drain()
+        assert not batch
+        assert queue.drained_batches == 0
+
+    def test_counters(self):
+        queue = EditQueue(batch_size=8)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(1, 2)
+        queue.offer_delete(1, 2)
+        queue.offer_insert(3, 4)
+        queue.drain()
+        stats = queue.stats()
+        assert stats["offered"] == 4
+        assert stats["duplicates"] == 1
+        assert stats["cancelled_pairs"] == 1
+        assert stats["drained_batches"] == 1
+        assert stats["drained_edits"] == 1
+
+
+class TestBackpressure:
+    def test_overflow_raises(self):
+        queue = EditQueue(batch_size=2, max_pending=2)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(2, 3)
+        with pytest.raises(BackpressureError, match="max_pending"):
+            queue.offer_insert(3, 4)
+
+    def test_cancelling_offer_never_trips(self):
+        queue = EditQueue(batch_size=2, max_pending=2)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(2, 3)
+        # These do not grow the queue, so they must be accepted.
+        queue.offer_insert(1, 2)     # duplicate
+        queue.offer_delete(1, 2)     # cancellation
+        assert queue.pending == 1
+
+    def test_drain_relieves_pressure(self):
+        queue = EditQueue(batch_size=2, max_pending=2)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(2, 3)
+        queue.drain()
+        assert queue.offer_insert(3, 4) is True
+
+    def test_max_pending_below_batch_size_rejected(self):
+        with pytest.raises(ValueError, match="max_pending"):
+            EditQueue(batch_size=8, max_pending=4)
+
+    def test_bad_batch_size_rejected(self):
+        with pytest.raises(ValueError):
+            EditQueue(batch_size=0)

@@ -129,3 +129,56 @@ class TestEditStream:
         iterator = iter(stream)
         first = next(iterator)
         assert first.size == 2
+
+
+class TestTimedEdits:
+    def test_requires_rate(self, graph):
+        stream = EditStream(graph, batch_size=4, seed=1)
+        with pytest.raises(ValueError, match="rate"):
+            list(stream.timed_edits(4))
+
+    def test_rejects_non_positive_rate(self, graph):
+        with pytest.raises(ValueError, match="rate"):
+            EditStream(graph, batch_size=4, seed=1, rate=0.0)
+
+    def test_yields_requested_count(self, graph):
+        stream = EditStream(graph, batch_size=4, seed=1, rate=10.0)
+        edits = list(stream.timed_edits(10))
+        assert len(edits) == 10
+
+    def test_arrival_times_strictly_increase(self, graph):
+        stream = EditStream(graph, batch_size=4, seed=1, rate=10.0)
+        times = [t for t, _, _, _ in stream.timed_edits(20)]
+        assert all(b > a for a, b in zip(times, times[1:]))
+        assert stream.clock == times[-1]
+
+    def test_deterministic_per_seed(self, graph):
+        first = list(EditStream(graph, batch_size=4, seed=3, rate=5.0).timed_edits(12))
+        second = list(EditStream(graph, batch_size=4, seed=3, rate=5.0).timed_edits(12))
+        assert first == second
+        other = list(EditStream(graph, batch_size=4, seed=4, rate=5.0).timed_edits(12))
+        assert first != other
+
+    def test_edit_sequence_matches_untimed_stream(self, graph):
+        """Timing is metadata only: the edits are the untimed batches."""
+        timed = EditStream(graph, batch_size=4, seed=7, rate=100.0)
+        untimed = EditStream(graph, batch_size=4, seed=7)
+        edits = list(timed.timed_edits(12))
+        batches = untimed.take(3)
+        for batch, chunk in zip(batches, [edits[i:i + 4] for i in range(0, 12, 4)]):
+            ins = {(u, v) for _, op, u, v in chunk if op == "+"}
+            dels = {(u, v) for _, op, u, v in chunk if op == "-"}
+            assert ins == batch.insertions
+            assert dels == batch.deletions
+
+    def test_mean_gap_tracks_rate(self, graph):
+        rate = 50.0
+        stream = EditStream(graph, batch_size=10, seed=2, rate=rate)
+        times = [t for t, _, _, _ in stream.timed_edits(400)]
+        mean_gap = times[-1] / len(times)
+        assert 0.5 / rate < mean_gap < 2.0 / rate
+
+    def test_zero_batch_size_rejected(self, graph):
+        stream = EditStream(graph, batch_size=0, seed=1, rate=5.0)
+        with pytest.raises(ValueError, match="batch_size"):
+            list(stream.timed_edits(1))
