@@ -14,7 +14,6 @@ from repro.core.voting import (
     distribution_levels,
     max_win_probability,
     plurality_win_distribution,
-    uniform_pick_distribution,
     uniform_pick_from_multiset,
 )
 

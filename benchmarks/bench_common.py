@@ -14,8 +14,7 @@ long runtimes.
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Sequence
 
 __all__ = ["SCALE", "scaled", "print_table", "print_series", "banner"]
 

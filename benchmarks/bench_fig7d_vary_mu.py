@@ -5,7 +5,7 @@ high but drops slowly — it has "less ability to detect better-mixed
 communities".
 """
 
-from benchmarks.bench_common import banner, print_table, scaled
+from benchmarks.bench_common import banner, print_table
 from benchmarks.fig7_common import default_params, sweep_panel
 
 MIXINGS = [0.1, 0.15, 0.2, 0.25, 0.3]

@@ -6,7 +6,7 @@ performance when om >= 3" because its label sequences keep more
 belongingness information.
 """
 
-from benchmarks.bench_common import banner, print_table, scaled
+from benchmarks.bench_common import banner, print_table
 from benchmarks.fig7_common import default_params, sweep_panel
 
 MEMBERSHIPS = [2, 3, 4, 5]

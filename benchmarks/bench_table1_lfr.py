@@ -7,7 +7,7 @@ the *realised* statistics of the generated graph, verifying the generator
 hits its targets; the benchmark measures generation cost.
 """
 
-from benchmarks.bench_common import banner, print_table, scaled
+from benchmarks.bench_common import banner, print_table
 from repro.workloads.lfr import generate_lfr
 
 

@@ -9,7 +9,7 @@ next to the paper's values with the scale ratio made explicit.
 """
 
 from benchmarks.bench_common import banner, print_table
-from repro.workloads.webgraph import generate_webgraph, webgraph_statistics
+from repro.workloads.webgraph import webgraph_statistics
 
 PAPER_VALUES = {
     "# nodes": 6_650_532,

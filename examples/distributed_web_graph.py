@@ -18,7 +18,7 @@ Run:  python examples/distributed_web_graph.py
 
 import time
 
-from repro import WebGraphParams, generate_webgraph
+from repro import ExecutionConfig, WebGraphParams, generate_webgraph, plan_for
 from repro.distributed import (
     run_distributed_postprocess,
     run_distributed_rslpa,
@@ -44,9 +44,13 @@ def main() -> None:
     )
 
     print(f"\n[1] distributed rSLPA, {NUM_WORKERS} workers, T={RSLPA_T}")
+    # One declarative config; every "auto" is negotiated against the graph
+    # and the resolved plan explains each choice before anything runs.
+    config = ExecutionConfig(num_workers=NUM_WORKERS, state_format="dict")
+    print(plan_for(graph, config).explain())
     t0 = time.perf_counter()
     state, rslpa_stats = run_distributed_rslpa(
-        graph, seed=5, iterations=RSLPA_T, num_workers=NUM_WORKERS
+        graph, seed=5, iterations=RSLPA_T, config=config
     )
     print(f"  {rslpa_stats.summary()}  ({time.perf_counter() - t0:.1f}s)")
     print(

@@ -14,10 +14,31 @@ Quickstart::
     detector.update(batch)          # incremental Correction Propagation
     print(detector.communities())
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-vs-measured record of every table and figure.
+Execution selection — local backend, distributed message plane, shard
+storage, state format — goes through one declarative layer
+(:mod:`repro.api`): configs resolve to a ``RunPlan`` with recorded
+provenance (``plan_for(graph, ExecutionConfig(...)).explain()``), and
+``AlgoConfig`` / ``ExecutionConfig`` / ``ServicePlanConfig`` drive the
+detector, the cluster wrappers, and the serving facade uniformly.
+
+See ``DESIGN.md`` at the repository root for the architecture (config →
+plan → execution planes, plus the three-plane service layer),
+``ROADMAP.md`` for the north star, and ``README.md`` for the execution-
+plan guide and the ``BENCH_*.json`` paper-vs-measured records.
 """
 
+from repro.api import (
+    AlgoConfig,
+    DetectionResult,
+    DistributedResult,
+    ExecutionConfig,
+    GraphCaps,
+    RunPlan,
+    ServicePlanConfig,
+    UpdateResult,
+    plan_for,
+    resolve_plan,
+)
 from repro.baselines import SLPA, FastSLPA, fast_slpa_detect, lpa_detect, slpa_detect
 from repro.core import (
     ArrayLabelState,
@@ -68,6 +89,17 @@ __version__ = "1.0.0"
 
 __all__ = [
     "__version__",
+    # unified execution-plan api
+    "AlgoConfig",
+    "ExecutionConfig",
+    "ServicePlanConfig",
+    "GraphCaps",
+    "RunPlan",
+    "resolve_plan",
+    "plan_for",
+    "DetectionResult",
+    "UpdateResult",
+    "DistributedResult",
     # graph substrate
     "Graph",
     "CSRGraph",

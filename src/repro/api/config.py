@@ -1,0 +1,168 @@
+"""Declarative run configuration: *what* to run, never *how it resolved*.
+
+Three frozen dataclasses describe a run before any negotiation happens:
+
+* :class:`AlgoConfig` — the algorithm itself (seed, horizon T, τ1 sweep
+  step).  Identical values ⇒ bit-identical labels on every backend.
+* :class:`ExecutionConfig` — where and on what substrate the run executes:
+  the local backend, the distributed message plane, worker-shard storage,
+  state export format, worker count, partitioner, multiprocess flag.
+  Every field accepts ``"auto"``; :func:`repro.api.plan.resolve_plan`
+  turns the config plus the graph's capabilities into a concrete
+  :class:`~repro.api.plan.RunPlan` with recorded provenance.
+* :class:`ServicePlanConfig` — a :class:`CommunityService` deployment:
+  the algo + execution configs plus the ingest/query/durability knobs.
+
+Configs are pure data: hashable-by-value (except a caller-supplied
+partitioner instance), comparable, and safe to share between runs.  All
+validation of *choices* lives here; all *negotiation* lives in
+:func:`~repro.api.plan.resolve_plan`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Union
+
+from repro.utils.validation import check_positive, check_type
+
+__all__ = [
+    "DEFAULT_ITERATIONS",
+    "AlgoConfig",
+    "ExecutionConfig",
+    "ServicePlanConfig",
+    "BACKEND_CHOICES",
+    "ENGINE_CHOICES",
+    "SHARD_BACKEND_CHOICES",
+    "STATE_FORMAT_CHOICES",
+]
+
+#: Paper default for rSLPA (Section V-A3: stable for T >= 200).
+DEFAULT_ITERATIONS = 200
+
+#: Built-in values per execution axis (``auto`` defers to plan resolution;
+#: ``engine`` additionally accepts any name registered in
+#: :data:`repro.api.registry.ENGINES`).
+BACKEND_CHOICES = ("auto", "fast", "reference")
+ENGINE_CHOICES = ("auto", "reference", "array")
+SHARD_BACKEND_CHOICES = ("auto", "dict", "csr")
+STATE_FORMAT_CHOICES = ("auto", "dict", "array")
+
+
+def _check_choice(value: str, choices, name: str) -> None:
+    if value not in choices:
+        pretty = ", ".join(repr(c) for c in choices[:-1])
+        raise ValueError(
+            f"{name} must be {pretty} or {choices[-1]!r}, got {value!r}"
+        )
+
+
+@dataclass(frozen=True)
+class AlgoConfig:
+    """The rSLPA algorithm parameters (identical values ⇒ identical labels).
+
+    ``seed`` keys every counter-based random draw, ``iterations`` is the
+    propagation horizon T, and ``tau_step`` the grid step of the τ1
+    entropy sweep (Section III-B).
+    """
+
+    seed: int = 0
+    iterations: int = DEFAULT_ITERATIONS
+    tau_step: float = 0.001
+
+    def __post_init__(self):
+        check_type(self.seed, int, "seed")
+        check_type(self.iterations, int, "iterations")
+        check_positive(self.iterations, "iterations")
+        check_positive(self.tau_step, "tau_step")
+
+
+@dataclass(frozen=True)
+class ExecutionConfig:
+    """Where a run executes; ``"auto"`` fields are negotiated by
+    :func:`repro.api.plan.resolve_plan` against the graph's capabilities.
+
+    Parameters
+    ----------
+    backend:
+        Local lifecycle substrate — ``"fast"`` (vectorised CSR/array),
+        ``"reference"`` (pure Python), or ``"auto"`` (fast whenever the
+        vertex ids are contiguous ``0..n-1``).
+    num_workers:
+        ``0`` runs locally; ``> 0`` runs on the simulated BSP cluster
+        with that many workers.
+    engine:
+        Distributed message plane — ``"array"`` (struct-of-arrays
+        columns), ``"reference"`` (Python tuples), or ``"auto"`` (array
+        on CSR shards).
+    shard_backend:
+        Worker-shard adjacency storage — ``"csr"``, ``"dict"``, or
+        ``"auto"`` (CSR whenever the ids are contiguous).
+    state_format:
+        Distributed fit export — ``"array"``
+        (:class:`~repro.core.labels_array.ArrayLabelState`), ``"dict"``
+        (:class:`~repro.core.labels.LabelState`), or ``"auto"`` (follow
+        the resolved backend).
+    partitioner:
+        A registered partitioner name (``"hash"``, ``"range"``, or a
+        plugin registered in :data:`repro.api.registry.PARTITIONERS`), a
+        ready :class:`~repro.graph.partition.Partitioner` instance, or
+        ``None`` for the default hash partitioner.
+    multiprocess:
+        Run distributed workers as real OS processes
+        (:class:`~repro.distributed.multiprocess.MultiprocessBSPEngine`)
+        instead of the in-process simulator.  Propagation programs only.
+    """
+
+    backend: str = "auto"
+    num_workers: int = 0
+    engine: str = "auto"
+    shard_backend: str = "auto"
+    state_format: str = "auto"
+    partitioner: Optional[Union[str, object]] = None
+    multiprocess: bool = False
+
+    def __post_init__(self):
+        from repro.api.registry import ENGINES as engine_registry
+
+        _check_choice(self.backend, BACKEND_CHOICES, "backend")
+        if self.engine not in engine_registry:  # plugin planes are selectable
+            _check_choice(self.engine, ENGINE_CHOICES, "engine")
+        _check_choice(self.shard_backend, SHARD_BACKEND_CHOICES, "shard_backend")
+        _check_choice(self.state_format, STATE_FORMAT_CHOICES, "state_format")
+        check_type(self.num_workers, int, "num_workers")
+        if self.num_workers < 0:
+            raise ValueError(
+                f"num_workers must be >= 0, got {self.num_workers}"
+            )
+        check_type(self.multiprocess, bool, "multiprocess")
+
+
+@dataclass(frozen=True)
+class ServicePlanConfig:
+    """A :class:`~repro.service.CommunityService` deployment, in one object.
+
+    Composes the algorithm and execution configs with the service planes'
+    knobs (see :class:`repro.service.ServiceConfig` for the flat legacy
+    form, which maps 1:1 onto this).  ``staleness_batches`` is K in the
+    lazy re-extraction policy; ``checkpoint_every = 0`` disables automatic
+    checkpoints; with ``strict_edits`` off, no-op edits are dropped
+    instead of raising.
+    """
+
+    algo: AlgoConfig = field(default_factory=AlgoConfig)
+    execution: ExecutionConfig = field(default_factory=ExecutionConfig)
+    batch_size: int = 256
+    max_pending: Optional[int] = None
+    staleness_batches: int = 4
+    match_threshold: float = 0.3
+    drift_tolerance: float = 0.1
+    checkpoint_every: int = 1
+    keep_checkpoints: int = 2
+    strict_edits: bool = True
+
+    def __post_init__(self):
+        check_type(self.algo, AlgoConfig, "algo")
+        check_type(self.execution, ExecutionConfig, "execution")
+        check_type(self.batch_size, int, "batch_size")
+        check_positive(self.batch_size, "batch_size")

@@ -1,0 +1,295 @@
+"""Plan resolution: graph capabilities × config → one concrete `RunPlan`.
+
+Every ``"auto"`` in an :class:`~repro.api.config.ExecutionConfig` is
+negotiated here, in exactly one place, against the :class:`GraphCaps` of
+the graph being run on.  The resolved :class:`RunPlan` records *why* each
+choice was made (:attr:`RunPlan.decisions`), and :meth:`RunPlan.explain`
+renders that provenance for humans — the same text the CLI ``plan``
+subcommand prints.
+
+The rules are the ones the detector, cluster wrappers, and service used
+to apply in scattered private helpers (``detector._resolve_use_fast``,
+``cluster._resolve_engine``, ``cluster._build_backend_shards``), now
+asserted equivalent by ``tests/test_api_plan.py``:
+
+* ``backend="auto"`` → ``fast`` iff the vertex ids are contiguous
+  ``0..n-1`` (the array substrate's contract); ``fast`` on
+  non-contiguous ids is an error.
+* ``shard_backend="auto"`` → ``csr`` iff the ids are contiguous; a
+  :class:`~repro.graph.csr.CSRGraph` input always takes the CSR slicer;
+  ``csr`` on non-contiguous ids is an error.
+* ``engine="auto"`` → ``array`` iff the shards resolved to CSR.
+* ``state_format="auto"`` → ``array`` iff the backend resolved to
+  ``fast``; ``array`` on non-contiguous ids is an error.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Optional, Tuple
+
+from repro.api.config import ExecutionConfig
+from repro.api.registry import PARTITIONERS
+
+__all__ = ["GraphCaps", "PlanDecision", "RunPlan", "resolve_plan", "plan_for"]
+
+_RELABEL_HINT = "repro.graph.relabel_to_integers"
+
+
+@dataclass(frozen=True)
+class GraphCaps:
+    """What plan resolution needs to know about a graph — nothing more.
+
+    ``contiguous_ids`` is the load-bearing capability: it gates the array
+    substrate, the CSR shard slicer, and the array state export.  A
+    :class:`~repro.graph.csr.CSRGraph` is contiguous by construction
+    (``is_csr`` additionally pins the shard backend to the CSR slicer).
+    """
+
+    num_vertices: int
+    num_edges: int
+    contiguous_ids: bool
+    is_csr: bool = False
+
+    @classmethod
+    def of(cls, graph) -> "GraphCaps":
+        """Probe a :class:`~repro.graph.adjacency.Graph` or CSR snapshot."""
+        from repro.graph.csr import CSRGraph
+
+        if isinstance(graph, CSRGraph):
+            return cls(
+                num_vertices=graph.num_vertices,
+                num_edges=graph.num_edges,
+                contiguous_ids=True,
+                is_csr=True,
+            )
+        n = graph.num_vertices
+        if n == 0:
+            contiguous = True
+        else:
+            ids = list(graph.vertices())  # ids are unique: min/max suffice
+            contiguous = min(ids) == 0 and max(ids) == n - 1
+        return cls(
+            num_vertices=n,
+            num_edges=graph.num_edges,
+            contiguous_ids=contiguous,
+            is_csr=False,
+        )
+
+
+@dataclass(frozen=True)
+class PlanDecision:
+    """One resolved axis: what was asked, what was chosen, and why."""
+
+    field: str
+    requested: Any
+    value: Any
+    reason: str
+
+    def __str__(self) -> str:
+        requested = "(default)" if self.requested is None else str(self.requested)
+        return f"{self.field:<14}{requested:>10} -> {self.value!s:<10} {self.reason}"
+
+
+@dataclass(frozen=True)
+class RunPlan:
+    """The fully-negotiated execution choices for one run.
+
+    Every field is concrete (no ``"auto"`` survives resolution); the
+    distributed axes are ``None`` for a local plan.  ``decisions`` keeps
+    the provenance of each choice, rendered by :meth:`explain`.
+    """
+
+    mode: str  # "local" | "distributed"
+    backend: str  # "fast" | "reference"
+    num_workers: int
+    engine: Optional[str]  # "array" | "reference" | None (local)
+    shard_backend: Optional[str]  # "csr" | "dict" | None (local)
+    state_format: Optional[str]  # "array" | "dict" | None (local)
+    partitioner: Optional[str]  # registered name or instance repr
+    multiprocess: bool
+    caps: GraphCaps
+    requested: ExecutionConfig
+    decisions: Tuple[PlanDecision, ...] = ()
+
+    @property
+    def use_fast(self) -> bool:
+        """Whether the local lifecycle runs on the array substrate."""
+        return self.backend == "fast"
+
+    def summary(self) -> str:
+        """One line: the resolved choices without the provenance."""
+        if self.mode == "local":
+            return f"local fit, backend={self.backend}"
+        workers = f"{self.num_workers} {'process' if self.multiprocess else 'simulated'} workers"
+        return (
+            f"distributed fit on {workers}, backend={self.backend}, "
+            f"engine={self.engine}, shard_backend={self.shard_backend}, "
+            f"state_format={self.state_format}, partitioner={self.partitioner}"
+        )
+
+    def explain(self) -> str:
+        """Human-readable provenance: one line per negotiated choice."""
+        lines = [f"execution plan: {self.summary()}"]
+        lines.extend(f"  {decision}" for decision in self.decisions)
+        return "\n".join(lines)
+
+    def build_partitioner(self):
+        """Instantiate the plan's partitioner (registry name or instance)."""
+        spec = self.requested.partitioner
+        if spec is None:
+            spec = "hash"
+        if isinstance(spec, str):
+            return PARTITIONERS.resolve(spec)(self.num_workers, self.caps)
+        return spec
+
+
+def _decide(decisions, field, requested, value, reason) -> None:
+    decisions.append(
+        PlanDecision(field=field, requested=requested, value=value, reason=reason)
+    )
+
+
+def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> RunPlan:
+    """Negotiate every ``"auto"`` in ``config`` against ``caps``.
+
+    Raises :class:`ValueError` for requests the graph cannot satisfy
+    (``fast``/``csr``/``array`` on non-contiguous ids), with the same
+    messages the old scattered resolvers produced.
+    """
+    config = config if config is not None else ExecutionConfig()
+    decisions = []
+    contiguous = caps.contiguous_ids
+
+    # Local lifecycle substrate -------------------------------------------
+    if config.backend == "fast" and not contiguous:
+        raise ValueError(
+            "backend='fast' requires contiguous vertex ids 0..n-1; "
+            f"use {_RELABEL_HINT} or backend='reference'"
+        )
+    if config.backend == "auto":
+        backend = "fast" if contiguous else "reference"
+        reason = (
+            "vertex ids are contiguous 0..n-1 (array-substrate contract)"
+            if contiguous
+            else "non-contiguous vertex ids need the dict substrate"
+        )
+    else:
+        backend = config.backend
+        reason = "explicitly requested"
+    _decide(decisions, "backend", config.backend, backend, reason)
+
+    distributed = config.num_workers > 0
+    mode = "distributed" if distributed else "local"
+    _decide(
+        decisions,
+        "mode",
+        None,
+        mode,
+        f"num_workers={config.num_workers}"
+        + ("" if distributed else " (0 = in-process fit)"),
+    )
+
+    engine = shard_backend = state_format = partitioner_name = None
+    if distributed:
+        # Worker-shard storage --------------------------------------------
+        if caps.is_csr:
+            shard_backend = "csr"
+            reason = "a CSRGraph input always takes the CSR slicer"
+        elif config.shard_backend == "auto":
+            shard_backend = "csr" if contiguous else "dict"
+            reason = (
+                "contiguous ids satisfy the CSR slicer contract"
+                if contiguous
+                else "non-contiguous ids require dict shards"
+            )
+        else:
+            shard_backend = config.shard_backend
+            reason = "explicitly requested"
+        if shard_backend == "csr" and not (contiguous or caps.is_csr):
+            raise ValueError(
+                "shard_backend='csr' requires contiguous vertex ids 0..n-1; "
+                f"use shard_backend='dict' or {_RELABEL_HINT}"
+            )
+        _decide(
+            decisions, "shard_backend", config.shard_backend, shard_backend, reason
+        )
+
+        # Message plane ----------------------------------------------------
+        if config.engine == "auto":
+            engine = "array" if shard_backend == "csr" else "reference"
+            reason = (
+                "CSR shards prefer the columnar message plane"
+                if engine == "array"
+                else "dict shards route reference tuples"
+            )
+        else:
+            engine = config.engine
+            reason = "explicitly requested"
+        _decide(decisions, "engine", config.engine, engine, reason)
+
+        # State export format ---------------------------------------------
+        if config.state_format == "auto":
+            state_format = "array" if backend == "fast" else "dict"
+            reason = (
+                "the fast backend consumes the native array export"
+                if state_format == "array"
+                else "the reference backend consumes the dict state"
+            )
+        else:
+            state_format = config.state_format
+            reason = "explicitly requested"
+        if state_format == "array" and not contiguous:
+            raise ValueError(
+                "state_format='array' requires contiguous vertex ids 0..n-1; "
+                f"use state_format='dict' or {_RELABEL_HINT}"
+            )
+        _decide(
+            decisions, "state_format", config.state_format, state_format, reason
+        )
+
+        # Partitioner ------------------------------------------------------
+        spec = config.partitioner
+        if spec is None:
+            partitioner_name = "hash"
+            reason = "default uniform hash partitioner"
+        elif isinstance(spec, str):
+            if spec not in PARTITIONERS:
+                raise ValueError(
+                    f"unknown partitioner {spec!r}; "
+                    f"registered: {PARTITIONERS.names()}"
+                )
+            partitioner_name = spec
+            reason = "resolved from the partitioner registry"
+        else:
+            partitioner_name = type(spec).__name__
+            reason = "caller-supplied instance"
+        _decide(decisions, "partitioner", spec, partitioner_name, reason)
+
+        if config.multiprocess:
+            _decide(
+                decisions,
+                "multiprocess",
+                True,
+                True,
+                "workers run as real OS processes (pipes between supersteps)",
+            )
+
+    return RunPlan(
+        mode=mode,
+        backend=backend,
+        num_workers=config.num_workers,
+        engine=engine,
+        shard_backend=shard_backend,
+        state_format=state_format,
+        partitioner=partitioner_name,
+        multiprocess=config.multiprocess and distributed,
+        caps=caps,
+        requested=config,
+        decisions=tuple(decisions),
+    )
+
+
+def plan_for(graph, config: Optional[ExecutionConfig] = None) -> RunPlan:
+    """Convenience: probe ``graph`` and resolve ``config`` in one call."""
+    return resolve_plan(GraphCaps.of(graph), config)

@@ -1,0 +1,172 @@
+"""Named component registries: partitioners, BSP engines, worker programs.
+
+One uniform mechanism replaces the per-module if/else ladders that used to
+map ``engine="array"`` / ``shard_backend="csr"`` strings onto classes:
+components are registered by name, the cluster wrappers resolve them
+through :meth:`Registry.resolve`, and plugins extend any axis without
+touching repro code::
+
+    from repro.api.registry import PARTITIONERS
+
+    PARTITIONERS.register("stripe", lambda workers, caps: MyPartitioner(workers))
+    run_distributed_rslpa(graph, config=ExecutionConfig(partitioner="stripe"))
+
+Calling conventions per registry (what a resolved component *is*):
+
+* :data:`PARTITIONERS` — a builder ``f(num_workers, caps) -> Partitioner``
+  (``caps`` is the :class:`~repro.api.plan.GraphCaps`, so range-style
+  partitioners can size themselves to the graph).
+* :data:`ENGINES` — a builder ``f(shards, partitioner) -> engine`` with
+  the in-process BSP engine interface (``run(programs)``, ``stats``).
+* :data:`PROGRAMS` — the worker-program *class* itself, keyed
+  ``"<task>/<plane>"`` (e.g. ``"rslpa/array"``); classes are returned
+  raw so multiprocess factories built from them stay picklable.
+
+Built-ins are registered lazily (the loader imports on first resolve), so
+importing :mod:`repro.api` never drags in the distributed machinery.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List
+
+__all__ = ["Registry", "PARTITIONERS", "ENGINES", "PROGRAMS"]
+
+
+class Registry:
+    """A small name → component map with lazy built-in loaders."""
+
+    def __init__(self, kind: str):
+        self.kind = kind
+        self._entries: Dict[str, Any] = {}
+        self._lazy: Dict[str, Callable[[], Any]] = {}
+
+    def register(self, name: str, component: Any, *, overwrite: bool = False) -> None:
+        """Register ``component`` under ``name`` (error if taken)."""
+        if not overwrite and name in self:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._lazy.pop(name, None)
+        self._entries[name] = component
+
+    def register_lazy(
+        self, name: str, loader: Callable[[], Any], *, overwrite: bool = False
+    ) -> None:
+        """Register a zero-arg ``loader`` resolved (once) on first use."""
+        if not overwrite and name in self:
+            raise ValueError(
+                f"{self.kind} {name!r} is already registered; "
+                f"pass overwrite=True to replace it"
+            )
+        self._entries.pop(name, None)
+        self._lazy[name] = loader
+
+    def resolve(self, name: str) -> Any:
+        """Return the component registered under ``name``."""
+        if name in self._entries:
+            return self._entries[name]
+        if name in self._lazy:
+            # Cache (and drop the loader) only on success, so a transient
+            # loader failure stays retryable instead of turning into a
+            # misleading "unknown name" on the next resolve.
+            component = self._lazy[name]()
+            self._entries[name] = component
+            del self._lazy[name]
+            return component
+        raise KeyError(
+            f"unknown {self.kind} {name!r}; registered: {self.names()}"
+        )
+
+    def names(self) -> List[str]:
+        return sorted(set(self._entries) | set(self._lazy))
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._entries or name in self._lazy
+
+    def __repr__(self) -> str:
+        return f"Registry({self.kind!r}, names={self.names()})"
+
+
+PARTITIONERS = Registry("partitioner")
+ENGINES = Registry("bsp engine")
+PROGRAMS = Registry("worker program")
+
+
+# ----------------------------------------------------------------------
+# Built-in partitioner builders (module-level functions: picklable).
+# ----------------------------------------------------------------------
+def build_hash_partitioner(num_workers, caps):
+    from repro.graph.partition import HashPartitioner
+
+    return HashPartitioner(num_workers)
+
+
+def build_range_partitioner(num_workers, caps):
+    from repro.graph.partition import ContiguousPartitioner
+
+    return ContiguousPartitioner(num_workers, caps.num_vertices)
+
+
+PARTITIONERS.register("hash", build_hash_partitioner)
+PARTITIONERS.register("range", build_range_partitioner)
+
+
+# ----------------------------------------------------------------------
+# Built-in BSP engine builders.
+# ----------------------------------------------------------------------
+def build_reference_engine(shards, partitioner):
+    from repro.distributed.engine import BSPEngine
+
+    return BSPEngine(shards, partitioner)
+
+
+def build_array_engine(shards, partitioner):
+    from repro.distributed.engine_array import ArrayBSPEngine
+
+    return ArrayBSPEngine(shards, partitioner)
+
+
+ENGINES.register("reference", build_reference_engine)
+ENGINES.register("array", build_array_engine)
+
+
+# ----------------------------------------------------------------------
+# Built-in worker-program classes, keyed "<task>/<plane>".
+# ----------------------------------------------------------------------
+def _load_rslpa_reference():
+    from repro.distributed.programs import RSLPAPropagationProgram
+
+    return RSLPAPropagationProgram
+
+
+def _load_rslpa_array():
+    from repro.distributed.programs_array import FastRSLPAPropagationProgram
+
+    return FastRSLPAPropagationProgram
+
+
+def _load_slpa_reference():
+    from repro.distributed.programs import SLPAPropagationProgram
+
+    return SLPAPropagationProgram
+
+
+def _load_slpa_array():
+    from repro.distributed.programs_array import FastSLPAPropagationProgram
+
+    return FastSLPAPropagationProgram
+
+
+def _load_correction_reference():
+    from repro.distributed.programs import CorrectionPropagationProgram
+
+    return CorrectionPropagationProgram
+
+
+PROGRAMS.register_lazy("rslpa/reference", _load_rslpa_reference)
+PROGRAMS.register_lazy("rslpa/array", _load_rslpa_array)
+PROGRAMS.register_lazy("slpa/reference", _load_slpa_reference)
+PROGRAMS.register_lazy("slpa/array", _load_slpa_array)
+PROGRAMS.register_lazy("correction/reference", _load_correction_reference)

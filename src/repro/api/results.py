@@ -1,0 +1,60 @@
+"""Uniform result objects across the execution planes.
+
+Every front-door entry point returns one of three carriers, so callers
+consume local, distributed, and service runs identically: the cover (or
+repair report), a handle on the live label state, the communication
+stats when a cluster was involved, wall-clock timings, and — always —
+the :class:`~repro.api.plan.RunPlan` that produced the result, so
+``result.plan.explain()`` answers "what actually ran?" after the fact.
+
+The payload fields are intentionally loosely typed (the state handle is
+whichever representation the resolved backend runs on: a dict-backed
+:class:`~repro.core.labels.LabelState` or an
+:class:`~repro.core.labels_array.ArrayLabelState`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Mapping, Optional
+
+from repro.api.plan import RunPlan
+
+__all__ = ["DetectionResult", "UpdateResult", "DistributedResult"]
+
+
+@dataclass(frozen=True)
+class DetectionResult:
+    """A completed fit + extraction (local or distributed)."""
+
+    cover: Any  #: the extracted :class:`~repro.core.communities.Cover`
+    state: Any  #: live label-state handle (array or dict representation)
+    plan: RunPlan
+    detector: Any  #: the fitted detector, ready for ``update`` calls
+    comm_stats: Optional[Any] = None  #: CommStats for distributed fits
+    timings: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def num_communities(self) -> int:
+        return len(self.cover)
+
+
+@dataclass(frozen=True)
+class UpdateResult:
+    """One applied edit batch (Correction Propagation)."""
+
+    report: Any  #: the :class:`~repro.core.incremental.UpdateReport`
+    state: Any  #: live label-state handle after the repair
+    plan: RunPlan
+    cover: Optional[Any] = None  #: re-extracted cover (only if requested)
+    timings: Mapping[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class DistributedResult:
+    """A raw cluster run: the merged state plus its communication bill."""
+
+    state: Any  #: merged label state in the plan's ``state_format``
+    comm_stats: Any  #: per-superstep :class:`~repro.distributed.metrics.CommStats`
+    plan: RunPlan
+    timings: Mapping[str, float] = field(default_factory=dict)

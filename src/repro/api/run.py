@@ -1,0 +1,122 @@
+"""High-level front door: config in, result object out.
+
+These functions are the one-call form of the config → plan → execution
+pipeline::
+
+    from repro.api import AlgoConfig, ExecutionConfig, detect
+
+    result = detect(graph, AlgoConfig(seed=7), ExecutionConfig(num_workers=4))
+    print(result.plan.explain())       # why each choice fired
+    print(result.cover)                # the communities
+    result.detector.update(batch)      # lifecycle continues on the handle
+
+They construct an :class:`~repro.core.detector.RSLPADetector` (or call
+the cluster wrappers) with the configs passed through unchanged, so
+results are bit-identical to the kwargs-based APIs per seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from time import perf_counter
+from typing import Optional
+
+from repro.api.config import AlgoConfig, ExecutionConfig
+from repro.api.plan import GraphCaps, resolve_plan
+from repro.api.results import DetectionResult, DistributedResult, UpdateResult
+
+__all__ = ["detect", "update", "run_distributed"]
+
+
+def detect(
+    graph,
+    algo: Optional[AlgoConfig] = None,
+    execution: Optional[ExecutionConfig] = None,
+) -> DetectionResult:
+    """Fit rSLPA (locally or on the cluster per ``execution``) and extract.
+
+    ``execution.num_workers > 0`` routes the fit through the simulated BSP
+    cluster; either way the detector lifecycle (``result.detector``)
+    continues with incremental updates.
+    """
+    from repro.core.detector import RSLPADetector
+
+    algo = algo if algo is not None else AlgoConfig()
+    execution = execution if execution is not None else ExecutionConfig()
+    detector = RSLPADetector(graph, algo=algo, execution=execution)
+    started = perf_counter()
+    if execution.num_workers > 0:
+        detector.fit_distributed()
+    else:
+        detector.fit()
+    fitted = perf_counter()
+    cover = detector.communities()
+    extracted = perf_counter()
+    return DetectionResult(
+        cover=cover,
+        state=detector.state,
+        plan=detector.last_plan,
+        detector=detector,
+        comm_stats=detector.comm_stats,
+        timings={
+            "fit_seconds": fitted - started,
+            "extract_seconds": extracted - fitted,
+        },
+    )
+
+
+def update(detector, batch, extract: bool = False) -> UpdateResult:
+    """Apply one edit batch through a fitted detector.
+
+    ``extract=True`` re-extracts the cover immediately; the default leaves
+    extraction to the caller's staleness policy (the paper's
+    "update continuously, extract periodically" operating mode).
+    """
+    started = perf_counter()
+    report = detector.update(batch)
+    updated = perf_counter()
+    timings = {"update_seconds": updated - started}
+    cover = None
+    if extract:
+        cover = detector.communities()
+        timings["extract_seconds"] = perf_counter() - updated
+    return UpdateResult(
+        report=report,
+        state=detector.state,
+        plan=detector.last_plan,
+        cover=cover,
+        timings=timings,
+    )
+
+
+def run_distributed(
+    graph,
+    algo: Optional[AlgoConfig] = None,
+    execution: Optional[ExecutionConfig] = None,
+) -> DistributedResult:
+    """Algorithm 1 on the simulated cluster, as a result object.
+
+    The thin wrapper over
+    :func:`repro.distributed.run_distributed_rslpa` that returns the
+    merged state *with* its plan and timings attached.
+    """
+    from repro.distributed.cluster import run_distributed_rslpa
+
+    algo = algo if algo is not None else AlgoConfig()
+    execution = execution if execution is not None else ExecutionConfig()
+    if execution.num_workers == 0:  # always distributed here: wrapper default
+        execution = replace(execution, num_workers=4)
+    plan = resolve_plan(GraphCaps.of(graph), execution)
+    started = perf_counter()
+    state, stats = run_distributed_rslpa(
+        graph,
+        seed=algo.seed,
+        iterations=algo.iterations,
+        config=execution,
+    )
+    return DistributedResult(
+        state=state,
+        comm_stats=stats,
+        plan=plan,
+        timings={"run_seconds": perf_counter() - started},
+    )

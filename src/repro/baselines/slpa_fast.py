@@ -24,7 +24,7 @@ from typing import Dict, List, Optional, Union
 
 import numpy as np
 
-from repro.baselines.slpa import _SEND, _TIE, DEFAULT_ITERATIONS, DEFAULT_THRESHOLD, SLPA
+from repro.baselines.slpa import _SEND, _TIE, DEFAULT_ITERATIONS, DEFAULT_THRESHOLD
 from repro.core.communities import Cover
 from repro.core.randomness import (
     _C_SRC,

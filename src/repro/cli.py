@@ -1,6 +1,6 @@
-"""Command-line interface: detect, update, serve, and inspect without code.
+"""Command-line interface: detect, update, serve, plan, and inspect.
 
-Four subcommands mirroring the library lifecycle::
+Five subcommands mirroring the library lifecycle::
 
     python -m repro.cli detect graph.txt --seed 7 -T 200 \
         --state state.json --cover cover.json
@@ -8,6 +8,7 @@ Four subcommands mirroring the library lifecycle::
         --seed 7 --cover cover.json
     python -m repro.cli serve graph.txt --edits edits.txt \
         --checkpoint-dir state/ --query 17 --query 23
+    python -m repro.cli plan graph.txt --distributed 4
     python -m repro.cli stats graph.txt
 
 ``graph.txt`` is a whitespace edge list (directions/duplicates/self-loops
@@ -16,6 +17,14 @@ same format prefixed with ``+``/``-`` per line::
 
     + 17 23
     - 4 9
+
+All subcommands share one flag vocabulary (:func:`add_algo_args` /
+:func:`add_execution_args`) that maps 1:1 onto the config layer
+(:class:`~repro.api.config.AlgoConfig`,
+:class:`~repro.api.config.ExecutionConfig`); the ``plan`` subcommand
+prints :meth:`RunPlan.explain() <repro.api.plan.RunPlan.explain>` — which
+backend/plane/shard storage the flags would resolve to, and why — without
+running anything.
 
 The ``update`` subcommand loads a saved label state, applies the batch with
 Correction Propagation, saves the state back, and (optionally) re-extracts
@@ -35,18 +44,23 @@ import json
 import sys
 from typing import List, Optional, Tuple
 
+from repro.api.config import AlgoConfig, ExecutionConfig, ServicePlanConfig
+from repro.api.plan import plan_for
 from repro.core.detector import RSLPADetector
-from repro.core.incremental import CorrectionPropagator
-from repro.core.incremental_fast import FastCorrectionPropagator
-from repro.core.labels_array import ArrayLabelState
-from repro.core.postprocess import extract_communities
-from repro.core.rslpa import ReferencePropagator
-from repro.core.serialize import load_state, save_cover, save_state
-from repro.graph.adjacency import Graph
+from repro.core.serialize import save_cover, save_state
 from repro.graph.edits import EditBatch
 from repro.graph.io import read_edge_list
 
-__all__ = ["main", "build_parser", "parse_edit_file", "iter_edit_file"]
+__all__ = [
+    "main",
+    "build_parser",
+    "parse_edit_file",
+    "iter_edit_file",
+    "add_algo_args",
+    "add_execution_args",
+    "algo_config_from_args",
+    "execution_config_from_args",
+]
 
 
 def iter_edit_file(path: str) -> List[Tuple[str, int, int]]:
@@ -79,6 +93,92 @@ def parse_edit_file(path: str) -> EditBatch:
     )
 
 
+# ----------------------------------------------------------------------
+# Shared flag vocabulary (one declaration per flag, used by every
+# subcommand; mapped 1:1 onto the config layer).
+# ----------------------------------------------------------------------
+def add_algo_args(parser: argparse.ArgumentParser, with_iterations: bool = True) -> None:
+    """The :class:`AlgoConfig` flags: --seed, -T/--iterations, --tau-step."""
+    parser.add_argument("--seed", type=int, default=0,
+                        help="randomness seed (identical results per seed)")
+    if with_iterations:
+        parser.add_argument("-T", "--iterations", type=int, default=200,
+                            help="propagation horizon T (paper default 200)")
+    parser.add_argument("--tau-step", type=float, default=0.001,
+                        help="grid step of the tau1 entropy sweep")
+
+
+def add_execution_args(
+    parser: argparse.ArgumentParser, with_distributed: bool = True
+) -> None:
+    """The :class:`ExecutionConfig` flags shared by detect/update/serve/plan."""
+    parser.add_argument(
+        "--backend",
+        choices=("auto", "reference", "fast"),
+        default="auto",
+        help="lifecycle backend: 'fast' is the vectorised CSR/array "
+        "substrate, 'reference' the pure-Python engines (bit-identical "
+        "per seed); 'auto' picks fast when vertex ids are contiguous",
+    )
+    if not with_distributed:
+        return
+    parser.add_argument(
+        "--distributed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run on the simulated BSP cluster with N workers "
+        "(0 = local); results are bit-identical either way",
+    )
+    parser.add_argument(
+        "--dist-engine",
+        choices=("auto", "reference", "array"),
+        default="auto",
+        help="distributed message plane: 'array' routes struct-of-arrays "
+        "columns, 'reference' Python tuples; 'auto' prefers the array "
+        "plane on CSR shards",
+    )
+    parser.add_argument(
+        "--shard-backend",
+        choices=("auto", "dict", "csr"),
+        default="auto",
+        help="worker shard adjacency storage for distributed runs",
+    )
+    parser.add_argument(
+        "--partitioner",
+        default=None,
+        metavar="NAME",
+        help="registered partitioner name ('hash', 'range', or a plugin "
+        "from repro.api.registry.PARTITIONERS); default 'hash'",
+    )
+    parser.add_argument(
+        "--multiprocess",
+        action="store_true",
+        help="run distributed workers as real OS processes instead of "
+        "the in-process simulator (propagation programs only)",
+    )
+
+
+def algo_config_from_args(args) -> AlgoConfig:
+    return AlgoConfig(
+        seed=args.seed,
+        iterations=getattr(args, "iterations", AlgoConfig.iterations),
+        tau_step=args.tau_step,
+    )
+
+
+def execution_config_from_args(args) -> ExecutionConfig:
+    return ExecutionConfig(
+        backend=args.backend,
+        num_workers=getattr(args, "distributed", 0),
+        engine=getattr(args, "dist_engine", "auto"),
+        shard_backend=getattr(args, "shard_backend", "auto"),
+        state_format=getattr(args, "state_format", "auto"),
+        partitioner=getattr(args, "partitioner", None),
+        multiprocess=getattr(args, "multiprocess", False),
+    )
+
+
 def _print_cover(cover, out) -> None:
     payload = {
         "num_communities": len(cover),
@@ -92,23 +192,17 @@ def _print_cover(cover, out) -> None:
 def _cmd_detect(args, out) -> int:
     graph = read_edge_list(args.graph)
     # Both backends export a fully-recorded state (so later `update` runs
-    # work either way) and are bit-identical per seed; "auto" takes the CSR
-    # fast path whenever the ids are contiguous.
+    # work either way) and are bit-identical per seed; the plan layer
+    # negotiates every 'auto' against the graph.
     detector = RSLPADetector(
         graph,
-        seed=args.seed,
-        iterations=args.iterations,
-        backend=args.backend,
-        tau_step=args.tau_step,
+        algo=algo_config_from_args(args),
+        execution=execution_config_from_args(args),
     )
     if args.distributed:
         # Same fitted state as a local fit (all engines are bit-identical
         # per seed), plus the run's communication accounting.
-        detector.fit_distributed(
-            num_workers=args.distributed,
-            engine=args.dist_engine,
-            shard_backend=args.shard_backend,
-        )
+        detector.fit_distributed()
         out.write(f"distributed fit: {detector.comm_stats.summary()}\n")
     else:
         detector.fit()
@@ -124,63 +218,37 @@ def _cmd_detect(args, out) -> int:
 
 
 def _cmd_update(args, out) -> int:
+    from repro.core.serialize import load_state
+
     graph = read_edge_list(args.graph)
     # Either representation may come back (JSON -> LabelState, npz ->
-    # ArrayLabelState); the chosen backend decides what it runs on.
+    # ArrayLabelState); the resolved plan decides what it runs on and
+    # from_state converts as needed.  Validate first so a corrupt or
+    # mismatched file is an input error on every backend.
     state = load_state(args.state)
-    is_array = isinstance(state, ArrayLabelState)
     batch = parse_edit_file(args.edits)
-    # Backend selection mirrors `detect`: the vectorised corrector needs
-    # contiguous ids (the array substrate's contract, for the graph AND for
-    # any vertices the batch creates); 'auto' checks and falls back, 'fast'
-    # insists, 'reference' always takes the dict engine.
-    ids_contiguous = sorted(graph.vertices()) == list(range(graph.num_vertices))
-    use_fast = args.backend == "fast" or (args.backend == "auto" and ids_contiguous)
-    if use_fast and not ids_contiguous:
-        raise ValueError(
-            "--backend fast requires contiguous vertex ids 0..n-1; "
-            "use --backend reference (or relabel the graph)"
-        )
-    corrector = None
-    if use_fast:
-        state.validate(graph)  # same guarantee from_state gives the reference path
-        corrector = FastCorrectionPropagator(
-            graph,
-            state if is_array else ArrayLabelState.from_label_state(state),
-            args.seed,
-        )
-        if not corrector.accepts(batch):
-            if args.backend == "fast":
-                raise ValueError(
-                    "--backend fast cannot apply this batch: new vertex ids "
-                    "must extend the contiguous range (use --backend reference)"
-                )
-            corrector = None  # auto: fall back to the reference engine
-    if corrector is None:
-        propagator = ReferencePropagator.from_state(
-            graph, args.seed, state.to_label_state() if is_array else state
-        )
-        corrector = CorrectionPropagator(propagator)
-        use_fast = False
-    corrector.batch_epoch = args.batch_epoch - 1
-    report = corrector.apply_batch(batch)
+    state.validate(graph)
+    detector = RSLPADetector.from_state(
+        graph,
+        state,
+        seed=args.seed,
+        backend=args.backend,
+        tau_step=args.tau_step,
+        batch_epoch=args.batch_epoch - 1,
+    )
+    report = detector.update(batch)
     # save_state converts as needed; the target's format follows its suffix.
-    save_state(corrector.state, args.state)
+    save_state(detector.state, args.state)
     out.write(
         f"applied {batch.size} edits: {report.repicked} repicked, "
         f"{report.touched_labels} labels touched; "
         f"state saved to {args.state}\n"
     )
     if args.cover:
-        sequences = (
-            corrector.state.sequences_dict()
-            if isinstance(corrector.state, ArrayLabelState)
-            else corrector.state.labels
-        )
-        result = extract_communities(graph, sequences, step=args.tau_step)
-        save_cover(result.cover, args.cover)
+        cover = detector.communities()
+        save_cover(cover, args.cover)
         out.write(f"cover saved to {args.cover}\n")
-        _print_cover(result.cover, out)
+        _print_cover(cover, out)
     return 0
 
 
@@ -208,16 +276,16 @@ def _cmd_serve(args, out) -> int:
         graph = read_edge_list(args.graph)
         service = CommunityService(
             graph,
-            seed=args.seed,
-            iterations=args.iterations,
-            backend=args.backend,
-            tau_step=args.tau_step,
-            batch_size=args.batch_size,
-            staleness_batches=args.staleness,
-            checkpoint_every=args.checkpoint_every,
+            config=ServicePlanConfig(
+                algo=algo_config_from_args(args),
+                execution=execution_config_from_args(args),
+                batch_size=args.batch_size,
+                staleness_batches=args.staleness,
+                checkpoint_every=args.checkpoint_every,
+            ),
             checkpoint_dir=args.checkpoint_dir,
         )
-        service.start(num_workers=args.distributed)
+        service.start()
     if args.edits:
         # The service ingest path proper: single edits in file order through
         # the coalescing queue, windows flushed as they fill.  Unlike
@@ -238,6 +306,13 @@ def _cmd_serve(args, out) -> int:
     service.close()
     json.dump(payload, out, indent=2)
     out.write("\n")
+    return 0
+
+
+def _cmd_plan(args, out) -> int:
+    graph = read_edge_list(args.graph)
+    plan = plan_for(graph, execution_config_from_args(args))
+    out.write(plan.explain() + "\n")
     return 0
 
 
@@ -267,61 +342,22 @@ def build_parser() -> argparse.ArgumentParser:
 
     detect = sub.add_parser("detect", help="run rSLPA on a static edge list")
     detect.add_argument("graph", help="edge-list file")
-    detect.add_argument("--seed", type=int, default=0)
-    detect.add_argument("-T", "--iterations", type=int, default=200)
-    detect.add_argument(
-        "--backend",
-        choices=("auto", "reference", "fast"),
-        default="auto",
-        help="propagation backend: 'fast' is the vectorised CSR substrate, "
-        "'reference' the pure-Python propagator (bit-identical per seed)",
-    )
-    detect.add_argument("--tau-step", type=float, default=0.001)
-    detect.add_argument("--state", help="save the label state here (JSON)")
+    add_algo_args(detect)
+    add_execution_args(detect)
+    detect.add_argument("--state", help="save the label state here (JSON/npz)")
     detect.add_argument("--cover", help="save the cover here (JSON)")
-    detect.add_argument(
-        "--distributed",
-        type=int,
-        default=0,
-        metavar="N",
-        help="fit on the simulated BSP cluster with N workers "
-        "(0 = local fit); results are bit-identical either way",
-    )
-    detect.add_argument(
-        "--dist-engine",
-        choices=("auto", "reference", "array"),
-        default="auto",
-        help="distributed message plane: 'array' routes struct-of-arrays "
-        "columns, 'reference' Python tuples; 'auto' prefers the array "
-        "plane on CSR shards",
-    )
-    detect.add_argument(
-        "--shard-backend",
-        choices=("auto", "dict", "csr"),
-        default="auto",
-        help="worker shard adjacency storage for --distributed runs",
-    )
     detect.set_defaults(func=_cmd_detect)
 
     update = sub.add_parser(
         "update", help="apply an edit batch to a saved state (Algorithm 2)"
     )
-    update.add_argument("state", help="label-state JSON (updated in place)")
+    update.add_argument("state", help="label-state file (updated in place)")
     update.add_argument("graph", help="edge list of the PRE-batch graph")
     update.add_argument("edits", help="edit file: '+ u v' / '- u v' lines")
-    update.add_argument("--seed", type=int, default=0,
-                        help="must match the seed used at detect time")
-    update.add_argument(
-        "--backend",
-        choices=("auto", "reference", "fast"),
-        default="auto",
-        help="correction backend: 'fast' is the vectorised array corrector "
-        "(contiguous ids only), 'reference' the pure-Python one; both make "
-        "bit-identical repairs per seed",
-    )
+    add_algo_args(update, with_iterations=False)
+    add_execution_args(update, with_distributed=False)
     update.add_argument("--batch-epoch", type=int, default=1,
                         help="1 for the first update after detect, then 2, ...")
-    update.add_argument("--tau-step", type=float, default=0.001)
     update.add_argument("--cover", help="re-extract and save the cover here")
     update.set_defaults(func=_cmd_update)
 
@@ -334,12 +370,8 @@ def build_parser() -> argparse.ArgumentParser:
         nargs="?",
         help="edge-list file (omit with --recover; the checkpoint has the graph)",
     )
-    serve.add_argument("--seed", type=int, default=0)
-    serve.add_argument("-T", "--iterations", type=int, default=200)
-    serve.add_argument(
-        "--backend", choices=("auto", "reference", "fast"), default="auto"
-    )
-    serve.add_argument("--tau-step", type=float, default=0.001)
+    add_algo_args(serve)
+    add_execution_args(serve)
     serve.add_argument("--edits", help="edit file streamed through the ingest queue")
     serve.add_argument(
         "--batch-size",
@@ -372,13 +404,6 @@ def build_parser() -> argparse.ArgumentParser:
         "instead of fitting",
     )
     serve.add_argument(
-        "--distributed",
-        type=int,
-        default=0,
-        metavar="N",
-        help="fit on the simulated BSP cluster with N workers (0 = local)",
-    )
-    serve.add_argument(
         "--query",
         type=int,
         action="append",
@@ -387,6 +412,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="report stable community ids of vertex V (repeatable)",
     )
     serve.set_defaults(func=_cmd_serve)
+
+    plan = sub.add_parser(
+        "plan",
+        help="print the resolved execution plan (and why) without running",
+    )
+    plan.add_argument("graph", help="edge-list file")
+    add_execution_args(plan)
+    plan.add_argument(
+        "--state-format",
+        choices=("auto", "dict", "array"),
+        default="auto",
+        help="distributed state export format to resolve",
+    )
+    plan.set_defaults(func=_cmd_plan)
 
     stats = sub.add_parser("stats", help="print normalised graph statistics")
     stats.add_argument("graph", help="edge-list file")

@@ -11,23 +11,29 @@ This is the public face of the library.  Typical use::
     report = detector.update(batch)     # Algorithm 2 (Correction Propagation)
     cover = detector.communities()      # re-extract on the maintained state
 
-Backend matrix (``backend=`` / legacy ``engine=``): the fast path now runs
-the *whole* lifecycle on the array substrate — ``fit`` is the vectorised
-:class:`~repro.core.fast.FastPropagator`, its ``to_array_state()`` export
-hands the ``(T+1, n)`` matrices to the vectorised
-:class:`~repro.core.incremental_fast.FastCorrectionPropagator`, and every
-``update`` stays in numpy.  The reference path keeps the pure-Python
+Execution selection goes through the unified plan layer
+(:mod:`repro.api`): the detector holds an
+:class:`~repro.api.config.AlgoConfig` + :class:`~repro.api.config.ExecutionConfig`
+pair (individual keywords are thin shims that construct them), and every
+fit resolves one :class:`~repro.api.plan.RunPlan` via
+:func:`repro.api.plan.resolve_plan` — ``detector.plan().explain()`` says
+which substrate a fit would take and why.  The fast plan runs the whole
+lifecycle on the array substrate (:class:`~repro.core.fast.FastPropagator`
+→ :class:`~repro.core.incremental_fast.FastCorrectionPropagator`); the
+reference plan keeps the pure-Python
 :class:`~repro.core.rslpa.ReferencePropagator` +
-:class:`~repro.core.incremental.CorrectionPropagator` pair.  Both paths are
-bit-identical per seed for fit *and* for every subsequent update; ``auto``
-picks the fast path whenever the vertex ids are contiguous ``0..n-1``.
+:class:`~repro.core.incremental.CorrectionPropagator` pair.  Both are
+bit-identical per seed for fit *and* every subsequent update.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+import warnings
+from dataclasses import replace
 from typing import Iterable, List, Optional, Union
 
+from repro.api.config import DEFAULT_ITERATIONS, AlgoConfig, ExecutionConfig
+from repro.api.plan import GraphCaps, PlanDecision, RunPlan, resolve_plan
 from repro.core.communities import Cover
 from repro.core.fast import FastPropagator
 from repro.core.incremental import CorrectionPropagator, UpdateReport
@@ -39,12 +45,58 @@ from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch
-from repro.utils.validation import check_positive, check_type
+from repro.utils.validation import check_type
 
-__all__ = ["RSLPADetector", "detect_communities"]
+__all__ = ["RSLPADetector", "detect_communities", "DEFAULT_ITERATIONS"]
 
-#: Paper default for rSLPA (Section V-A3: stable for T >= 200).
-DEFAULT_ITERATIONS = 200
+
+def _shim_configs(
+    seed, iterations, tau_step, backend, engine, algo, execution
+) -> tuple:
+    """Map the keyword shims onto (AlgoConfig, ExecutionConfig).
+
+    ``engine=`` is the deprecated pre-PR-5 alias of ``backend=`` (it
+    predates the cluster wrappers using ``engine=`` for the *message
+    plane*, a different axis); it keeps working but warns.  Keywords and
+    config objects are exclusive per axis so a call can never silently
+    contradict itself.
+    """
+    if engine is not None:
+        warnings.warn(
+            "engine= is a deprecated alias of backend= on RSLPADetector "
+            "(the distributed message plane also uses the name 'engine'); "
+            "use backend= or ExecutionConfig(backend=...)",
+            DeprecationWarning,
+            stacklevel=3,
+        )
+        if backend is not None and engine != backend:
+            raise ValueError(
+                f"conflicting backend selection: engine={engine!r}, "
+                f"backend={backend!r}"
+            )
+    if execution is not None:
+        if backend is not None or engine is not None:
+            raise ValueError(
+                "pass the backend either via execution=/ExecutionConfig or "
+                "via the backend= keyword, not both"
+            )
+    else:
+        resolved = backend if backend is not None else (engine or "auto")
+        if resolved not in ("auto", "fast", "reference"):
+            raise ValueError(
+                "backend (or its legacy alias engine) must be 'auto', 'fast' "
+                f"or 'reference', got {resolved!r}"
+            )
+        execution = ExecutionConfig(backend=resolved)
+    if algo is not None:
+        if (seed, iterations, tau_step) != (0, DEFAULT_ITERATIONS, 0.001):
+            raise ValueError(
+                "pass the algorithm parameters either via algo=/AlgoConfig "
+                "or via the seed=/iterations=/tau_step= keywords, not both"
+            )
+    else:
+        algo = AlgoConfig(seed=seed, iterations=iterations, tau_step=tau_step)
+    return algo, execution
 
 
 class RSLPADetector:
@@ -66,10 +118,15 @@ class RSLPADetector:
         *and* incremental ``update`` — and both backends are bit-identical
         per seed.
     engine:
-        Deprecated alias of ``backend`` (kept for callers of the original
-        API); when both are given they must agree.
+        Deprecated alias of ``backend`` (emits ``DeprecationWarning``);
+        when both are given they must agree.
     tau_step:
         Grid step of the τ1 entropy sweep (paper suggests 0.001).
+    algo / execution:
+        The config-object forms of the same parameters
+        (:class:`~repro.api.config.AlgoConfig`,
+        :class:`~repro.api.config.ExecutionConfig`); exclusive with the
+        corresponding keywords.
     """
 
     def __init__(
@@ -80,28 +137,19 @@ class RSLPADetector:
         engine: Optional[str] = None,
         tau_step: float = 0.001,
         backend: Optional[str] = None,
+        *,
+        algo: Optional[AlgoConfig] = None,
+        execution: Optional[ExecutionConfig] = None,
     ):
-        check_type(seed, int, "seed")
-        check_type(iterations, int, "iterations")
-        check_positive(iterations, "iterations")
-        check_positive(tau_step, "tau_step")
-        if engine is not None and backend is not None and engine != backend:
-            raise ValueError(
-                f"conflicting backend selection: engine={engine!r}, "
-                f"backend={backend!r}"
-            )
-        resolved = backend if backend is not None else (engine or "auto")
-        if resolved not in ("auto", "fast", "reference"):
-            raise ValueError(
-                "backend (or its legacy alias engine) must be 'auto', 'fast' "
-                f"or 'reference', got {resolved!r}"
-            )
+        self.algo, self.execution = _shim_configs(
+            seed, iterations, tau_step, backend, engine, algo, execution
+        )
         self.graph = graph.copy()
-        self.seed = seed
-        self.iterations = iterations
-        self.backend = resolved
-        self.engine = resolved  # legacy name
-        self.tau_step = tau_step
+        self.seed = self.algo.seed
+        self.iterations = self.algo.iterations
+        self.tau_step = self.algo.tau_step
+        self.backend = self.execution.backend
+        self.engine = self.execution.backend  # legacy name, same value
         self._corrector: Optional[
             Union[CorrectionPropagator, FastCorrectionPropagator]
         ] = None
@@ -109,6 +157,8 @@ class RSLPADetector:
         self._label_state_cache: Optional[LabelState] = None
         #: CommStats of the last fit_distributed() run (None for local fits).
         self.comm_stats = None
+        #: The RunPlan of the last fit (None before the first fit).
+        self.last_plan: Optional[RunPlan] = None
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -117,27 +167,60 @@ class RSLPADetector:
     def is_fitted(self) -> bool:
         return self._corrector is not None
 
-    def _ids_contiguous(self) -> bool:
-        n = self.graph.num_vertices
-        return sorted(self.graph.vertices()) == list(range(n))
+    def plan(self, execution: Optional[ExecutionConfig] = None) -> RunPlan:
+        """Resolve the execution plan against the current graph.
+
+        All negotiation lives in :func:`repro.api.plan.resolve_plan`; this
+        is the detector's view of it (``detector.plan().explain()``).
+        """
+        return resolve_plan(GraphCaps.of(self.graph), execution or self.execution)
 
     def _resolve_use_fast(self) -> bool:
-        """Whether this fit takes the array substrate (``fast``/eligible
-        ``auto``); a forced ``fast`` on non-contiguous ids is an error."""
-        contiguous = self._ids_contiguous()
-        if self.backend == "fast" and not contiguous:
-            raise ValueError(
-                "backend='fast' requires contiguous vertex ids 0..n-1; "
-                "use repro.graph.relabel_to_integers or backend='reference'"
+        return self.plan().use_fast
+
+    def _install_corrector(self, state, use_fast: bool) -> None:
+        """Install the corrector the plan's backend runs on, converting the
+        state representation as needed (shared by the distributed-fit and
+        restart paths)."""
+        if use_fast:
+            astate = (
+                state
+                if isinstance(state, ArrayLabelState)
+                else ArrayLabelState.from_label_state(state)
             )
-        return self.backend == "fast" or (
-            self.backend == "auto" and contiguous
-        )
+            self._corrector = FastCorrectionPropagator(self.graph, astate, self.seed)
+        else:
+            lstate = (
+                state.to_label_state()
+                if isinstance(state, ArrayLabelState)
+                else state
+            )
+            propagator = ReferencePropagator.from_state(
+                self.graph, self.seed, lstate
+            )
+            self._corrector = CorrectionPropagator(propagator)
 
     def fit(self) -> "RSLPADetector":
         """Run Algorithm 1 from scratch on the current graph."""
-        use_fast = self._resolve_use_fast()
-        if use_fast and self.graph.num_vertices > 0:
+        # A local fit, whatever the config's worker count says: the recorded
+        # plan must describe what actually ran.
+        plan = self.plan(replace(self.execution, num_workers=0))
+        if plan.use_fast and self.graph.num_vertices == 0:
+            plan = replace(
+                plan,
+                backend="reference",
+                decisions=plan.decisions
+                + (
+                    PlanDecision(
+                        field="backend",
+                        requested=plan.requested.backend,
+                        value="reference",
+                        reason="empty graph: nothing for the array "
+                        "substrate to vectorise",
+                    ),
+                ),
+            )
+        if plan.use_fast:
             # The whole lifecycle stays on the array substrate: one CSR
             # snapshot feeds the vectorised propagator, whose array export
             # feeds the vectorised corrector — no dict round trip, and
@@ -152,50 +235,56 @@ class RSLPADetector:
             propagator.propagate(self.iterations)
             self._corrector = CorrectionPropagator(propagator)
         self.comm_stats = None  # a local fit has no communication counters
+        self.last_plan = plan
         self._postprocess_cache = None
         self._label_state_cache = None
         return self
 
     def fit_distributed(
         self,
-        num_workers: int = 4,
-        engine: str = "auto",
-        shard_backend: str = "auto",
+        num_workers: Optional[int] = None,
+        engine: Optional[str] = None,
+        shard_backend: Optional[str] = None,
         partitioner=None,
     ) -> "RSLPADetector":
         """Run Algorithm 1 on the simulated BSP cluster instead of locally.
 
         Produces exactly the state :meth:`fit` produces (all engines are
         bit-identical per seed) and installs the same corrector the
-        configured ``backend`` would, so the ``update``/``communities``
-        lifecycle continues unchanged; the run's communication counters
-        are kept in :attr:`comm_stats`.  ``engine`` selects the message
-        plane (``reference`` tuples / ``array`` columns; ``auto`` prefers
-        the array plane on CSR shards) and ``shard_backend`` the worker
-        adjacency storage (``dict``/``csr``/``auto``) — see
-        :func:`repro.distributed.run_distributed_rslpa`.
+        resolved plan's ``backend`` would, so the ``update``/
+        ``communities`` lifecycle continues unchanged; the run's
+        communication counters are kept in :attr:`comm_stats`.  Keywords
+        override the detector's :class:`ExecutionConfig` per call:
+        ``engine`` selects the message plane, ``shard_backend`` the
+        worker adjacency storage — see
+        :func:`repro.distributed.run_distributed_rslpa`; defaults come
+        from the config (4 workers when the config is local).
         """
         from repro.distributed.cluster import run_distributed_rslpa
 
-        use_fast = self._resolve_use_fast()
+        cfg = self.execution
+        run_cfg = replace(
+            cfg,
+            # Always distributed here: None or 0 falls back to the config's
+            # worker count, then to the wrapper default of 4, so the
+            # recorded plan and the cluster run can never disagree.
+            num_workers=num_workers or cfg.num_workers or 4,
+            engine=engine if engine is not None else cfg.engine,
+            shard_backend=(
+                shard_backend if shard_backend is not None else cfg.shard_backend
+            ),
+            partitioner=partitioner if partitioner is not None else cfg.partitioner,
+        )
+        plan = self.plan(run_cfg)
         state, stats = run_distributed_rslpa(
             self.graph,  # read-only for the wrapper: shards snapshot/copy
             seed=self.seed,
             iterations=self.iterations,
-            num_workers=num_workers,
-            partitioner=partitioner,
-            shard_backend=shard_backend,
-            engine=engine,
-            state_format="array" if use_fast else "dict",
+            config=run_cfg,
         )
-        if use_fast:
-            self._corrector = FastCorrectionPropagator(self.graph, state, self.seed)
-        else:
-            propagator = ReferencePropagator.from_state(
-                self.graph, self.seed, state
-            )
-            self._corrector = CorrectionPropagator(propagator)
+        self._install_corrector(state, plan.use_fast)
         self.comm_stats = stats
+        self.last_plan = plan
         self._postprocess_cache = None
         self._label_state_cache = None
         return self
@@ -228,24 +317,10 @@ class RSLPADetector:
             backend=backend,
             tau_step=tau_step,
         )
-        if detector._resolve_use_fast():
-            astate = (
-                state
-                if isinstance(state, ArrayLabelState)
-                else ArrayLabelState.from_label_state(state)
-            )
-            detector._corrector = FastCorrectionPropagator(
-                detector.graph, astate, seed
-            )
-        else:
-            lstate = (
-                state.to_label_state()
-                if isinstance(state, ArrayLabelState)
-                else state
-            )
-            propagator = ReferencePropagator.from_state(detector.graph, seed, lstate)
-            detector._corrector = CorrectionPropagator(propagator)
+        plan = detector.plan()
+        detector._install_corrector(state, plan.use_fast)
         detector._corrector.batch_epoch = batch_epoch
+        detector.last_plan = plan
         return detector
 
     def _require_fitted(self) -> None:
@@ -268,6 +343,22 @@ class RSLPADetector:
         )
         self._corrector = CorrectionPropagator(propagator)
         self._corrector.batch_epoch = old.batch_epoch
+        if self.last_plan is not None:
+            # Keep the plan provenance honest about the live substrate.
+            self.last_plan = replace(
+                self.last_plan,
+                backend="reference",
+                decisions=self.last_plan.decisions
+                + (
+                    PlanDecision(
+                        field="backend",
+                        requested="auto",
+                        value="reference",
+                        reason="an update batch stepped outside the "
+                        "contiguous-id contract; downgraded mid-lifecycle",
+                    ),
+                ),
+            )
 
     def update(self, batch: EditBatch) -> UpdateReport:
         """Incrementally apply an edit batch (Algorithm 2).
@@ -308,6 +399,12 @@ class RSLPADetector:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+    @property
+    def state(self) -> Union[LabelState, ArrayLabelState]:
+        """The live label state, in whichever representation the plan runs on."""
+        self._require_fitted()
+        return self._corrector.state
+
     @property
     def array_state(self) -> Optional[ArrayLabelState]:
         """The live array-backed state (fast path only; ``None`` otherwise)."""

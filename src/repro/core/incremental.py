@@ -30,7 +30,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
-from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.labels import NO_SOURCE
 from repro.core.randomness import (
     draw_keep_uniform,
     draw_position,
@@ -38,7 +38,6 @@ from repro.core.randomness import (
     slot_hash,
 )
 from repro.core.rslpa import ReferencePropagator
-from repro.graph.adjacency import Graph
 from repro.graph.edits import EditBatch
 
 __all__ = [

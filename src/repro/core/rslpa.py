@@ -21,7 +21,7 @@ isolated vertices.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, List
 
 from repro.core.labels import NO_SOURCE, LabelState
 from repro.core.randomness import draw_position, draw_src_index, slot_hash

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import io
 import json
-from typing import IO, Dict, List, Union
+from typing import IO, Dict, Union
 
 import numpy as np
 

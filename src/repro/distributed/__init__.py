@@ -39,6 +39,14 @@ columnar plane on CSR shards.  Both shard kinds and both program flavours
 are picklable, so the in-process engines and the
 :class:`MultiprocessBSPEngine` (tuple pickles or packed-array pickles over
 the pipes, per ``plane=``) accept either.
+
+Axis negotiation lives in one place: the cluster wrappers accept an
+:class:`~repro.api.config.ExecutionConfig` (``config=``; the per-axis
+keywords are shims onto it), every ``auto`` resolves through
+:func:`repro.api.plan.resolve_plan`, and engines/programs/named
+partitioners are looked up in :mod:`repro.api.registry` —
+``ExecutionConfig(multiprocess=True)`` routes the propagation wrappers
+through the multiprocess engine with identical results and stats.
 """
 
 from repro.distributed.cluster import (

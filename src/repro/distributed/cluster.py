@@ -1,4 +1,4 @@
-"""High-level distributed runs: one-call wrappers over the BSP engine.
+"""High-level distributed runs: one-call wrappers over the BSP engines.
 
 These functions mirror the sequential APIs but execute on the simulated
 cluster, returning both the result and the :class:`CommStats` needed by the
@@ -12,36 +12,43 @@ communication-cost experiments:
   messages total;
 * :func:`run_distributed_postprocess` — weights + τ2 locally per worker,
   τ1 sweep on the driver, communities via distributed hash-to-min CC.
+
+Execution selection is centralised: the per-call keywords
+(``num_workers`` / ``engine`` / ``shard_backend`` / ``state_format`` /
+``partitioner``) are shims that build an
+:class:`~repro.api.config.ExecutionConfig` (pass ``config=`` to supply one
+directly — it takes precedence), and every ``auto`` is negotiated by
+:func:`repro.api.plan.resolve_plan`.  Engines, worker programs, and named
+partitioners come from :mod:`repro.api.registry`, so plugged-in components
+resolve exactly like the built-ins.  ``config.multiprocess=True`` runs the
+propagation wrappers on real OS processes
+(:class:`~repro.distributed.multiprocess.MultiprocessBSPEngine`) with
+bit-identical results and stats.
 """
 
 from __future__ import annotations
 
+from dataclasses import replace
+from functools import partial
 from typing import Dict, List, Optional, Set, Tuple, Union
 
 import numpy as np
 
+from repro.api.config import ExecutionConfig
+from repro.api.plan import GraphCaps, RunPlan, resolve_plan
+from repro.api.registry import ENGINES, PROGRAMS
 from repro.core.communities import Cover
 from repro.core.labels import NO_SOURCE, LabelState
 from repro.core.labels_array import ArrayLabelState
 from repro.core.postprocess import edge_weights, sweep_tau1, weak_threshold
 from repro.distributed.components import distributed_connected_components
-from repro.distributed.engine import BSPEngine
-from repro.distributed.engine_array import ArrayBSPEngine, TupleProgramAdapter
+from repro.distributed.engine_array import TupleProgramAdapter
 from repro.distributed.metrics import CommStats
-from repro.distributed.programs import (
-    CorrectionPropagationProgram,
-    RSLPAPropagationProgram,
-    SLPAPropagationProgram,
-)
-from repro.distributed.programs_array import (
-    FastRSLPAPropagationProgram,
-    FastSLPAPropagationProgram,
-)
-from repro.distributed.worker import CSRShard, build_csr_shards, build_shards
+from repro.distributed.worker import build_csr_shards, build_shards
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch, apply_batch
-from repro.graph.partition import HashPartitioner, Partitioner
+from repro.graph.partition import Partitioner
 
 __all__ = [
     "run_distributed_rslpa",
@@ -51,52 +58,71 @@ __all__ = [
 ]
 
 
-def _resolve_partitioner(
-    partitioner: Optional[Partitioner], num_workers: int
-) -> Partitioner:
-    return partitioner or HashPartitioner(num_workers)
+def _execution_config(
+    config: Optional[ExecutionConfig],
+    num_workers: int,
+    partitioner: Optional[Union[str, Partitioner]],
+    shard_backend: str,
+    engine: str,
+    state_format: str = "auto",
+) -> ExecutionConfig:
+    """The keyword shim: kwargs become a config unless one was passed.
 
-
-def _ids_contiguous(graph) -> bool:
-    if isinstance(graph, CSRGraph):
-        return True
-    n = graph.num_vertices
-    if n == 0:
-        return True
-    ids = list(graph.vertices())  # ids are unique, so min/max suffice
-    return min(ids) == 0 and max(ids) == n - 1
-
-
-def _build_backend_shards(graph, part: Partitioner, shard_backend: str):
-    """Build worker shards on the requested local-adjacency backend.
-
-    ``"dict"`` walks the mutable :class:`Graph`; ``"csr"`` slices a
-    :class:`CSRGraph` snapshot (built on demand when ``graph`` is a dict
-    graph) without round-tripping through per-vertex Python structures;
-    ``"auto"`` picks CSR whenever the ids are contiguous ``0..n-1`` (the
-    CSR slicer's contract).  A :class:`CSRGraph` input always takes the
-    CSR path.
+    A passed config takes precedence over the per-axis keywords; these
+    wrappers are always distributed, so a config that left ``num_workers``
+    at its local default of 0 inherits the wrapper's worker count.
     """
-    if shard_backend not in ("auto", "dict", "csr"):
-        raise ValueError(
-            f"shard_backend must be 'auto', 'dict' or 'csr', "
-            f"got {shard_backend!r}"
-        )
-    if shard_backend == "auto":
-        shard_backend = "csr" if _ids_contiguous(graph) else "dict"
-    if isinstance(graph, CSRGraph) or shard_backend == "csr":
+    if config is not None:
+        if config.num_workers == 0:
+            config = replace(config, num_workers=num_workers)
+        return config
+    return ExecutionConfig(
+        num_workers=num_workers,
+        partitioner=partitioner,
+        shard_backend=shard_backend,
+        engine=engine,
+        state_format=state_format,
+    )
+
+
+def _build_shards_for(plan: RunPlan, graph, part: Partitioner):
+    """Build worker shards on the plan's (already negotiated) backend."""
+    if plan.shard_backend == "csr":
         return build_csr_shards(graph, part)
     return build_shards(graph, part)
+
+
+def _merge_collected_rslpa_state(collected: Dict[int, tuple], iterations: int) -> LabelState:
+    """Fully-recorded :class:`LabelState` from per-vertex collect() tuples.
+
+    This is the plane-agnostic merge: tuple programs, array programs, and
+    multiprocess workers all export the same per-vertex
+    ``(labels, srcs, poss)`` format.
+    """
+    state = LabelState()
+    for v, (labels, srcs, poss) in collected.items():
+        state.labels[v] = list(labels)
+        state.srcs[v] = list(srcs)
+        state.poss[v] = list(poss)
+        state.epochs[v] = [0] * len(labels)
+        state.receivers[v] = {}
+    for v, (labels, srcs, poss) in collected.items():
+        for t in range(1, len(labels)):
+            src = srcs[t]
+            if src != NO_SOURCE:
+                state.receivers[src].setdefault(poss[t], set()).add((v, t))
+    state.set_num_iterations(iterations)
+    return state
 
 
 def _merge_array_rslpa_state(programs, iterations: int) -> LabelState:
     """Fully-recorded :class:`LabelState` from array-program matrices.
 
-    Produces exactly what the tuple-plane merge below builds from per-vertex
-    lists, but from the ``(T+1, n_local)`` matrices: sequence dicts come
-    from one ``tolist`` per matrix, and the reverse records from one
-    ``nonzero`` + ``lexsort`` group-split over all recorded slots instead
-    of a per-slot Python loop.
+    Produces exactly what :func:`_merge_collected_rslpa_state` builds from
+    per-vertex lists, but from the ``(T+1, n_local)`` matrices: sequence
+    dicts come from one ``tolist`` per matrix, and the reverse records from
+    one ``nonzero`` + ``lexsort`` group-split over all recorded slots
+    instead of a per-slot Python loop.
     """
     state = LabelState()
     ids_parts, srcs_parts, poss_parts = [], [], []
@@ -166,15 +192,19 @@ def _assemble_array_rslpa_state(programs, iterations: int) -> ArrayLabelState:
     return ArrayLabelState.from_matrices(labels, srcs, poss)
 
 
-def _resolve_engine(engine: str, shards) -> str:
-    """Pick the message plane: ``auto`` prefers columnar on CSR shards."""
-    if engine not in ("auto", "reference", "array"):
-        raise ValueError(
-            f"engine must be 'auto', 'reference' or 'array', got {engine!r}"
-        )
-    if engine == "auto":
-        return "array" if isinstance(shards[0], CSRShard) else "reference"
-    return engine
+def _run_multiprocess(plan: RunPlan, shards, part, program_cls, seed, iterations):
+    """Run a propagation program on real OS processes; returns (collected, stats)."""
+    from repro.distributed.multiprocess import MultiprocessBSPEngine
+
+    factory = partial(program_cls, seed=seed, iterations=iterations)
+    plane = "array" if plan.engine == "array" else "tuple"
+    with MultiprocessBSPEngine(shards, part, factory, plane=plane) as engine:
+        engine.run()
+        results = engine.collect()
+    collected: Dict[int, tuple] = {}
+    for worker_result in results:
+        collected.update(worker_result)
+    return collected, engine.stats
 
 
 def run_distributed_rslpa(
@@ -182,63 +212,61 @@ def run_distributed_rslpa(
     seed: int = 0,
     iterations: int = 200,
     num_workers: int = 4,
-    partitioner: Optional[Partitioner] = None,
+    partitioner: Optional[Union[str, Partitioner]] = None,
     shard_backend: str = "dict",
     engine: str = "auto",
     state_format: str = "dict",
+    config: Optional[ExecutionConfig] = None,
 ) -> Tuple[Union[LabelState, ArrayLabelState], CommStats]:
     """Algorithm 1 on the simulated cluster; returns (state, comm stats).
 
     The returned state is fully recorded (provenance + reverse records) and
     bit-identical to a sequential :class:`ReferencePropagator` run —
-    on either shard backend (``graph`` may also be a :class:`CSRGraph`)
-    and on either message plane (``engine="reference"`` routes Python
+    on either shard backend (``graph`` may also be a :class:`CSRGraph`),
+    on either message plane (``engine="reference"`` routes Python
     tuples, ``"array"`` routes struct-of-arrays columns; ``"auto"`` takes
-    the array plane on CSR shards).  ``state_format="array"`` returns an
+    the array plane on CSR shards), in-process or on real OS processes
+    (``config.multiprocess``).  ``state_format="array"`` returns an
     :class:`~repro.core.labels_array.ArrayLabelState` (contiguous ids
     required) — the array engine's native export, assembled without any
     per-vertex Python, and what the fast incremental lifecycle consumes.
+    All ``auto`` negotiation happens in
+    :func:`repro.api.plan.resolve_plan`; ``config=`` supplies the
+    :class:`~repro.api.config.ExecutionConfig` directly and overrides the
+    per-axis keywords.
     """
-    if state_format not in ("dict", "array"):
-        raise ValueError(
-            f"state_format must be 'dict' or 'array', got {state_format!r}"
+    cfg = _execution_config(
+        config, num_workers, partitioner, shard_backend, engine, state_format
+    )
+    plan = resolve_plan(GraphCaps.of(graph), cfg)
+    part = plan.build_partitioner()
+    shards = _build_shards_for(plan, graph, part)
+    program_cls = PROGRAMS.resolve(f"rslpa/{plan.engine}")
+
+    if plan.multiprocess:
+        collected, stats = _run_multiprocess(
+            plan, shards, part, program_cls, seed, iterations
         )
-    part = _resolve_partitioner(partitioner, num_workers)
-    shards = _build_backend_shards(graph, part, shard_backend)
-    if _resolve_engine(engine, shards) == "array":
-        bsp = ArrayBSPEngine(shards, part)
-        programs = [
-            FastRSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
-            for shard in shards
-        ]
-        bsp.run(programs)
-        if state_format == "array":
-            return _assemble_array_rslpa_state(programs, iterations), bsp.stats
-        return _merge_array_rslpa_state(programs, iterations), bsp.stats
-    bsp = BSPEngine(shards, part)
+        state = _merge_collected_rslpa_state(collected, iterations)
+        if plan.state_format == "array":
+            return ArrayLabelState.from_label_state(state), stats
+        return state, stats
+
+    bsp = ENGINES.resolve(plan.engine)(shards, part)
     programs = [
-        RSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
-        for shard in shards
+        program_cls(shard, seed=seed, iterations=iterations) for shard in shards
     ]
     bsp.run(programs)
+    if plan.engine == "array":
+        if plan.state_format == "array":
+            return _assemble_array_rslpa_state(programs, iterations), bsp.stats
+        return _merge_array_rslpa_state(programs, iterations), bsp.stats
 
-    state = LabelState()
     collected: Dict[int, tuple] = {}
     for program in programs:
         collected.update(program.collect())
-    for v, (labels, srcs, poss) in collected.items():
-        state.labels[v] = list(labels)
-        state.srcs[v] = list(srcs)
-        state.poss[v] = list(poss)
-        state.epochs[v] = [0] * len(labels)
-        state.receivers[v] = {}
-    for v, (labels, srcs, poss) in collected.items():
-        for t in range(1, len(labels)):
-            src = srcs[t]
-            if src != NO_SOURCE:
-                state.receivers[src].setdefault(poss[t], set()).add((v, t))
-    state.set_num_iterations(iterations)
-    if state_format == "array":
+    state = _merge_collected_rslpa_state(collected, iterations)
+    if plan.state_format == "array":
         return ArrayLabelState.from_label_state(state), bsp.stats
     return state, bsp.stats
 
@@ -248,25 +276,26 @@ def run_distributed_slpa(
     seed: int = 0,
     iterations: int = 100,
     num_workers: int = 4,
-    partitioner: Optional[Partitioner] = None,
+    partitioner: Optional[Union[str, Partitioner]] = None,
     shard_backend: str = "dict",
     engine: str = "auto",
+    config: Optional[ExecutionConfig] = None,
 ) -> Tuple[Dict[int, List[int]], CommStats]:
     """The SLPA baseline on the simulated cluster; returns (memories, stats)."""
-    part = _resolve_partitioner(partitioner, num_workers)
-    shards = _build_backend_shards(graph, part, shard_backend)
-    if _resolve_engine(engine, shards) == "array":
-        bsp = ArrayBSPEngine(shards, part)
-        programs = [
-            FastSLPAPropagationProgram(shard, seed=seed, iterations=iterations)
-            for shard in shards
-        ]
-    else:
-        bsp = BSPEngine(shards, part)
-        programs = [
-            SLPAPropagationProgram(shard, seed=seed, iterations=iterations)
-            for shard in shards
-        ]
+    cfg = _execution_config(config, num_workers, partitioner, shard_backend, engine)
+    plan = resolve_plan(GraphCaps.of(graph), cfg)
+    part = plan.build_partitioner()
+    shards = _build_shards_for(plan, graph, part)
+    program_cls = PROGRAMS.resolve(f"slpa/{plan.engine}")
+    if plan.multiprocess:
+        memories, stats = _run_multiprocess(
+            plan, shards, part, program_cls, seed, iterations
+        )
+        return memories, stats
+    bsp = ENGINES.resolve(plan.engine)(shards, part)
+    programs = [
+        program_cls(shard, seed=seed, iterations=iterations) for shard in shards
+    ]
     bsp.run(programs)
     memories: Dict[int, List[int]] = {}
     for program in programs:
@@ -281,9 +310,10 @@ def run_distributed_update(
     seed: int = 0,
     batch_epoch: int = 1,
     num_workers: int = 4,
-    partitioner: Optional[Partitioner] = None,
+    partitioner: Optional[Union[str, Partitioner]] = None,
     shard_backend: str = "dict",
     engine: str = "auto",
+    config: Optional[ExecutionConfig] = None,
 ) -> Tuple[Graph, LabelState, CommStats]:
     """Algorithm 2 on the simulated cluster.
 
@@ -292,32 +322,32 @@ def run_distributed_update(
     ``batch_epoch`` must count batches the same way the sequential
     :class:`CorrectionPropagator` does for the randomness to line up.
     ``shard_backend="csr"`` requires the post-batch graph to keep
-    contiguous ids ``0..n-1``.  ``engine="array"`` runs the correction
-    program through the columnar message plane (same repairs, same stats).
+    contiguous ids ``0..n-1`` (the plan is resolved against the
+    *post-batch* capabilities, and fails before mutating anything).
+    ``engine="array"`` runs the correction program through the columnar
+    message plane (same repairs, same stats).
     """
-    if shard_backend not in ("auto", "dict", "csr"):
+    cfg = _execution_config(config, num_workers, partitioner, shard_backend, engine)
+    if cfg.multiprocess:
         raise ValueError(
-            f"shard_backend must be 'auto', 'dict' or 'csr', "
-            f"got {shard_backend!r}"
+            "run_distributed_update repairs the caller's state in place; "
+            "multiprocess workers cannot share it (use the in-process engine)"
         )
     batch.validate_against(graph)
-    if shard_backend != "dict":  # an explicit dict never needs the id scan
-        post_ids = set(graph.vertices()) | set(batch.touched_vertices())
-        post_contiguous = not post_ids or (
-            min(post_ids) >= 0 and max(post_ids) + 1 == len(post_ids)
-        )
-        if shard_backend == "auto":
-            shard_backend = "csr" if post_contiguous else "dict"
-        if shard_backend == "csr" and not post_contiguous:
-            # Fail before mutating anything: apply_batch edits the caller's
-            # graph (and the loop below pads the caller's state) in place,
-            # and the CSR slicer would reject non-contiguous ids only
-            # afterwards.
-            raise ValueError(
-                "shard_backend='csr' requires the post-batch graph to keep "
-                "contiguous vertex ids 0..n-1; use shard_backend='dict' or "
-                "repro.graph.relabel_to_integers"
-            )
+    # Resolve against the POST-batch graph: apply_batch edits the caller's
+    # graph (and the loop below pads the caller's state) in place, so a
+    # plan the batch would invalidate must fail before mutating anything.
+    post_ids = set(graph.vertices()) | set(batch.touched_vertices())
+    post_contiguous = not post_ids or (
+        min(post_ids) >= 0 and max(post_ids) + 1 == len(post_ids)
+    )
+    caps = GraphCaps(
+        num_vertices=len(post_ids),
+        num_edges=graph.num_edges,
+        contiguous_ids=post_contiguous,
+        is_csr=isinstance(graph, CSRGraph),
+    )
+    plan = resolve_plan(caps, cfg)
     new_graph = apply_batch(graph, batch)
     added = batch.added_neighbors()
     removed = batch.removed_neighbors()
@@ -330,13 +360,14 @@ def run_distributed_update(
                 state.poss[v].append(NO_SOURCE)
                 state.epochs[v].append(0)
 
-    part = _resolve_partitioner(partitioner, num_workers)
-    shards = _build_backend_shards(new_graph, part, shard_backend)
+    part = plan.build_partitioner()
+    shards = _build_shards_for(plan, new_graph, part)
+    program_cls = PROGRAMS.resolve("correction/reference")
     programs = []
     for shard in shards:
         local = shard.vertices
         programs.append(
-            CorrectionPropagationProgram(
+            program_cls(
                 shard,
                 seed=seed,
                 iterations=state.num_iterations,
@@ -350,14 +381,13 @@ def run_distributed_update(
                 batch_epoch=batch_epoch,
             )
         )
-    if _resolve_engine(engine, shards) == "array":
+    bsp = ENGINES.resolve(plan.engine)(shards, part)
+    if plan.engine == "array":
         # The correction program stays tuple-level (its cascade is sparse,
         # O(eta) messages); the adapter runs it unmodified on the columnar
         # plane, exercising the vectorised barrier end to end.
-        bsp = ArrayBSPEngine(shards, part)
         bsp.run([TupleProgramAdapter(program) for program in programs])
     else:
-        bsp = BSPEngine(shards, part)
         bsp.run(programs)
     # Worker slices alias the state's own lists/dicts, so the state is
     # already repaired in place; nothing to merge back.

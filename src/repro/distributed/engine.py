@@ -19,7 +19,7 @@ the test suite assert distributed == sequential equality bit-for-bit.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from repro.distributed.message import Message, message_size_bytes
 from repro.distributed.metrics import CommStats, SuperstepStats

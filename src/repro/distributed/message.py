@@ -12,7 +12,7 @@ size model matching how the paper counts "labels passing through the graph".
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Tuple
 
 __all__ = ["Message", "payload_size_bytes", "message_size_bytes"]
 

@@ -22,11 +22,10 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.baselines.slpa import _SEND, _TIE
 from repro.core.incremental import keep_lottery_uniform, repick_draw
-from repro.core.labels import NO_SOURCE, LabelState
+from repro.core.labels import NO_SOURCE
 from repro.core.randomness import draw_position, draw_src_index, slot_hash
 from repro.distributed.engine import MessageContext, WorkerProgram
 from repro.distributed.worker import WorkerShard
-from repro.graph.edits import EditBatch
 
 __all__ = [
     "RSLPAPropagationProgram",

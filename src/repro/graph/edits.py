@@ -10,7 +10,7 @@ two graph snapshots.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, Set, Tuple
 
 from repro.graph.adjacency import Graph, normalize_edge
 

@@ -18,7 +18,7 @@ import math
 from typing import Dict, Iterable, List, Tuple
 
 from repro.graph.adjacency import Graph
-from repro.utils.validation import check_non_negative, check_positive, check_type
+from repro.utils.validation import check_positive, check_type
 
 __all__ = ["binarize", "binarize_top_k", "quantile_threshold", "aggregate_weights"]
 

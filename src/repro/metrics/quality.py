@@ -9,7 +9,7 @@ on omega/F1 would indicate a metric bug rather than detection quality).
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Collection, Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+from typing import Collection, Dict, FrozenSet, Iterable, List, Sequence, Set
 
 from repro.graph.adjacency import Graph
 

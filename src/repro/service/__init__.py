@@ -39,13 +39,14 @@ together and is the one class most deployments need::
 """
 
 from repro.service.durability import Checkpoint, CheckpointStore
-from repro.service.facade import CommunityService, ServiceConfig
+from repro.service.facade import CommunityService, ServiceConfig, ServicePlanConfig
 from repro.service.index import MembershipIndex
 from repro.service.ingest import DELETE, INSERT, BackpressureError, EditQueue
 
 __all__ = [
     "CommunityService",
     "ServiceConfig",
+    "ServicePlanConfig",
     "EditQueue",
     "BackpressureError",
     "INSERT",

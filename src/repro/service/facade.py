@@ -27,8 +27,15 @@ from __future__ import annotations
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
+from repro.api.config import (
+    DEFAULT_ITERATIONS,
+    AlgoConfig,
+    ExecutionConfig,
+    ServicePlanConfig,
+)
+from repro.api.plan import RunPlan
 from repro.core.communities import Cover
-from repro.core.detector import DEFAULT_ITERATIONS, RSLPADetector
+from repro.core.detector import RSLPADetector
 from repro.core.incremental import UpdateReport
 from repro.core.labels_array import ArrayLabelState
 from repro.core.tracking import TransitionReport
@@ -38,12 +45,17 @@ from repro.service.durability import CheckpointStore
 from repro.service.index import MembershipIndex
 from repro.service.ingest import EditQueue
 
-__all__ = ["CommunityService", "ServiceConfig"]
+__all__ = ["CommunityService", "ServiceConfig", "ServicePlanConfig"]
 
 
 @dataclass(frozen=True)
 class ServiceConfig:
-    """Everything tunable about a service instance, in one place.
+    """Everything tunable about a service instance, flat in one place.
+
+    This is the keyword-friendly (legacy) form of
+    :class:`repro.api.config.ServicePlanConfig`; the two convert 1:1
+    (:meth:`as_plan_config` / :func:`_flatten_plan_config`) and the
+    service accepts either.
 
     ``staleness_batches`` is K in the lazy re-extraction policy: a query
     finding K or more batches applied since the last extraction triggers
@@ -68,6 +80,71 @@ class ServiceConfig:
     keep_checkpoints: int = 2
     strict_edits: bool = True
 
+    def as_plan_config(
+        self, execution: Optional[ExecutionConfig] = None
+    ) -> ServicePlanConfig:
+        """The structured config-layer form of this flat config.
+
+        An ``execution`` config supplies the distributed axes; its backend
+        is overridden by this config's ``backend`` field (the same
+        precedence the service applies to keyword overrides).
+        """
+        if execution is None:
+            execution = ExecutionConfig(backend=self.backend)
+        elif execution.backend != self.backend:
+            execution = replace(execution, backend=self.backend)
+        return ServicePlanConfig(
+            algo=AlgoConfig(
+                seed=self.seed, iterations=self.iterations, tau_step=self.tau_step
+            ),
+            execution=execution,
+            batch_size=self.batch_size,
+            max_pending=self.max_pending,
+            staleness_batches=self.staleness_batches,
+            match_threshold=self.match_threshold,
+            drift_tolerance=self.drift_tolerance,
+            checkpoint_every=self.checkpoint_every,
+            keep_checkpoints=self.keep_checkpoints,
+            strict_edits=self.strict_edits,
+        )
+
+
+def _flatten_plan_config(plan_cfg: ServicePlanConfig) -> ServiceConfig:
+    """The flat legacy view of a :class:`ServicePlanConfig` (1:1 fields)."""
+    return ServiceConfig(
+        seed=plan_cfg.algo.seed,
+        iterations=plan_cfg.algo.iterations,
+        backend=plan_cfg.execution.backend,
+        tau_step=plan_cfg.algo.tau_step,
+        batch_size=plan_cfg.batch_size,
+        max_pending=plan_cfg.max_pending,
+        staleness_batches=plan_cfg.staleness_batches,
+        match_threshold=plan_cfg.match_threshold,
+        drift_tolerance=plan_cfg.drift_tolerance,
+        checkpoint_every=plan_cfg.checkpoint_every,
+        keep_checkpoints=plan_cfg.keep_checkpoints,
+        strict_edits=plan_cfg.strict_edits,
+    )
+
+
+def _normalise_config(
+    config: Optional[Union[ServiceConfig, ServicePlanConfig]], overrides
+) -> Tuple[ServiceConfig, ExecutionConfig]:
+    """Accept either config form (+ keyword overrides on the flat fields)."""
+    if isinstance(config, ServicePlanConfig):
+        execution = config.execution
+        cfg = _flatten_plan_config(config)
+    else:
+        cfg = config if config is not None else ServiceConfig()
+        execution = None
+    if overrides:
+        cfg = replace(cfg, **overrides)
+    if execution is None:
+        execution = ExecutionConfig(backend=cfg.backend)
+    elif execution.backend != cfg.backend:  # a backend= override wins
+        execution = replace(execution, backend=cfg.backend)
+    return cfg, execution
+
 
 class CommunityService:
     """A long-lived overlapping-community service over a dynamic graph.
@@ -86,20 +163,19 @@ class CommunityService:
     def __init__(
         self,
         graph: Graph,
-        config: Optional[ServiceConfig] = None,
+        config: Optional[Union[ServiceConfig, ServicePlanConfig]] = None,
         checkpoint_dir: Optional[str] = None,
         **overrides,
     ):
-        cfg = config if config is not None else ServiceConfig()
-        if overrides:
-            cfg = replace(cfg, **overrides)
+        cfg, execution = _normalise_config(config, overrides)
         self.config = cfg
+        self.execution = execution
         self.detector = RSLPADetector(
             graph,
-            seed=cfg.seed,
-            iterations=cfg.iterations,
-            backend=cfg.backend,
-            tau_step=cfg.tau_step,
+            algo=AlgoConfig(
+                seed=cfg.seed, iterations=cfg.iterations, tau_step=cfg.tau_step
+            ),
+            execution=execution,
         )
         self.queue = EditQueue(
             batch_size=cfg.batch_size, max_pending=cfg.max_pending
@@ -136,16 +212,27 @@ class CommunityService:
         """The live graph (the detector's private copy; read-only)."""
         return self.detector.graph
 
+    def plan(self) -> RunPlan:
+        """The detector's resolved execution plan for the live graph."""
+        return self.detector.plan()
+
     def start(
         self,
-        num_workers: int = 0,
-        dist_engine: str = "auto",
-        shard_backend: str = "auto",
+        num_workers: Optional[int] = None,
+        dist_engine: Optional[str] = None,
+        shard_backend: Optional[str] = None,
     ) -> "CommunityService":
         """Fit the detector (locally, or on ``num_workers`` BSP workers),
-        build the first extraction, and write the baseline checkpoint."""
+        build the first extraction, and write the baseline checkpoint.
+
+        Defaults come from the service's :class:`ExecutionConfig` — a
+        :class:`ServicePlanConfig` with ``execution.num_workers > 0``
+        makes ``start()`` a distributed fit without further keywords.
+        """
         if self._started:
             raise RuntimeError("service already started")
+        if num_workers is None:
+            num_workers = self.execution.num_workers
         if num_workers:
             self.detector.fit_distributed(
                 num_workers=num_workers,
@@ -164,7 +251,7 @@ class CommunityService:
     def recover(
         cls,
         checkpoint_dir: str,
-        config: Optional[ServiceConfig] = None,
+        config: Optional[Union[ServiceConfig, ServicePlanConfig]] = None,
         **overrides,
     ) -> "CommunityService":
         """Restore a service from its checkpoint directory.
@@ -176,14 +263,13 @@ class CommunityService:
         checkpoint; other config (backend, staleness, batching) may differ
         from the original run without affecting the recovered state.
         """
-        cfg = config if config is not None else ServiceConfig()
-        if overrides:
-            cfg = replace(cfg, **overrides)
+        cfg, execution = _normalise_config(config, overrides)
         store = CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
         ckpt = store.load_checkpoint()
         cfg = replace(cfg, seed=ckpt.seed, iterations=ckpt.iterations)
         service = cls.__new__(cls)
         service.config = cfg
+        service.execution = execution
         service.detector = RSLPADetector.from_state(
             ckpt.graph,
             ckpt.state,

@@ -1,0 +1,555 @@
+"""The unified execution-plan API: resolution matrix, shims, registry.
+
+Three contracts are pinned here:
+
+1. **Matrix equivalence** — ``resolve_plan`` makes exactly the choices the
+   old scattered resolvers (``detector._resolve_use_fast``,
+   ``cluster._resolve_engine``, ``cluster._build_backend_shards``,
+   ``fit_distributed``'s state-format pick) made, for every
+   (backend × engine × shard_backend × contiguity × multiprocess) cell.
+2. **Shim round-trips** — every pre-existing public keyword still works,
+   maps onto the same ``RunPlan``, warns where deprecated, and produces
+   bit-identical covers per seed.
+3. **Registry** — components resolve by name, plugins register uniformly,
+   collisions and unknown names fail loudly.
+"""
+
+import itertools
+
+import pytest
+
+from repro.api import (
+    AlgoConfig,
+    ExecutionConfig,
+    GraphCaps,
+    PARTITIONERS,
+    Registry,
+    ServicePlanConfig,
+    detect,
+    plan_for,
+    resolve_plan,
+    run_distributed,
+    update,
+)
+from repro.core.detector import RSLPADetector
+from repro.graph.adjacency import Graph
+from repro.graph.csr import CSRGraph
+from repro.graph.partition import ContiguousPartitioner, HashPartitioner
+
+ITERATIONS = 25
+
+
+def oracle(backend, engine, shard_backend, contiguous, is_csr=False):
+    """The pre-PR-5 scattered resolvers, replicated verbatim.
+
+    Returns (use_fast, shard_backend, engine, state_format) or raises
+    ValueError exactly where the old code paths did.
+    """
+    # detector._resolve_use_fast
+    if backend == "fast" and not contiguous:
+        raise ValueError("contiguous")
+    use_fast = backend == "fast" or (backend == "auto" and contiguous)
+    # cluster._build_backend_shards (a CSRGraph input always took CSR)
+    sb = shard_backend
+    if sb == "auto":
+        sb = "csr" if (contiguous or is_csr) else "dict"
+    if is_csr:
+        sb = "csr"
+    if sb == "csr" and not (contiguous or is_csr):
+        raise ValueError("contiguous")
+    # cluster._resolve_engine (auto prefers the columnar plane on CSR shards)
+    eng = engine
+    if eng == "auto":
+        eng = "array" if sb == "csr" else "reference"
+    # detector.fit_distributed's state-format pick
+    sf = "array" if use_fast else "dict"
+    return use_fast, sb, eng, sf
+
+
+class TestResolutionMatrix:
+    @pytest.mark.parametrize(
+        "backend,engine,shard_backend,contiguous,multiprocess",
+        list(
+            itertools.product(
+                ("auto", "fast", "reference"),
+                ("auto", "reference", "array"),
+                ("auto", "dict", "csr"),
+                (True, False),
+                (True, False),
+            )
+        ),
+    )
+    def test_matches_old_resolvers(
+        self, backend, engine, shard_backend, contiguous, multiprocess
+    ):
+        caps = GraphCaps(
+            num_vertices=10, num_edges=20, contiguous_ids=contiguous
+        )
+        config = ExecutionConfig(
+            backend=backend,
+            num_workers=3,
+            engine=engine,
+            shard_backend=shard_backend,
+            multiprocess=multiprocess,
+        )
+        try:
+            use_fast, sb, eng, sf = oracle(
+                backend, engine, shard_backend, contiguous
+            )
+        except ValueError:
+            with pytest.raises(ValueError, match="contiguous"):
+                resolve_plan(caps, config)
+            return
+        plan = resolve_plan(caps, config)
+        assert plan.use_fast == use_fast
+        assert plan.backend == ("fast" if use_fast else "reference")
+        assert plan.shard_backend == sb
+        assert plan.engine == eng
+        assert plan.state_format == sf
+        assert plan.multiprocess == multiprocess
+        assert plan.mode == "distributed"
+
+    def test_local_plan_has_no_distributed_axes(self):
+        caps = GraphCaps(num_vertices=4, num_edges=3, contiguous_ids=True)
+        plan = resolve_plan(caps, ExecutionConfig())
+        assert plan.mode == "local"
+        assert plan.engine is None
+        assert plan.shard_backend is None
+        assert plan.state_format is None
+
+    def test_csr_input_always_takes_csr_slicer(self):
+        caps = GraphCaps(
+            num_vertices=4, num_edges=3, contiguous_ids=True, is_csr=True
+        )
+        plan = resolve_plan(
+            caps, ExecutionConfig(num_workers=2, shard_backend="dict")
+        )
+        assert plan.shard_backend == "csr"
+        assert "CSRGraph" in plan.explain()
+
+    def test_explicit_array_state_format_needs_contiguous_ids(self):
+        caps = GraphCaps(num_vertices=4, num_edges=3, contiguous_ids=False)
+        with pytest.raises(ValueError, match="state_format='array'"):
+            resolve_plan(
+                caps,
+                ExecutionConfig(
+                    backend="reference",
+                    num_workers=2,
+                    shard_backend="dict",
+                    state_format="array",
+                ),
+            )
+
+    def test_invalid_choices_rejected_at_config_time(self):
+        with pytest.raises(ValueError, match="backend"):
+            ExecutionConfig(backend="spark")
+        with pytest.raises(ValueError, match="engine"):
+            ExecutionConfig(engine="spark")
+        with pytest.raises(ValueError, match="shard_backend"):
+            ExecutionConfig(shard_backend="arrow")
+        with pytest.raises(ValueError, match="state_format"):
+            ExecutionConfig(state_format="parquet")
+        with pytest.raises(ValueError, match="num_workers"):
+            ExecutionConfig(num_workers=-1)
+
+    def test_explain_records_requested_and_reason(self):
+        caps = GraphCaps(num_vertices=10, num_edges=9, contiguous_ids=False)
+        plan = resolve_plan(caps, ExecutionConfig(num_workers=2))
+        text = plan.explain()
+        assert "auto -> reference" in text
+        assert "non-contiguous" in text
+        assert "auto -> dict" in text
+
+    def test_graph_caps_probe(self):
+        assert GraphCaps.of(Graph.from_edges([(0, 1), (1, 2)])).contiguous_ids
+        assert not GraphCaps.of(Graph.from_edges([(10, 20)])).contiguous_ids
+        assert GraphCaps.of(Graph()).contiguous_ids  # empty graph is trivial
+        csr = CSRGraph.from_graph(Graph.from_edges([(0, 1)]))
+        caps = GraphCaps.of(csr)
+        assert caps.is_csr and caps.contiguous_ids
+
+
+class TestDeprecationShims:
+    def test_detector_engine_alias_round_trip(self, cliques_ring):
+        with pytest.warns(DeprecationWarning, match="deprecated alias"):
+            legacy = RSLPADetector(
+                cliques_ring, seed=3, iterations=ITERATIONS, engine="fast"
+            )
+        modern = RSLPADetector(
+            cliques_ring, seed=3, iterations=ITERATIONS, backend="fast"
+        )
+        assert legacy.plan() == modern.plan()
+        assert legacy.fit().communities() == modern.fit().communities()
+
+    def test_detector_kwargs_and_configs_resolve_same_plan(self, cliques_ring):
+        by_kwargs = RSLPADetector(
+            cliques_ring, seed=3, iterations=ITERATIONS, backend="reference"
+        )
+        by_configs = RSLPADetector(
+            cliques_ring,
+            algo=AlgoConfig(seed=3, iterations=ITERATIONS),
+            execution=ExecutionConfig(backend="reference"),
+        )
+        assert by_kwargs.plan() == by_configs.plan()
+        assert by_kwargs.fit().communities() == by_configs.fit().communities()
+
+    def test_detector_rejects_mixed_config_and_kwargs(self, cliques_ring):
+        with pytest.raises(ValueError, match="not both"):
+            RSLPADetector(
+                cliques_ring, backend="fast", execution=ExecutionConfig()
+            )
+        with pytest.raises(ValueError, match="not both"):
+            RSLPADetector(cliques_ring, seed=3, algo=AlgoConfig(seed=3))
+
+    def test_cluster_kwargs_and_config_bit_identical(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        by_kwargs, stats_k = run_distributed_rslpa(
+            cliques_ring,
+            seed=5,
+            iterations=ITERATIONS,
+            num_workers=3,
+            shard_backend="csr",
+            engine="array",
+        )
+        by_config, stats_c = run_distributed_rslpa(
+            cliques_ring,
+            seed=5,
+            iterations=ITERATIONS,
+            config=ExecutionConfig(
+                num_workers=3,
+                shard_backend="csr",
+                engine="array",
+                state_format="dict",
+            ),
+        )
+        assert by_kwargs.labels == by_config.labels
+        assert by_kwargs.receivers == by_config.receivers
+        assert stats_k.total_messages == stats_c.total_messages
+        assert stats_k.total_bytes == stats_c.total_bytes
+
+    def test_cluster_config_without_workers_inherits_wrapper_default(
+        self, cliques_ring
+    ):
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        # The README's own example: a config that only picks the axes must
+        # not resolve a local (0-worker) plan inside a distributed wrapper.
+        state, stats = run_distributed_rslpa(
+            cliques_ring,
+            seed=5,
+            iterations=ITERATIONS,
+            config=ExecutionConfig(shard_backend="csr", engine="array"),
+        )
+        assert state.num_iterations == ITERATIONS
+        assert stats.total_messages > 0
+
+    def test_service_config_forms_bit_identical(self, cliques_ring):
+        from repro.service import CommunityService, ServiceConfig
+
+        flat = CommunityService(
+            cliques_ring.copy(),
+            config=ServiceConfig(seed=3, iterations=ITERATIONS, batch_size=4),
+        ).start()
+        structured = CommunityService(
+            cliques_ring.copy(),
+            config=ServicePlanConfig(
+                algo=AlgoConfig(seed=3, iterations=ITERATIONS),
+                batch_size=4,
+            ),
+        ).start()
+        assert flat.config == structured.config
+        assert flat.cover() == structured.cover()
+        for service in (flat, structured):
+            service.submit_insert(0, 12)
+            service.submit_insert(3, 18)
+        assert flat.cover() == structured.cover()
+
+    def test_service_plan_config_drives_distributed_start(self, cliques_ring):
+        from repro.service import CommunityService
+
+        local = CommunityService(
+            cliques_ring.copy(),
+            config=ServicePlanConfig(
+                algo=AlgoConfig(seed=3, iterations=ITERATIONS)
+            ),
+        ).start()
+        distributed = CommunityService(
+            cliques_ring.copy(),
+            config=ServicePlanConfig(
+                algo=AlgoConfig(seed=3, iterations=ITERATIONS),
+                execution=ExecutionConfig(num_workers=2),
+            ),
+        ).start()  # no start() keywords: workers come from the config
+        assert distributed.detector.comm_stats is not None
+        assert local.cover() == distributed.cover()
+
+
+class TestResultObjects:
+    def test_detect_result_matches_detector_path(self, cliques_ring):
+        result = detect(
+            cliques_ring,
+            AlgoConfig(seed=1, iterations=ITERATIONS, tau_step=0.005),
+        )
+        manual = RSLPADetector(
+            cliques_ring, seed=1, iterations=ITERATIONS, tau_step=0.005
+        ).fit()
+        assert result.cover == manual.communities()
+        assert result.num_communities == len(manual.communities())
+        assert result.plan.mode == "local"
+        assert result.comm_stats is None
+        assert result.timings["fit_seconds"] >= 0
+        assert result.state is result.detector.state
+
+    def test_detect_result_distributed(self, cliques_ring):
+        result = detect(
+            cliques_ring,
+            AlgoConfig(seed=1, iterations=ITERATIONS),
+            ExecutionConfig(num_workers=3),
+        )
+        assert result.plan.mode == "distributed"
+        assert result.comm_stats is not None
+        local = detect(cliques_ring, AlgoConfig(seed=1, iterations=ITERATIONS))
+        assert result.cover == local.cover
+
+    def test_update_result_continues_lifecycle(self, cliques_ring):
+        from repro.graph.edits import EditBatch
+
+        result = detect(cliques_ring, AlgoConfig(seed=2, iterations=ITERATIONS))
+        batch = EditBatch.build(deletions=[(0, 1)])
+        upd = update(result.detector, batch, extract=True)
+        assert upd.report.batch_size == 1
+        assert upd.cover is not None
+        assert upd.plan is result.detector.last_plan
+
+    def test_last_plan_reports_what_actually_ran(self, cliques_ring):
+        # A local fit() under a distributed config must record a local plan…
+        detector = RSLPADetector(
+            cliques_ring,
+            algo=AlgoConfig(seed=1, iterations=ITERATIONS),
+            execution=ExecutionConfig(num_workers=4),
+        ).fit()
+        assert detector.last_plan.mode == "local"
+        assert detector.comm_stats is None
+        # …and fit_distributed(num_workers=0) still runs (and records) a
+        # distributed fit instead of letting the plan and the run disagree.
+        detector2 = RSLPADetector(
+            cliques_ring, seed=1, iterations=ITERATIONS
+        ).fit_distributed(num_workers=0)
+        assert detector2.last_plan.mode == "distributed"
+        assert detector2.last_plan.num_workers == 4
+        assert detector2.comm_stats is not None
+        assert detector.communities() == detector2.communities()
+
+    def test_empty_graph_fit_records_reference_plan(self):
+        detector = RSLPADetector(Graph(), iterations=5).fit()
+        assert detector.last_plan.backend == "reference"
+        assert detector.array_state is None
+        assert "empty graph" in detector.last_plan.explain()
+
+    def test_service_config_round_trips_through_plan_config(self):
+        from repro.service import ServiceConfig
+        from repro.service.facade import _flatten_plan_config
+
+        flat = ServiceConfig(seed=9, iterations=50, backend="reference",
+                             batch_size=7)
+        assert _flatten_plan_config(flat.as_plan_config()) == flat
+        # the flat backend wins over a conflicting execution config, the
+        # same precedence the service applies to keyword overrides
+        structured = flat.as_plan_config(ExecutionConfig(backend="fast",
+                                                         num_workers=3))
+        assert structured.execution.backend == "reference"
+        assert structured.execution.num_workers == 3
+
+    def test_run_distributed_result(self, cliques_ring):
+        result = run_distributed(
+            cliques_ring, AlgoConfig(seed=2, iterations=ITERATIONS)
+        )
+        assert result.plan.mode == "distributed"
+        assert result.comm_stats.total_messages > 0
+
+
+class TestRegistry:
+    def test_duplicate_registration_rejected(self):
+        registry = Registry("thing")
+        registry.register("x", object())
+        with pytest.raises(ValueError, match="already registered"):
+            registry.register("x", object())
+        registry.register("x", "replacement", overwrite=True)
+        assert registry.resolve("x") == "replacement"
+
+    def test_unknown_name_lists_registered(self):
+        registry = Registry("thing")
+        registry.register("known", 1)
+        with pytest.raises(KeyError, match="unknown thing 'missing'"):
+            registry.resolve("missing")
+
+    def test_lazy_loader_resolves_once(self):
+        registry = Registry("thing")
+        calls = []
+        registry.register_lazy("lazy", lambda: calls.append(1) or "built")
+        assert registry.resolve("lazy") == "built"
+        assert registry.resolve("lazy") == "built"
+        assert calls == [1]
+
+    def test_failing_lazy_loader_stays_registered(self):
+        registry = Registry("thing")
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise ImportError("transient")
+            return "recovered"
+
+        registry.register_lazy("flaky", flaky)
+        with pytest.raises(ImportError):
+            registry.resolve("flaky")
+        assert "flaky" in registry  # not silently dropped
+        assert registry.resolve("flaky") == "recovered"
+
+    def test_builtin_partitioners_resolve(self):
+        caps = GraphCaps(num_vertices=8, num_edges=10, contiguous_ids=True)
+        assert isinstance(
+            PARTITIONERS.resolve("hash")(2, caps), HashPartitioner
+        )
+        ranged = PARTITIONERS.resolve("range")(2, caps)
+        assert isinstance(ranged, ContiguousPartitioner)
+        assert ranged.num_vertices == 8
+
+    def test_named_partitioner_through_config(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        by_name, _ = run_distributed_rslpa(
+            cliques_ring,
+            seed=5,
+            iterations=ITERATIONS,
+            config=ExecutionConfig(
+                num_workers=3, partitioner="range", state_format="dict"
+            ),
+        )
+        by_instance, _ = run_distributed_rslpa(
+            cliques_ring,
+            seed=5,
+            iterations=ITERATIONS,
+            num_workers=3,
+            partitioner=ContiguousPartitioner(3, cliques_ring.num_vertices),
+        )
+        assert by_name.labels == by_instance.labels
+
+    def test_plugin_partitioner_round_trip(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        name = "salted-test-partitioner"
+        PARTITIONERS.register(
+            name, lambda workers, caps: HashPartitioner(workers, salt=7)
+        )
+        try:
+            plan = plan_for(
+                cliques_ring,
+                ExecutionConfig(num_workers=2, partitioner=name),
+            )
+            assert plan.partitioner == name
+            state, _ = run_distributed_rslpa(
+                cliques_ring,
+                seed=5,
+                iterations=ITERATIONS,
+                config=ExecutionConfig(num_workers=2, partitioner=name),
+            )
+            assert state.num_iterations == ITERATIONS
+        finally:
+            PARTITIONERS._entries.pop(name, None)
+
+    def test_plugin_engine_name_passes_config_validation(self, cliques_ring):
+        from repro.api import ENGINES
+
+        name = "test-plugin-plane"
+        ENGINES.register(name, lambda shards, part: None)
+        try:
+            plan = plan_for(
+                cliques_ring, ExecutionConfig(num_workers=2, engine=name)
+            )
+            assert plan.engine == name  # explicit names pass through
+        finally:
+            ENGINES._entries.pop(name, None)
+        with pytest.raises(ValueError, match="engine"):
+            ExecutionConfig(engine=name)  # gone from the registry again
+
+    def test_unknown_partitioner_rejected_at_plan_time(self, cliques_ring):
+        with pytest.raises(ValueError, match="unknown partitioner"):
+            plan_for(
+                cliques_ring,
+                ExecutionConfig(num_workers=2, partitioner="nonexistent"),
+            )
+
+
+class TestMultiprocessPlan:
+    def test_multiprocess_matches_in_process(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_rslpa
+
+        in_process, stats_i = run_distributed_rslpa(
+            cliques_ring, seed=4, iterations=15, num_workers=2
+        )
+        multiproc, stats_m = run_distributed_rslpa(
+            cliques_ring,
+            seed=4,
+            iterations=15,
+            config=ExecutionConfig(
+                num_workers=2, multiprocess=True, state_format="dict"
+            ),
+        )
+        assert in_process.labels == multiproc.labels
+        assert in_process.receivers == multiproc.receivers
+        assert stats_i.total_messages == stats_m.total_messages
+
+    def test_multiprocess_update_rejected(self, cliques_ring):
+        from repro.distributed.cluster import (
+            run_distributed_rslpa,
+            run_distributed_update,
+        )
+        from repro.graph.edits import EditBatch
+
+        state, _ = run_distributed_rslpa(
+            cliques_ring, seed=4, iterations=10, num_workers=2
+        )
+        with pytest.raises(ValueError, match="in place"):
+            run_distributed_update(
+                cliques_ring,
+                state,
+                EditBatch.build(deletions=[(0, 1)]),
+                seed=4,
+                config=ExecutionConfig(num_workers=2, multiprocess=True),
+            )
+
+
+class TestPlanCLI:
+    def test_plan_subcommand_prints_provenance(self, tmp_path, cliques_ring):
+        import io
+
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(cliques_ring, path)
+        out = io.StringIO()
+        code = main(
+            ["plan", path, "--distributed", "4", "--shard-backend", "dict"],
+            out=out,
+        )
+        assert code == 0
+        text = out.getvalue()
+        assert "execution plan:" in text
+        assert "shard_backend" in text and "explicitly requested" in text
+        assert "engine" in text
+
+    def test_plan_subcommand_local(self, tmp_path, cliques_ring):
+        import io
+
+        from repro.cli import main
+        from repro.graph.io import write_edge_list
+
+        path = str(tmp_path / "graph.txt")
+        write_edge_list(cliques_ring, path)
+        out = io.StringIO()
+        assert main(["plan", path], out=out) == 0
+        assert "local fit" in out.getvalue()

@@ -2,7 +2,7 @@
 
 from repro.baselines.lpa import lpa_detect
 from repro.graph.adjacency import Graph
-from repro.graph.generators import planted_partition, ring_of_cliques
+from repro.graph.generators import planted_partition
 
 
 class TestLPA:

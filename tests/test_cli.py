@@ -7,7 +7,6 @@ import pytest
 
 from repro.cli import main, parse_edit_file
 from repro.core.serialize import load_state
-from repro.graph.generators import ring_of_cliques
 from repro.graph.io import write_edge_list
 
 

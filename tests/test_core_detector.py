@@ -29,27 +29,40 @@ class TestLifecycle:
         assert not detector.graph.has_edge(0, 1)
 
     def test_invalid_engine_rejected(self, cliques_ring):
-        with pytest.raises(ValueError, match="engine"):
-            RSLPADetector(cliques_ring, engine="spark")
+        with pytest.warns(DeprecationWarning, match="deprecated alias"):
+            with pytest.raises(ValueError, match="engine"):
+                RSLPADetector(cliques_ring, engine="spark")
 
-    def test_fast_engine_requires_contiguous_ids(self):
+    def test_invalid_backend_rejected(self, cliques_ring):
+        with pytest.raises(ValueError, match="backend"):
+            RSLPADetector(cliques_ring, backend="spark")
+
+    def test_fast_backend_requires_contiguous_ids(self):
         g = Graph.from_edges([(10, 20)])
         with pytest.raises(ValueError, match="contiguous"):
-            RSLPADetector(g, engine="fast", iterations=5).fit()
+            RSLPADetector(g, backend="fast", iterations=5).fit()
 
-    def test_reference_engine_handles_arbitrary_ids(self):
+    def test_reference_backend_handles_arbitrary_ids(self):
         g = Graph.from_edges([(10, 20), (20, 30), (10, 30)])
-        detector = RSLPADetector(g, engine="reference", iterations=20).fit()
+        detector = RSLPADetector(g, backend="reference", iterations=20).fit()
         assert detector.label_state.num_iterations == 20
+
+    def test_legacy_engine_alias_warns_and_maps_to_backend(self, cliques_ring):
+        with pytest.warns(DeprecationWarning, match="deprecated alias"):
+            detector = RSLPADetector(cliques_ring, engine="reference")
+        assert detector.backend == "reference"
+        with pytest.warns(DeprecationWarning, match="deprecated alias"):
+            with pytest.raises(ValueError, match="conflicting"):
+                RSLPADetector(cliques_ring, engine="fast", backend="reference")
 
 
 class TestEngineEquivalence:
     def test_fast_and_reference_agree(self, cliques_ring):
         fast = RSLPADetector(
-            cliques_ring, seed=3, iterations=25, engine="fast"
+            cliques_ring, seed=3, iterations=25, backend="fast"
         ).fit()
         ref = RSLPADetector(
-            cliques_ring, seed=3, iterations=25, engine="reference"
+            cliques_ring, seed=3, iterations=25, backend="reference"
         ).fit()
         assert fast.label_state.labels == ref.label_state.labels
         assert fast.communities() == ref.communities()
@@ -57,7 +70,7 @@ class TestEngineEquivalence:
     def test_auto_picks_fast_for_contiguous(self, cliques_ring):
         detector = RSLPADetector(cliques_ring, seed=3, iterations=25).fit()
         explicit = RSLPADetector(
-            cliques_ring, seed=3, iterations=25, engine="fast"
+            cliques_ring, seed=3, iterations=25, backend="fast"
         ).fit()
         assert detector.label_state.labels == explicit.label_state.labels
 
@@ -171,7 +184,6 @@ class TestFromState:
         assert original.communities() == adopted.communities()
 
     def test_from_state_converts_across_representations(self, cliques_ring):
-        from repro.core.labels_array import ArrayLabelState
 
         fitted = RSLPADetector(
             cliques_ring, seed=4, iterations=30, backend="fast"

@@ -4,7 +4,6 @@ import numpy as np
 import pytest
 
 from repro.core.fast import FastPropagator, graph_to_csr
-from repro.core.labels import NO_SOURCE
 from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
 from repro.graph.generators import erdos_renyi, ring_of_cliques

@@ -19,7 +19,7 @@ from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
 from repro.graph.csr import CSRGraph
 from repro.graph.edits import EditBatch
-from repro.graph.generators import erdos_renyi, ring_of_cliques
+from repro.graph.generators import ring_of_cliques
 from repro.workloads.dynamic import random_edit_batch
 
 REPORT_FIELDS = (

@@ -14,7 +14,7 @@ from repro.core.labels import NO_SOURCE, LabelState
 from repro.core.labels_array import ArrayLabelState
 from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
-from repro.graph.generators import erdos_renyi, ring_of_cliques
+from repro.graph.generators import erdos_renyi
 
 
 def propagated_state(graph, seed=11, iterations=25) -> LabelState:

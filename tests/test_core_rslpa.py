@@ -7,7 +7,7 @@ import pytest
 from repro.core.labels import NO_SOURCE
 from repro.core.rslpa import ReferencePropagator
 from repro.graph.adjacency import Graph
-from repro.graph.generators import erdos_renyi, ring_of_cliques
+from repro.graph.generators import ring_of_cliques
 
 
 class TestBasicShape:

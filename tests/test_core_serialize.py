@@ -18,7 +18,6 @@ from repro.core.serialize import (
     state_from_dict,
     state_to_dict,
 )
-from repro.graph.generators import ring_of_cliques
 from repro.workloads.dynamic import random_edit_batch
 
 

@@ -23,7 +23,7 @@ from repro.distributed.cluster import (
     run_distributed_update,
 )
 from repro.distributed.engine import BSPEngine
-from repro.distributed.engine_array import ArrayBSPEngine, TupleProgramAdapter
+from repro.distributed.engine_array import ArrayBSPEngine
 from repro.distributed.message import message_size_bytes
 from repro.distributed.message_array import (
     SCHEMAS,

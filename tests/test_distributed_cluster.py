@@ -1,6 +1,5 @@
 """Tests for the high-level distributed wrappers (cluster.py)."""
 
-import pytest
 
 from repro.core.detector import RSLPADetector
 from repro.core.postprocess import extract_communities
@@ -9,7 +8,6 @@ from repro.distributed.cluster import (
     run_distributed_postprocess,
     run_distributed_rslpa,
 )
-from repro.graph.adjacency import Graph
 from repro.graph.generators import ring_of_cliques
 from repro.graph.partition import ContiguousPartitioner
 
@@ -73,7 +71,7 @@ class TestEndToEndAgainstDetector:
     def test_cluster_pipeline_matches_detector(self, cliques_ring):
         """Cluster run == RSLPADetector (reference engine) end to end."""
         detector = RSLPADetector(
-            cliques_ring, seed=9, iterations=50, engine="reference",
+            cliques_ring, seed=9, iterations=50, backend="reference",
             tau_step=0.005,
         ).fit()
         state, _ = run_distributed_rslpa(

@@ -2,11 +2,9 @@
 
 import math
 
-import pytest
 
 from repro.distributed.components import distributed_connected_components
 from repro.graph.adjacency import Graph
-from repro.graph.generators import erdos_renyi, ring_of_cliques
 
 
 def components_of(graph, **kwargs):

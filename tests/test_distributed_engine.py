@@ -2,11 +2,10 @@
 
 import pytest
 
-from repro.distributed.engine import BSPEngine, MessageContext, WorkerProgram
+from repro.distributed.engine import BSPEngine, WorkerProgram
 from repro.distributed.message import message_size_bytes, payload_size_bytes
 from repro.distributed.metrics import CommStats, SuperstepStats
 from repro.distributed.worker import build_shards
-from repro.graph.generators import ring_of_cliques
 from repro.graph.partition import ContiguousPartitioner, HashPartitioner
 
 

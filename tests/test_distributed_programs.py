@@ -12,7 +12,6 @@ from repro.distributed.cluster import (
 )
 from repro.graph.adjacency import Graph
 from repro.graph.edits import EditBatch
-from repro.graph.generators import erdos_renyi, ring_of_cliques
 from repro.graph.partition import ContiguousPartitioner, HashPartitioner
 from repro.workloads.dynamic import random_edit_batch
 

@@ -5,7 +5,6 @@ LFR ground truth -> detection -> NMI; dynamic streams -> incremental
 maintenance -> quality equivalence with from-scratch recomputation.
 """
 
-import pytest
 
 from repro.baselines.slpa_fast import fast_slpa_detect
 from repro.core.detector import RSLPADetector, detect_communities

@@ -9,7 +9,6 @@
   (interleavings compose).
 """
 
-import pytest
 
 from repro.core.incremental import CorrectionPropagator
 from repro.core.rslpa import ReferencePropagator

@@ -8,7 +8,6 @@ statement short of distribution equality, which the statistical tests in
 ``test_core_incremental.py`` cover.
 """
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 

@@ -13,7 +13,6 @@ the same seed:
 
 import random
 
-import numpy as np
 import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines.slpa import slpa_detect
 from repro.core.detector import detect_communities
-from repro.metrics.nmi import nmi_overlapping
 from repro.metrics.quality import overlapping_f1
 from repro.workloads.realworld import karate_club, les_miserables
 
