@@ -12,13 +12,26 @@ instances, asserts all combinations bit-identical, and records messages,
 bytes and wall-clock per superstep in ``BENCH_distributed.json`` — so the
 comm-volume figures finally come with timings.
 
+The ``transport sweep`` harness measures the multiprocess data plane:
+workers × ``transport={pipe,shm,tcp}``.  An SLPA pass on LFR asserts
+bit-identical memories, covers and per-superstep CommStats across every
+transport, and a payload-heavy ballast relay (wide bench-only schema,
+near-zero compute) isolates the data-plane cost that whole-algorithm
+runs hide behind shared compute — the zero-copy shm plane must beat the
+pickled pipe plane by the scale's floor at the widest worker count.
+
 Run:  PYTHONPATH=src:. python -m pytest benchmarks/bench_ablation_communication.py -q
 The ``-k smoke`` selection runs a scaled-down, time-bounded sweep (CI).
 """
 
+import gc
 import json
 import time
+from collections import Counter
+from functools import partial
 from pathlib import Path
+
+import numpy as np
 
 from benchmarks.bench_common import SCALE, banner, print_table, scaled
 from repro.core.rslpa import ReferencePropagator
@@ -27,11 +40,33 @@ from repro.distributed.cluster import (
     run_distributed_slpa,
     run_distributed_update,
 )
+from repro.distributed.engine_array import ArrayBSPEngine, ArrayWorkerProgram
+from repro.distributed.message_array import register_schema
+from repro.distributed.multiprocess import MultiprocessBSPEngine
+from repro.distributed.programs_array import FastSLPAPropagationProgram
+from repro.distributed.worker import WorkerShard, build_shards
 from repro.graph.generators import erdos_renyi
+from repro.graph.partition import ContiguousPartitioner
 from repro.workloads.dynamic import random_edit_batch
 from repro.workloads.lfr import LFRParams, generate_lfr
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_distributed.json"
+
+
+def _merge_record(section: str, payload: dict) -> None:
+    """Write one top-level section of ``BENCH_distributed.json`` in place,
+    preserving whatever the other sweeps recorded."""
+    data = {}
+    if RESULT_PATH.exists():
+        try:
+            data = json.loads(RESULT_PATH.read_text(encoding="utf-8"))
+        except (ValueError, OSError):
+            data = {}
+    if not isinstance(data, dict) or "results" in data:
+        # pre-merge layout: a single flat engine-sweep payload
+        data = {"engine_sweep": data} if isinstance(data, dict) else {}
+    data[section] = payload
+    RESULT_PATH.write_text(json.dumps(data, indent=2) + "\n", encoding="utf-8")
 
 N = scaled(300, 1000, 4000)
 ITERATIONS = 10
@@ -247,7 +282,7 @@ def test_engine_sweep_records_timings(benchmark, report):
             "slpa_array_over_reference_at_largest": slpa_speedup,
         },
     }
-    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    _merge_record("engine_sweep", payload)
     report(f"results recorded in {RESULT_PATH}")
 
     # The tentpole's acceptance gate: the columnar plane pays off.
@@ -273,6 +308,337 @@ def test_engine_sweep_smoke(benchmark, report):
         10,
     )
     assert len(results["rows"]) == 8  # 2 algos x 2 engines x 2 shard backends
+
+
+# ----------------------------------------------------------------------
+# Transport sweep: the multiprocess data plane (PR 6 tentpole)
+# ----------------------------------------------------------------------
+TRANSPORTS = ("pipe", "shm", "tcp")
+TRANSPORT_WORKERS = [2, 4, 8]
+TRANSPORT_LFR_N = scaled(2_000, 20_000, 100_000)
+TRANSPORT_SLPA_ITERATIONS = scaled(10, 6, 4)
+TRANSPORT_TAU = 0.3
+
+# The ballast relay: each worker re-emits this many pre-built rows of the
+# wide schema every superstep.  Compute is near zero, so wall-clock is the
+# data plane plus the (transport-independent) routing barrier.
+BALLAST_ROWS = scaled(30_000, 100_000, 250_000)
+BALLAST_SUPERSTEPS = scaled(4, 6, 8)
+BALLAST_REPS = scaled(2, 2, 3)
+# Floor for min(pipe)/min(shm) at the widest worker count.  Fixed
+# per-superstep costs (verbs, acks, spawn-warm caches) compress the ratio
+# at small payloads; at paper scale the data plane dominates.
+SHM_SPEEDUP_FLOOR = scaled(1.2, 1.5, 2.0)
+
+# Bench-only wide schema: 7 payload fields + dst = 64 bytes per row on the
+# wire.  Registered at import time so forked workers inherit it.
+BALLAST_KIND = "blst"
+BALLAST_FIELDS = ("a", "b", "c", "d", "e", "f", "g")
+register_schema(BALLAST_KIND, BALLAST_FIELDS)
+
+
+class BallastRelayProgram(ArrayWorkerProgram):
+    """Re-emits a fixed wide column batch every superstep.
+
+    Destinations are sorted and span the whole id space, so the shared
+    ``route_columns`` lexsort runs on nearly ordered keys and stays cheap
+    relative to the bytes each transport must move.
+    """
+
+    def __init__(self, shard, rows, supersteps, num_vertices):
+        super().__init__(shard)
+        self.rows = rows
+        self.supersteps = supersteps
+        self.num_vertices = num_vertices
+        self._dst = None
+        self._cols = None
+
+    def _payload(self):
+        if self._dst is None:  # built once, in the worker process
+            self._dst = np.linspace(
+                0, self.num_vertices - 1, self.rows, dtype=np.int64
+            )
+            self._cols = tuple(
+                np.zeros(self.rows, dtype=np.int64) for _ in BALLAST_FIELDS
+            )
+        return self._dst, self._cols
+
+    def on_start(self, ctx):
+        dst, cols = self._payload()
+        ctx.send_columns(BALLAST_KIND, dst, *cols)
+
+    def on_superstep(self, ctx, superstep, inbox):
+        if superstep >= self.supersteps:
+            return
+        dst, cols = self._payload()
+        ctx.send_columns(BALLAST_KIND, dst, *cols)
+
+
+def _ballast_shards(workers: int, n: int):
+    """Adjacency-free shards: the relay never reads neighbours, and empty
+    shards keep engine spawn (which is untimed) from pickling the graph."""
+    return [
+        WorkerShard(worker_id=w, vertices=frozenset(), adjacency={})
+        for w in range(workers)
+    ]
+
+
+def _time_ballast(workers: int, n: int, transport: str, reps: int):
+    """Steady-state data-plane timing: one engine, an untimed warm-up run
+    (faults in ring segments / kernel buffers), then ``reps`` timed runs.
+    ``run()`` is re-entrant — a fresh ``start`` verb replays the relay on
+    the same live workers, so segment setup never pollutes the numbers."""
+    part = ContiguousPartitioner(workers, n)
+    factory = partial(
+        BallastRelayProgram,
+        rows=BALLAST_ROWS,
+        supersteps=BALLAST_SUPERSTEPS,
+        num_vertices=n,
+    )
+    engine = MultiprocessBSPEngine(
+        _ballast_shards(workers, n), part, factory,
+        plane="array", transport=transport,
+    )
+    try:
+        engine.run()  # warm-up, untimed
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            engine.run()
+            times.append(time.perf_counter() - t0)
+        return times
+    finally:
+        engine.shutdown()
+
+
+def _cover(memories, tau=TRANSPORT_TAU):
+    """SLPA frequency-threshold extraction (communities as frozensets)."""
+    holders = {}
+    for v, memory in memories.items():
+        length = len(memory)
+        for label, count in Counter(memory).items():
+            if count / length >= tau:
+                holders.setdefault(label, set()).add(v)
+    return {frozenset(c) for c in holders.values() if len(c) >= 2}
+
+
+def _slpa_reference(graph, part, iterations):
+    shards = build_shards(graph, part)
+    engine = ArrayBSPEngine(shards, part)
+    programs = engine.run(
+        [FastSLPAPropagationProgram(s, seed=7, iterations=iterations)
+         for s in shards]
+    )
+    memories = {}
+    for program in programs:
+        memories.update(program.collect())
+    return memories, engine.stats.per_superstep
+
+
+def _slpa_transport_run(graph, part, transport, iterations):
+    shards = build_shards(graph, part)
+    factory = partial(FastSLPAPropagationProgram, seed=7, iterations=iterations)
+    with MultiprocessBSPEngine(
+        shards, part, factory, plane="array", transport=transport
+    ) as engine:
+        t0 = time.perf_counter()
+        stats = engine.run()
+        wall_s = time.perf_counter() - t0
+        results = engine.collect()
+    memories = {}
+    for result in results:
+        memories.update(result)
+    return memories, stats.per_superstep, wall_s
+
+
+def _transport_sweep(graph, workers_list, iterations, reps):
+    """Per worker count: SLPA bit-identity across transports, then the
+    ballast relay timing.  Returns (slpa_rows, ballast_rows)."""
+    n = graph.num_vertices
+    slpa_rows, ballast_rows = [], []
+    for workers in workers_list:
+        part = ContiguousPartitioner(workers, n)
+        ref_memories, ref_steps = _slpa_reference(graph, part, iterations)
+        ref_cover = _cover(ref_memories)
+        assert ref_cover, "SLPA produced no communities; sweep is vacuous"
+        for transport in TRANSPORTS:
+            memories, steps, wall_s = _slpa_transport_run(
+                graph, part, transport, iterations
+            )
+            assert memories == ref_memories, (workers, transport)
+            assert _cover(memories) == ref_cover, (workers, transport)
+            assert steps == ref_steps, (workers, transport)
+            slpa_rows.append(
+                {
+                    "workers": workers,
+                    "transport": transport,
+                    "wall_s": wall_s,
+                    "identical_to_in_process": True,
+                }
+            )
+            # The SLPA pass leaves a large driver heap (graph, shards,
+            # memories) that forked ballast workers would inherit as
+            # copy-on-write pressure; drop it before timing.
+            del memories, steps
+            gc.collect()
+            times = _time_ballast(workers, n, transport, reps)
+            payload_mb = (
+                workers * BALLAST_ROWS * (len(BALLAST_FIELDS) + 1) * 8 / 1e6
+            )
+            ballast_rows.append(
+                {
+                    "workers": workers,
+                    "transport": transport,
+                    "wall_s": [round(t, 4) for t in times],
+                    "best_s": round(min(times), 4),
+                    "payload_mb_per_superstep": round(payload_mb, 2),
+                    "mb_per_s": round(
+                        payload_mb * BALLAST_SUPERSTEPS / min(times), 1
+                    ),
+                }
+            )
+    return slpa_rows, ballast_rows
+
+
+def _ballast_best(rows, workers, transport):
+    for row in rows:
+        if row["workers"] == workers and row["transport"] == transport:
+            return row["best_s"]
+    raise KeyError((workers, transport))
+
+
+def _report_transport_sweep(report, title, graph, slpa_rows, ballast_rows,
+                            iterations):
+    report(
+        banner(
+            title,
+            "zero-copy shm rings vs pickled pipes vs framed localhost TCP",
+            "identical covers and CommStats; shm moves bytes the fastest",
+        )
+    )
+    report(
+        f"LFR |V|={graph.num_vertices} |E|={graph.num_edges}, "
+        f"SLPA T={iterations}, ballast {BALLAST_ROWS} rows/worker x "
+        f"{BALLAST_SUPERSTEPS} supersteps"
+    )
+    print_table(
+        report,
+        ["workers", "transport", "SLPA wall (s)", "ballast best (s)",
+         "payload MB/step", "MB/s"],
+        [
+            (
+                b["workers"], b["transport"],
+                round(s["wall_s"], 3), b["best_s"],
+                b["payload_mb_per_superstep"], b["mb_per_s"],
+            )
+            for s, b in zip(slpa_rows, ballast_rows)
+        ],
+    )
+
+
+def test_transport_sweep_records_timings(benchmark, report):
+    graph = _sweep_lfr(TRANSPORT_LFR_N)
+    results = {}
+
+    def run():
+        results["rows"] = _transport_sweep(
+            graph, TRANSPORT_WORKERS, TRANSPORT_SLPA_ITERATIONS, BALLAST_REPS
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    slpa_rows, ballast_rows = results["rows"]
+    _report_transport_sweep(
+        report,
+        "Transport sweep: multiprocess data plane (pipe vs shm vs tcp)",
+        graph, slpa_rows, ballast_rows, TRANSPORT_SLPA_ITERATIONS,
+    )
+
+    widest = max(TRANSPORT_WORKERS)
+    shm_speedup = _ballast_best(ballast_rows, widest, "pipe") / _ballast_best(
+        ballast_rows, widest, "shm"
+    )
+    tcp_speedup = _ballast_best(ballast_rows, widest, "pipe") / _ballast_best(
+        ballast_rows, widest, "tcp"
+    )
+    report(
+        f"data-plane speedup over pipe at {widest} workers: "
+        f"shm {shm_speedup:.1f}x, tcp {tcp_speedup:.1f}x"
+    )
+    _merge_record(
+        "transport_sweep",
+        {
+            "benchmark": "distributed_transport_sweep",
+            "scale": SCALE,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "graph": {
+                "n": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "family": "lfr",
+            },
+            "workers": TRANSPORT_WORKERS,
+            "transports": list(TRANSPORTS),
+            "slpa": {
+                "iterations": TRANSPORT_SLPA_ITERATIONS,
+                "tau": TRANSPORT_TAU,
+                "results": slpa_rows,
+            },
+            "ballast": {
+                "rows_per_worker": BALLAST_ROWS,
+                "supersteps": BALLAST_SUPERSTEPS,
+                "fields": len(BALLAST_FIELDS),
+                "reps": BALLAST_REPS,
+                "results": ballast_rows,
+            },
+            "speedups": {
+                "shm_over_pipe_at_widest": round(shm_speedup, 2),
+                "tcp_over_pipe_at_widest": round(tcp_speedup, 2),
+            },
+        },
+    )
+    report(f"results recorded in {RESULT_PATH}")
+
+    # The tentpole's acceptance gate: zero-copy pays off where the data
+    # plane dominates.
+    assert shm_speedup >= SHM_SPEEDUP_FLOOR, (
+        f"shm only {shm_speedup:.2f}x over pipe at {widest} workers "
+        f"(floor {SHM_SPEEDUP_FLOOR} at scale={SCALE})"
+    )
+
+
+def test_transport_sweep_smoke(benchmark, report):
+    """Scaled-down transport matrix for CI (`-k "smoke and transport"`):
+    SLPA bit-identity across pipe/shm/tcp at 2 workers, tiny ballast,
+    no timing gate, no JSON write."""
+    graph = _sweep_lfr(250)
+    results = {}
+
+    def run():
+        n = graph.num_vertices
+        part = ContiguousPartitioner(2, n)
+        ref_memories, ref_steps = _slpa_reference(graph, part, 8)
+        rows = []
+        for transport in TRANSPORTS:
+            memories, steps, wall_s = _slpa_transport_run(
+                graph, part, transport, 8
+            )
+            assert memories == ref_memories, transport
+            assert _cover(memories) == _cover(ref_memories), transport
+            assert steps == ref_steps, transport
+            rows.append((transport, round(wall_s, 3)))
+        results["rows"] = rows
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        banner(
+            "Transport smoke: pipe vs shm vs tcp, bit-identical SLPA",
+            "every transport reproduces the in-process run exactly",
+            "covers and per-superstep CommStats match across the matrix",
+        )
+    )
+    print_table(report, ["transport", "SLPA wall (s)"], results["rows"])
+    assert len(results["rows"]) == len(TRANSPORTS)
 
 
 def test_correction_volume_scales_with_eta(benchmark, report):

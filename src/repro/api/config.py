@@ -35,18 +35,20 @@ __all__ = [
     "ENGINE_CHOICES",
     "SHARD_BACKEND_CHOICES",
     "STATE_FORMAT_CHOICES",
+    "TRANSPORT_CHOICES",
 ]
 
 #: Paper default for rSLPA (Section V-A3: stable for T >= 200).
 DEFAULT_ITERATIONS = 200
 
 #: Built-in values per execution axis (``auto`` defers to plan resolution;
-#: ``engine`` additionally accepts any name registered in
-#: :data:`repro.api.registry.ENGINES`).
+#: ``engine`` and ``transport`` additionally accept any name registered in
+#: :data:`repro.api.registry.ENGINES` / :data:`repro.api.registry.TRANSPORTS`).
 BACKEND_CHOICES = ("auto", "fast", "reference")
 ENGINE_CHOICES = ("auto", "reference", "array")
 SHARD_BACKEND_CHOICES = ("auto", "dict", "csr")
 STATE_FORMAT_CHOICES = ("auto", "dict", "array")
+TRANSPORT_CHOICES = ("auto", "pipe", "shm", "tcp")
 
 
 def _check_choice(value: str, choices, name: str) -> None:
@@ -112,6 +114,14 @@ class ExecutionConfig:
         Run distributed workers as real OS processes
         (:class:`~repro.distributed.multiprocess.MultiprocessBSPEngine`)
         instead of the in-process simulator.  Propagation programs only.
+    transport:
+        Multiprocess data plane — ``"pipe"`` (payloads pickled over the
+        control pipes), ``"shm"`` (zero-copy shared-memory column rings),
+        ``"tcp"`` (framed columns over localhost sockets), a plugin
+        registered in :data:`repro.api.registry.TRANSPORTS`, or
+        ``"auto"`` (shm whenever the array plane runs multiprocess).
+        Only meaningful with ``multiprocess=True``; ``shm``/``tcp``
+        require the array message plane.
     """
 
     backend: str = "auto"
@@ -121,13 +131,17 @@ class ExecutionConfig:
     state_format: str = "auto"
     partitioner: Optional[Union[str, object]] = None
     multiprocess: bool = False
+    transport: str = "auto"
 
     def __post_init__(self):
         from repro.api.registry import ENGINES as engine_registry
+        from repro.api.registry import TRANSPORTS as transport_registry
 
         _check_choice(self.backend, BACKEND_CHOICES, "backend")
         if self.engine not in engine_registry:  # plugin planes are selectable
             _check_choice(self.engine, ENGINE_CHOICES, "engine")
+        if self.transport not in transport_registry:  # plugin data planes too
+            _check_choice(self.transport, TRANSPORT_CHOICES, "transport")
         _check_choice(self.shard_backend, SHARD_BACKEND_CHOICES, "shard_backend")
         _check_choice(self.state_format, STATE_FORMAT_CHOICES, "state_format")
         check_type(self.num_workers, int, "num_workers")

@@ -21,6 +21,11 @@ asserted equivalent by ``tests/test_api_plan.py``:
 * ``engine="auto"`` → ``array`` iff the shards resolved to CSR.
 * ``state_format="auto"`` → ``array`` iff the backend resolved to
   ``fast``; ``array`` on non-contiguous ids is an error.
+* ``transport="auto"`` → ``shm`` iff the run is multiprocess on the
+  array plane (zero-copy columns), ``pipe`` for multiprocess tuple
+  runs, ``None`` otherwise; column transports (``shm``/``tcp``) on the
+  tuple plane are an error, as is any explicit transport without
+  ``multiprocess=True``.
 """
 
 from __future__ import annotations
@@ -29,7 +34,7 @@ from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
 from repro.api.config import ExecutionConfig
-from repro.api.registry import PARTITIONERS
+from repro.api.registry import PARTITIONERS, TRANSPORTS
 
 __all__ = ["GraphCaps", "PlanDecision", "RunPlan", "resolve_plan", "plan_for"]
 
@@ -110,6 +115,7 @@ class RunPlan:
     multiprocess: bool
     caps: GraphCaps
     requested: ExecutionConfig
+    transport: Optional[str] = None  # "pipe" | "shm" | "tcp" | None (not mp)
     decisions: Tuple[PlanDecision, ...] = ()
 
     @property
@@ -122,10 +128,12 @@ class RunPlan:
         if self.mode == "local":
             return f"local fit, backend={self.backend}"
         workers = f"{self.num_workers} {'process' if self.multiprocess else 'simulated'} workers"
+        transport = f", transport={self.transport}" if self.multiprocess else ""
         return (
             f"distributed fit on {workers}, backend={self.backend}, "
             f"engine={self.engine}, shard_backend={self.shard_backend}, "
             f"state_format={self.state_format}, partitioner={self.partitioner}"
+            f"{transport}"
         )
 
     def explain(self) -> str:
@@ -272,8 +280,37 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
                 "multiprocess",
                 True,
                 True,
-                "workers run as real OS processes (pipes between supersteps)",
+                "workers run as real OS processes (driver is the barrier)",
             )
+
+    # Multiprocess data plane ---------------------------------------------
+    transport = None
+    multiprocess = config.multiprocess and distributed
+    if multiprocess:
+        if config.transport == "auto":
+            transport = "shm" if engine == "array" else "pipe"
+            reason = (
+                "array columns swap zero-copy through shared memory"
+                if transport == "shm"
+                else "tuple payloads only travel the control pipes"
+            )
+        else:
+            transport = config.transport
+            reason = "explicitly requested"
+            transport_cls = TRANSPORTS.resolve(transport)
+            if getattr(transport_cls, "array_only", False) and engine != "array":
+                raise ValueError(
+                    f"transport={transport!r} moves packed columns and "
+                    f"requires engine='array'; engine={engine!r} runs on "
+                    f"transport='pipe' only"
+                )
+        _decide(decisions, "transport", config.transport, transport, reason)
+    elif config.transport != "auto":
+        raise ValueError(
+            f"transport={config.transport!r} selects the multiprocess data "
+            f"plane and requires multiprocess=True with num_workers > 0; "
+            f"the in-process engines exchange messages by reference"
+        )
 
     return RunPlan(
         mode=mode,
@@ -283,9 +320,10 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
         shard_backend=shard_backend,
         state_format=state_format,
         partitioner=partitioner_name,
-        multiprocess=config.multiprocess and distributed,
+        multiprocess=multiprocess,
         caps=caps,
         requested=config,
+        transport=transport,
         decisions=tuple(decisions),
     )
 

@@ -21,6 +21,10 @@ Calling conventions per registry (what a resolved component *is*):
 * :data:`PROGRAMS` — the worker-program *class* itself, keyed
   ``"<task>/<plane>"`` (e.g. ``"rslpa/array"``); classes are returned
   raw so multiprocess factories built from them stay picklable.
+* :data:`TRANSPORTS` — the multiprocess data-plane :class:`~repro.
+  distributed.transport.Transport` *class* (instantiated with no
+  arguments per engine), e.g. ``"shm"`` for the zero-copy
+  shared-memory plane.
 
 Built-ins are registered lazily (the loader imports on first resolve), so
 importing :mod:`repro.api` never drags in the distributed machinery.
@@ -30,7 +34,7 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
-__all__ = ["Registry", "PARTITIONERS", "ENGINES", "PROGRAMS"]
+__all__ = ["Registry", "PARTITIONERS", "ENGINES", "PROGRAMS", "TRANSPORTS"]
 
 
 class Registry:
@@ -92,6 +96,7 @@ class Registry:
 PARTITIONERS = Registry("partitioner")
 ENGINES = Registry("bsp engine")
 PROGRAMS = Registry("worker program")
+TRANSPORTS = Registry("transport")
 
 
 # ----------------------------------------------------------------------
@@ -170,3 +175,29 @@ PROGRAMS.register_lazy("rslpa/array", _load_rslpa_array)
 PROGRAMS.register_lazy("slpa/reference", _load_slpa_reference)
 PROGRAMS.register_lazy("slpa/array", _load_slpa_array)
 PROGRAMS.register_lazy("correction/reference", _load_correction_reference)
+
+
+# ----------------------------------------------------------------------
+# Built-in multiprocess data-plane transports.
+# ----------------------------------------------------------------------
+def _load_pipe_transport():
+    from repro.distributed.transport import PipeTransport
+
+    return PipeTransport
+
+
+def _load_shm_transport():
+    from repro.distributed.transport import SharedMemoryTransport
+
+    return SharedMemoryTransport
+
+
+def _load_tcp_transport():
+    from repro.distributed.transport import SocketTransport
+
+    return SocketTransport
+
+
+TRANSPORTS.register_lazy("pipe", _load_pipe_transport)
+TRANSPORTS.register_lazy("shm", _load_shm_transport)
+TRANSPORTS.register_lazy("tcp", _load_tcp_transport)

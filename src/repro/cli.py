@@ -157,6 +157,16 @@ def add_execution_args(
         help="run distributed workers as real OS processes instead of "
         "the in-process simulator (propagation programs only)",
     )
+    parser.add_argument(
+        "--transport",
+        default="auto",
+        metavar="NAME",
+        help="multiprocess data plane: 'pipe' (pickle over the control "
+        "pipes), 'shm' (zero-copy shared-memory column rings), 'tcp' "
+        "(framed columns over localhost sockets), a plugin from "
+        "repro.api.registry.TRANSPORTS, or 'auto' (shm on the array "
+        "plane); requires --multiprocess",
+    )
 
 
 def algo_config_from_args(args) -> AlgoConfig:
@@ -176,6 +186,7 @@ def execution_config_from_args(args) -> ExecutionConfig:
         state_format=getattr(args, "state_format", "auto"),
         partitioner=getattr(args, "partitioner", None),
         multiprocess=getattr(args, "multiprocess", False),
+        transport=getattr(args, "transport", "auto"),
     )
 
 

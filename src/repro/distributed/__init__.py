@@ -31,22 +31,45 @@ multiprocess backend):
   (:mod:`repro.distributed.programs_array`); tuple programs run here
   unmodified through :class:`TupleProgramAdapter`.
 
-Every (shard backend × message plane) combination is bit-identical — same
-results, same per-superstep :class:`CommStats` counters — because all
-programs derive their randomness from the same counter-based slot hashes
-over the same ascending neighbour sequences; ``engine="auto"`` prefers the
-columnar plane on CSR shards.  Both shard kinds and both program flavours
-are picklable, so the in-process engines and the
-:class:`MultiprocessBSPEngine` (tuple pickles or packed-array pickles over
-the pipes, per ``plane=``) accept either.
+**Data transport** (``transport=`` on the multiprocess backend and
+:class:`~repro.api.config.ExecutionConfig`) — how superstep payloads move
+between the driver and real OS worker processes; in-process engines pass
+references and have no transport axis.  The plane × transport matrix:
+
+====================  ===========  ==========================================
+transport             planes       payload path
+====================  ===========  ==========================================
+``pipe`` (reference)  tuple+array  pickled over the control pipes
+``shm`` (zero-copy)   array only   packed int64 columns written in place into
+                                   double-buffered ``multiprocessing.
+                                   shared_memory`` rings; the pipes carry only
+                                   ``(segment, layout)`` index headers and the
+                                   reader maps read-only views
+``tcp`` (two hosts)   array only   the same framed columns over localhost
+                                   sockets (length-prefixed layout +
+                                   ``sendall``/``recv_into`` raw bytes)
+====================  ===========  ==========================================
+
+Every (shard backend × message plane × transport) combination is
+bit-identical — same results, same per-superstep :class:`CommStats`
+counters — because all programs derive their randomness from the same
+counter-based slot hashes over the same ascending neighbour sequences,
+and routing/accounting always run on the driver before any transport
+touches the columns; ``engine="auto"`` prefers the columnar plane on CSR
+shards and ``transport="auto"`` prefers shared memory whenever the array
+plane runs multiprocess.  Both shard kinds and both program flavours are
+picklable, so the in-process engines and the
+:class:`MultiprocessBSPEngine` accept either.
 
 Axis negotiation lives in one place: the cluster wrappers accept an
 :class:`~repro.api.config.ExecutionConfig` (``config=``; the per-axis
 keywords are shims onto it), every ``auto`` resolves through
 :func:`repro.api.plan.resolve_plan`, and engines/programs/named
-partitioners are looked up in :mod:`repro.api.registry` —
+partitioners/transports are looked up in :mod:`repro.api.registry` —
 ``ExecutionConfig(multiprocess=True)`` routes the propagation wrappers
-through the multiprocess engine with identical results and stats.
+through the multiprocess engine with identical results and stats.  A
+worker process that dies mid-run raises :class:`WorkerCrashedError`
+naming the dead worker instead of hanging the driver.
 """
 
 from repro.distributed.cluster import (
@@ -76,6 +99,13 @@ from repro.distributed.message_array import (
 )
 from repro.distributed.metrics import CommStats, SuperstepStats
 from repro.distributed.multiprocess import MultiprocessBSPEngine
+from repro.distributed.transport import (
+    PipeTransport,
+    SharedMemoryTransport,
+    SocketTransport,
+    Transport,
+    WorkerCrashedError,
+)
 from repro.distributed.programs import (
     CorrectionPropagationProgram,
     RSLPAPropagationProgram,
@@ -124,6 +154,11 @@ __all__ = [
     "HashToMinProgram",
     "distributed_connected_components",
     "MultiprocessBSPEngine",
+    "Transport",
+    "PipeTransport",
+    "SharedMemoryTransport",
+    "SocketTransport",
+    "WorkerCrashedError",
     "run_distributed_rslpa",
     "run_distributed_slpa",
     "run_distributed_update",

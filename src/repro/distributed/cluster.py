@@ -23,7 +23,10 @@ partitioners come from :mod:`repro.api.registry`, so plugged-in components
 resolve exactly like the built-ins.  ``config.multiprocess=True`` runs the
 propagation wrappers on real OS processes
 (:class:`~repro.distributed.multiprocess.MultiprocessBSPEngine`) with
-bit-identical results and stats.
+bit-identical results and stats; ``config.transport`` picks the data
+plane those processes exchange supersteps over (``auto`` resolves to the
+zero-copy shared-memory rings whenever the array plane runs
+multiprocess).
 """
 
 from __future__ import annotations
@@ -198,7 +201,9 @@ def _run_multiprocess(plan: RunPlan, shards, part, program_cls, seed, iterations
 
     factory = partial(program_cls, seed=seed, iterations=iterations)
     plane = "array" if plan.engine == "array" else "tuple"
-    with MultiprocessBSPEngine(shards, part, factory, plane=plane) as engine:
+    with MultiprocessBSPEngine(
+        shards, part, factory, plane=plane, transport=plan.transport or "pipe"
+    ) as engine:
         engine.run()
         results = engine.collect()
     collected: Dict[int, tuple] = {}

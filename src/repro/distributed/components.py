@@ -23,7 +23,7 @@ without materialising the filtered graph (Section V-B2).
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple, Union
 
 from repro.distributed.engine import BSPEngine, MessageContext, WorkerProgram
 from repro.distributed.metrics import CommStats
@@ -99,15 +99,28 @@ def distributed_connected_components(
     num_workers: int = 4,
     weights: Optional[Mapping[Edge, float]] = None,
     tau: Optional[float] = None,
-    partitioner: Optional[Partitioner] = None,
+    partitioner: Optional[Union[str, Partitioner]] = None,
 ) -> Tuple[List[Set[int]], CommStats]:
     """Components of the (optionally τ-filtered) graph, plus comm stats.
 
     Returns components sorted by (size desc, min vertex) — including
     singletons, so callers can apply the paper's ">= 2 vertices" rule.
+    ``partitioner`` is a ready :class:`Partitioner`, a name registered in
+    :data:`repro.api.registry.PARTITIONERS` (``"hash"``, ``"range"``, or
+    a plugin — resolved against this graph's capabilities, the same
+    resolution :func:`~repro.api.plan.resolve_plan` applies), or ``None``
+    for the default hash partitioner.
     """
     filtered = _filtered_adjacency(graph, weights, tau)
-    part = partitioner or HashPartitioner(num_workers)
+    if isinstance(partitioner, str):
+        from repro.api.plan import GraphCaps
+        from repro.api.registry import PARTITIONERS
+
+        part = PARTITIONERS.resolve(partitioner)(
+            num_workers, GraphCaps.of(graph)
+        )
+    else:
+        part = partitioner or HashPartitioner(num_workers)
     shards = build_shards(filtered, part)
     engine = BSPEngine(shards, part)
     programs = [HashToMinProgram(shard) for shard in shards]

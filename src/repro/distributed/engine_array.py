@@ -61,7 +61,16 @@ class ArrayWorkerProgram:
     def on_superstep(
         self, ctx: ArrayMessageContext, superstep: int, inbox: ArrayInbox
     ) -> None:
-        """Process this worker's inbox columns; emit follow-ups via ``ctx``."""
+        """Process this worker's inbox columns; emit follow-ups via ``ctx``.
+
+        Inbox columns are read-only and only guaranteed valid for the
+        duration of this call: under the multiprocess shared-memory
+        transport they are views into a ring slot that is rewritten two
+        supersteps later.  Programs that must retain inbox data across
+        supersteps should keep :meth:`ArrayInbox.materialize`'s owned
+        copy instead of the inbox itself (the built-in programs consume
+        their inbox within the superstep, which is the common shape).
+        """
         raise NotImplementedError
 
     def collect(self) -> dict:

@@ -44,6 +44,9 @@ __all__ = [
     "ArrayInbox",
     "ArrayOutbox",
     "route_columns",
+    "packed_nbytes",
+    "pack_columns",
+    "unpack_columns",
 ]
 
 @dataclass(frozen=True)
@@ -241,6 +244,21 @@ class ArrayInbox:
     def __bool__(self) -> bool:
         return bool(self._columns)
 
+    def materialize(self) -> "ArrayInbox":
+        """An inbox whose columns are owned copies.
+
+        Transport-delivered inboxes may be views into shared memory that
+        a later superstep rewrites (see :mod:`repro.distributed.transport`);
+        a program that wants to keep columns beyond the superstep that
+        delivered them copies here first.
+        """
+        return ArrayInbox(
+            {
+                kind: tuple(np.array(col) for col in cols)
+                for kind, cols in self._columns.items()
+            }
+        )
+
     def to_sorted_tuples(self) -> List[tuple]:
         """The reference engine's sorted tuple inbox, reconstructed exactly.
 
@@ -331,3 +349,58 @@ def route_columns(
                 field[lo:hi] for field in fields_sorted
             )
     return inboxes, step_stats
+
+
+# ----------------------------------------------------------------------
+# Flat buffer packing (the transport wire/shared-memory format)
+# ----------------------------------------------------------------------
+# An ArrayOutbox flattens into one contiguous int64 region with a purely
+# structural index: kinds in ascending name order, each kind's columns in
+# (dst, fields...) order, each column ``rows * 8`` bytes.  The layout
+# tuple ``((kind, rows), ...)`` plus the schema registry fully determine
+# every offset, so the index exchanged between processes stays a few
+# dozen bytes regardless of payload size.  Both sides must register the
+# same schemas (module import does this for the built-in kinds; plugins
+# must register theirs before the engine spawns workers).
+
+def packed_nbytes(columns: ArrayOutbox) -> int:
+    """Bytes needed to pack ``columns`` with :func:`pack_columns`."""
+    total = 0
+    for kind, cols in columns.items():
+        total += len(cols) * int(cols[0].shape[0]) * 8
+    return total
+
+
+def pack_columns(columns: ArrayOutbox, buf) -> Tuple[Tuple[str, int], ...]:
+    """Write ``columns`` into ``buf`` (a writable buffer); returns the layout."""
+    layout = []
+    offset = 0
+    for kind in sorted(columns):
+        cols = columns[kind]
+        rows = int(cols[0].shape[0])
+        layout.append((kind, rows))
+        for col in cols:
+            target = np.frombuffer(buf, dtype=np.int64, count=rows, offset=offset)
+            target[:] = col
+            offset += rows * 8
+    return tuple(layout)
+
+
+def unpack_columns(buf, layout: Sequence[Tuple[str, int]]) -> ArrayOutbox:
+    """Read-only column views over ``buf`` for a :func:`pack_columns` layout.
+
+    The views alias ``buf`` (zero copy); they stay valid only as long as
+    the underlying buffer does — transports document the exact lifetime.
+    """
+    out: ArrayOutbox = {}
+    offset = 0
+    for kind, rows in layout:
+        width = SCHEMAS[kind].width + 1
+        cols = []
+        for _ in range(width):
+            view = np.frombuffer(buf, dtype=np.int64, count=rows, offset=offset)
+            view.flags.writeable = False
+            cols.append(view)
+            offset += rows * 8
+        out[kind] = tuple(cols)
+    return out

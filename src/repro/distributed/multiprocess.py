@@ -2,7 +2,7 @@
 
 The in-process engines simulate the cluster deterministically; this backend
 demonstrates the same programs running with *real* parallelism, one OS
-process per worker, pipes for message exchange, and the driver acting as
+process per worker, a control pipe per worker, and the driver acting as
 the synchronisation barrier — the closest single-machine analogue to the
 paper's 7-node Spark deployment.
 
@@ -10,14 +10,24 @@ Two message planes, selected with ``plane=``:
 
 * ``"tuple"`` (default) — programs are
   :class:`~repro.distributed.engine.WorkerProgram` subclasses; outboxes
-  cross the pipes as pickled tuple lists and the driver routes them with
-  the reference per-message loop.
+  cross the data plane as pickled tuple lists and the driver routes them
+  with the reference per-message loop.
 * ``"array"`` — programs are
   :class:`~repro.distributed.engine_array.ArrayWorkerProgram` subclasses
-  (or adapter-wrapped tuple programs); outboxes cross the pipes as packed
-  per-kind numpy columns and the driver barrier is the vectorised
-  :func:`~repro.distributed.message_array.route_columns` — far fewer,
-  far larger pickles.
+  (or adapter-wrapped tuple programs); outboxes are packed per-kind numpy
+  columns and the driver barrier is the vectorised
+  :func:`~repro.distributed.message_array.route_columns`.
+
+How the columns move is the *transport* (``transport=``, see
+:mod:`repro.distributed.transport` and
+:data:`repro.api.registry.TRANSPORTS`): ``"pipe"`` pickles payloads over
+the control pipes (the reference data plane, and the only one the tuple
+plane supports), ``"shm"`` swaps them through double-buffered
+shared-memory rings with only index headers on the pipes, and ``"tcp"``
+frames them over localhost sockets so worker groups behave like separate
+hosts.  Results and per-superstep :class:`CommStats` are bit-identical
+across all transports — routing happens on the driver before any
+transport touches the columns.
 
 Programs must be picklable (all programs in
 :mod:`repro.distributed.programs` and
@@ -26,6 +36,12 @@ builtins/ndarrays).  Mutations a program makes to its state stay inside
 its process; results come back via ``collect()``, so this backend suits
 the *propagation* programs (whose results are collected), not the
 in-place correction program.
+
+A worker that dies mid-run can never hang the driver: every wait polls
+process liveness and raises
+:class:`~repro.distributed.transport.WorkerCrashedError` naming the dead
+worker, and ``shutdown()`` releases pipes, sockets, and shared-memory
+segments on every exit path (idempotently, crash or no crash).
 
 Usage::
 
@@ -49,18 +65,26 @@ from repro.distributed.message_array import (
     route_columns,
 )
 from repro.distributed.metrics import CommStats, SuperstepStats
+from repro.distributed.transport import Transport, WorkerCrashedError, WorkerEndpoint
 from repro.distributed.worker import WorkerShard
 from repro.graph.partition import Partitioner
 
-__all__ = ["MultiprocessBSPEngine"]
+__all__ = ["MultiprocessBSPEngine", "WorkerCrashedError"]
 
 ProgramFactory = Callable[
     [WorkerShard], Union[WorkerProgram, ArrayWorkerProgram]
 ]
 
+#: Seconds between liveness polls while the driver waits on a pipe.
+_POLL_S = 0.05
+
 
 def _worker_main(
-    conn, shard: WorkerShard, factory: ProgramFactory, plane: str
+    conn,
+    shard: WorkerShard,
+    factory: ProgramFactory,
+    plane: str,
+    endpoint: WorkerEndpoint,
 ) -> None:
     """Child-process loop: execute one program over commands from the driver."""
     program = factory(shard)
@@ -70,24 +94,30 @@ def _worker_main(
         program = TupleProgramAdapter(program)
     make_ctx = ArrayMessageContext if plane == "array" else MessageContext
     try:
+        endpoint.open()
         while True:
             command = conn.recv()
             verb = command[0]
             if verb == "start":
                 ctx = make_ctx()
                 program.on_start(ctx)
-                conn.send(
-                    ctx.finalize() if plane == "array" else ctx.outbox
-                )
+                payload = ctx.finalize() if plane == "array" else ctx.outbox
+                endpoint.send_outbox(payload, conn.send)
             elif verb == "step":
-                _verb, superstep, inbox = command
+                _verb, superstep, header = command
+                inbox = endpoint.recv_inbox(header)
                 ctx = make_ctx()
                 if plane == "array":
                     program.on_superstep(ctx, superstep, ArrayInbox(inbox))
-                    conn.send(ctx.finalize())
+                    payload = ctx.finalize()
                 else:
                     program.on_superstep(ctx, superstep, inbox)
-                    conn.send(ctx.outbox)
+                    payload = ctx.outbox
+                endpoint.send_outbox(payload, conn.send)
+                # Drop the inbox views before the next iteration: shm inbox
+                # columns alias a ring slot, and lingering references would
+                # keep the mapping pinned past endpoint.close().
+                del inbox, ctx, payload
             elif verb == "collect":
                 conn.send(program.collect())
             elif verb == "stop":
@@ -95,6 +125,7 @@ def _worker_main(
             else:  # pragma: no cover - protocol violation
                 raise ValueError(f"unknown command {verb!r}")
     finally:
+        endpoint.close()
         conn.close()
 
 
@@ -108,6 +139,7 @@ class MultiprocessBSPEngine:
         factory: ProgramFactory,
         mp_context: Optional[str] = None,
         plane: str = "tuple",
+        transport: Union[str, Transport] = "pipe",
     ):
         if len(shards) != partitioner.num_partitions:
             raise ValueError(
@@ -124,25 +156,90 @@ class MultiprocessBSPEngine:
                     f"shard worker_ids {worker_ids} must be the partition "
                     f"indices 0..{partitioner.num_partitions - 1}"
                 )
+        if isinstance(transport, str):
+            from repro.api.registry import TRANSPORTS
+
+            transport = TRANSPORTS.resolve(transport)()
+        if transport.array_only and plane != "array":
+            raise ValueError(
+                f"transport {transport.name!r} moves packed columns and "
+                f"requires plane='array'; the tuple plane runs on "
+                f"transport='pipe' only"
+            )
         self.partitioner = partitioner
         self.plane = plane
         self.stats = CommStats()
+        self._transport = transport
         ctx = mp.get_context(mp_context) if mp_context else mp.get_context()
         self._connections = []
         self._processes = []
         self._worker_ids = [shard.worker_id for shard in shards]
-        for shard in shards:
-            parent_conn, child_conn = ctx.Pipe()
-            process = ctx.Process(
-                target=_worker_main,
-                args=(child_conn, shard, factory, plane),
-                daemon=True,
-            )
-            process.start()
-            child_conn.close()
-            self._connections.append(parent_conn)
-            self._processes.append(process)
         self._closed = False
+        try:
+            self._transport.bind(self._worker_ids, ctx)
+            for shard in shards:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(
+                        child_conn,
+                        shard,
+                        factory,
+                        plane,
+                        self._transport.worker_endpoint(shard.worker_id),
+                    ),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._connections.append(parent_conn)
+                self._processes.append(process)
+            for wid, process in zip(self._worker_ids, self._processes):
+                self._transport.attach(wid, process)
+        except BaseException:
+            # A worker dying during the handshake (or any bind failure)
+            # must not leak processes, sockets, or shm segments.
+            self.shutdown()
+            raise
+
+    # ------------------------------------------------------------------
+    # Crash-aware control plane
+    # ------------------------------------------------------------------
+    def _send(self, index: int, command) -> None:
+        try:
+            self._connections[index].send(command)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            raise WorkerCrashedError(
+                self._worker_ids[index],
+                self._processes[index].exitcode,
+                "(control pipe closed)",
+            )
+
+    def _recv(self, index: int):
+        """Receive from one worker's pipe without ever blocking forever."""
+        conn = self._connections[index]
+        process = self._processes[index]
+        while not conn.poll(_POLL_S):
+            if not process.is_alive():
+                # One final poll: the worker may have replied just before
+                # dying and the message still sits in the pipe buffer.
+                if conn.poll(_POLL_S):
+                    break
+                raise WorkerCrashedError(
+                    self._worker_ids[index], process.exitcode
+                )
+        try:
+            return conn.recv()
+        except (EOFError, ConnectionResetError):
+            raise WorkerCrashedError(
+                self._worker_ids[index], process.exitcode, "(pipe truncated)"
+            )
+
+    def _recv_outboxes(self) -> Dict[int, object]:
+        return {
+            wid: self._transport.recv_outbox(wid, lambda i=i: self._recv(i))
+            for i, wid in enumerate(self._worker_ids)
+        }
 
     # ------------------------------------------------------------------
     # Superstep loop
@@ -181,12 +278,9 @@ class MultiprocessBSPEngine:
         if self._closed:
             raise RuntimeError("engine already shut down")
         route = self._route_arrays if self.plane == "array" else self._route_tuples
-        for conn in self._connections:
-            conn.send(("start",))
-        outboxes = {
-            wid: conn.recv()
-            for wid, conn in zip(self._worker_ids, self._connections)
-        }
+        for i in range(len(self._connections)):
+            self._send(i, ("start",))
+        outboxes = self._recv_outboxes()
         superstep = 0
         while any(outboxes.values()):
             superstep += 1
@@ -195,39 +289,55 @@ class MultiprocessBSPEngine:
                     f"program did not quiesce within {max_supersteps} supersteps"
                 )
             inboxes = route(outboxes, superstep)
-            for wid, conn in zip(self._worker_ids, self._connections):
-                conn.send(("step", superstep, inboxes[wid]))
-            outboxes = {
-                wid: conn.recv()
-                for wid, conn in zip(self._worker_ids, self._connections)
-            }
+            for i, wid in enumerate(self._worker_ids):
+                self._transport.send_inbox(
+                    wid,
+                    inboxes[wid],
+                    lambda header, i=i, s=superstep: self._send(
+                        i, ("step", s, header)
+                    ),
+                )
+            outboxes = self._recv_outboxes()
         return self.stats
 
     def collect(self) -> List[dict]:
         """Gather each worker program's final results."""
         if self._closed:
             raise RuntimeError("engine already shut down")
-        for conn in self._connections:
-            conn.send(("collect",))
-        return [conn.recv() for conn in self._connections]
+        for i in range(len(self._connections)):
+            self._send(i, ("collect",))
+        return [self._recv(i) for i in range(len(self._connections))]
 
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
     def shutdown(self) -> None:
+        """Stop workers and release every resource; safe to call repeatedly
+        (and after a worker crash, and from ``__exit__`` mid-exception)."""
         if self._closed:
             return
-        for conn in self._connections:
-            try:
-                conn.send(("stop",))
-                conn.close()
-            except (BrokenPipeError, OSError):  # worker already gone
-                pass
-        for process in self._processes:
-            process.join(timeout=10)
-            if process.is_alive():  # pragma: no cover - stuck worker
-                process.terminate()
         self._closed = True
+        try:
+            for conn in self._connections:
+                try:
+                    conn.send(("stop",))
+                except (BrokenPipeError, ConnectionResetError, OSError):
+                    pass  # worker already gone
+            for process in self._processes:
+                process.join(timeout=10)
+        finally:
+            for process in self._processes:
+                if process.is_alive():  # pragma: no cover - stuck worker
+                    process.terminate()
+                    process.join(timeout=5)
+            for conn in self._connections:
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            # Always last: reaps shm segments / sockets even when workers
+            # were terminated and their own close() never ran.
+            self._transport.close()
 
     def __enter__(self) -> "MultiprocessBSPEngine":
         return self

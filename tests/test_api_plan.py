@@ -553,3 +553,85 @@ class TestPlanCLI:
         out = io.StringIO()
         assert main(["plan", path], out=out) == 0
         assert "local fit" in out.getvalue()
+
+
+class TestTransportResolution:
+    """The transport axis: auto rules, plane gating, provenance."""
+
+    CAPS = GraphCaps(num_vertices=60, num_edges=200, contiguous_ids=True)
+
+    def test_auto_prefers_shm_on_multiprocess_array(self):
+        plan = resolve_plan(
+            self.CAPS, ExecutionConfig(num_workers=4, multiprocess=True)
+        )
+        assert plan.engine == "array"
+        assert plan.transport == "shm"
+        assert any(
+            d.field == "transport" and d.value == "shm" for d in plan.decisions
+        )
+
+    def test_auto_falls_back_to_pipe_on_tuple_plane(self):
+        plan = resolve_plan(
+            self.CAPS,
+            ExecutionConfig(
+                num_workers=4,
+                multiprocess=True,
+                engine="reference",
+                shard_backend="dict",
+            ),
+        )
+        assert plan.transport == "pipe"
+
+    def test_no_transport_without_multiprocess(self):
+        assert resolve_plan(
+            self.CAPS, ExecutionConfig(num_workers=4)
+        ).transport is None
+        assert resolve_plan(self.CAPS, ExecutionConfig()).transport is None
+
+    def test_explicit_transport_recorded_in_summary(self):
+        plan = resolve_plan(
+            self.CAPS,
+            ExecutionConfig(num_workers=4, multiprocess=True, transport="tcp"),
+        )
+        assert plan.transport == "tcp"
+        assert "transport=tcp" in plan.summary()
+
+    def test_column_transport_requires_array_plane(self):
+        with pytest.raises(ValueError, match="engine='array'"):
+            resolve_plan(
+                self.CAPS,
+                ExecutionConfig(
+                    num_workers=4,
+                    multiprocess=True,
+                    engine="reference",
+                    shard_backend="dict",
+                    transport="shm",
+                ),
+            )
+
+    def test_explicit_transport_requires_multiprocess(self):
+        with pytest.raises(ValueError, match="multiprocess=True"):
+            resolve_plan(
+                self.CAPS, ExecutionConfig(num_workers=4, transport="shm")
+            )
+
+    def test_unknown_transport_rejected_by_config(self):
+        with pytest.raises(ValueError, match="transport"):
+            ExecutionConfig(transport="carrier-pigeon")
+
+    def test_multiprocess_run_routes_through_resolved_transport(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_slpa
+
+        memories_shm, stats_shm = run_distributed_slpa(
+            cliques_ring,
+            seed=3,
+            iterations=8,
+            config=ExecutionConfig(
+                num_workers=2, multiprocess=True, transport="shm"
+            ),
+        )
+        memories_ref, stats_ref = run_distributed_slpa(
+            cliques_ring, seed=3, iterations=8, num_workers=2, engine="array"
+        )
+        assert memories_shm == memories_ref
+        assert stats_shm.per_superstep == stats_ref.per_superstep
