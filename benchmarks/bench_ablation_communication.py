@@ -41,6 +41,7 @@ from repro.distributed.cluster import (
     run_distributed_update,
 )
 from repro.distributed.engine_array import ArrayBSPEngine, ArrayWorkerProgram
+from repro.distributed.faults import FaultPlan
 from repro.distributed.message_array import register_schema
 from repro.distributed.multiprocess import MultiprocessBSPEngine
 from repro.distributed.programs_array import FastSLPAPropagationProgram
@@ -670,3 +671,238 @@ def test_correction_volume_scales_with_eta(benchmark, report):
     print_table(report, ["batch", "messages", "supersteps"], rows)
     report(f"(full re-propagation would move ~{full_run_messages} messages)")
     assert rows[0][1] < full_run_messages
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: checkpoint overhead + kill/recovery matrix (PR 7)
+# ----------------------------------------------------------------------
+FAULT_LFR_N = scaled(400, 2_000, 10_000)
+FAULT_ITERATIONS = scaled(6, 8, 10)
+FAULT_WORKERS = 4
+FAULT_INTERVALS = [1, 2, 4, 8]
+FAULT_REPS = scaled(2, 3, 3)
+
+
+def _fault_slpa_run(graph, part, transport, iterations, *, fault_tolerance,
+                    checkpoint_interval=4, fault_plan=None):
+    """One supervised SLPA fit: (memories, steps, wall_s, recovery)."""
+    shards = build_shards(graph, part)
+    factory = partial(
+        FastSLPAPropagationProgram, seed=7, iterations=iterations
+    )
+    with MultiprocessBSPEngine(
+        shards, part, factory, plane="array", transport=transport,
+        fault_tolerance=fault_tolerance,
+        checkpoint_interval=checkpoint_interval,
+        max_restarts=part.num_partitions * (iterations + 1),
+        fault_plan=fault_plan,
+    ) as engine:
+        t0 = time.perf_counter()
+        stats = engine.run()
+        wall_s = time.perf_counter() - t0
+        results = engine.collect()
+    memories = {}
+    for result in results:
+        memories.update(result)
+    return memories, stats.per_superstep, wall_s, engine.recovery
+
+
+def _checkpoint_overhead_sweep(graph, part, iterations, reps,
+                               transport="shm"):
+    """Failure-free wall-clock per checkpoint_interval vs supervision off.
+
+    The paper-facing question for the fault-tolerance knob: what does a
+    consistent cut every K barriers cost when nothing ever fails?
+    """
+    rows = []
+    for interval in [None] + FAULT_INTERVALS:
+        times, cuts = [], 0
+        for _ in range(reps):
+            _, _, wall_s, recovery = _fault_slpa_run(
+                graph, part, transport, iterations,
+                fault_tolerance=interval is not None,
+                checkpoint_interval=interval or 4,
+            )
+            times.append(wall_s)
+            cuts = recovery.checkpoints_taken
+        rows.append(
+            {
+                "checkpoint_interval": interval,  # None = supervision off
+                "wall_s": [round(t, 4) for t in times],
+                "best_s": round(min(times), 4),
+                "checkpoints_taken": cuts,
+            }
+        )
+    baseline = rows[0]["best_s"]
+    for row in rows:
+        row["overhead_pct"] = round(100.0 * (row["best_s"] / baseline - 1), 1)
+    return rows
+
+
+def _kill_matrix(graph, iterations, workers):
+    """SIGKILL every (worker, superstep) pair on every transport.
+
+    The acceptance gate of the fault-tolerance tentpole: each killed fit
+    must complete with covers AND per-superstep CommStats bit-identical
+    to the failure-free run.  Returns per-transport summary rows.
+    """
+    n = graph.num_vertices
+    part = ContiguousPartitioner(workers, n)
+    ref_memories, ref_steps = _slpa_reference(graph, part, iterations)
+    ref_cover = _cover(ref_memories)
+    rows = []
+    for transport in TRANSPORTS:
+        kills = replayed = 0
+        t0 = time.perf_counter()
+        for worker in range(workers):
+            for superstep in range(iterations + 1):
+                memories, steps, _, recovery = _fault_slpa_run(
+                    graph, part, transport, iterations,
+                    fault_tolerance=True, checkpoint_interval=2,
+                    fault_plan=FaultPlan(kill=(worker, superstep)),
+                )
+                assert memories == ref_memories, (transport, worker, superstep)
+                assert _cover(memories) == ref_cover, (
+                    transport, worker, superstep,
+                )
+                assert steps == ref_steps, (transport, worker, superstep)
+                assert recovery.recoveries == 1, (transport, worker, superstep)
+                kills += 1
+                replayed += recovery.supersteps_replayed
+        rows.append(
+            {
+                "transport": transport,
+                "kill_sites": kills,
+                "all_bit_identical": True,
+                "supersteps_replayed_total": replayed,
+                "wall_s": round(time.perf_counter() - t0, 2),
+            }
+        )
+    return rows
+
+
+def test_fault_tolerance_records_overhead(benchmark, report):
+    graph = _sweep_lfr(FAULT_LFR_N)
+    part = ContiguousPartitioner(FAULT_WORKERS, graph.num_vertices)
+    results = {}
+
+    def run():
+        results["overhead"] = _checkpoint_overhead_sweep(
+            graph, part, FAULT_ITERATIONS, FAULT_REPS
+        )
+        results["kill_matrix"] = _kill_matrix(
+            graph, FAULT_ITERATIONS, FAULT_WORKERS
+        )
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    overhead, kill_rows = results["overhead"], results["kill_matrix"]
+    report(
+        banner(
+            "Fault tolerance: checkpoint overhead + kill/recovery matrix",
+            "consistent cuts every K barriers; SIGKILL at every site",
+            "replay is bit-identical; overhead shrinks as K grows",
+        )
+    )
+    report(
+        f"LFR |V|={graph.num_vertices} |E|={graph.num_edges}, "
+        f"workers={FAULT_WORKERS}, SLPA T={FAULT_ITERATIONS}, shm transport"
+    )
+    print_table(
+        report,
+        ["checkpoint_interval", "best (s)", "cuts", "overhead %"],
+        [
+            (
+                "off" if row["checkpoint_interval"] is None
+                else row["checkpoint_interval"],
+                row["best_s"], row["checkpoints_taken"], row["overhead_pct"],
+            )
+            for row in overhead
+        ],
+    )
+    print_table(
+        report,
+        ["transport", "kill sites", "bit-identical", "replayed steps",
+         "wall (s)"],
+        [
+            (
+                row["transport"], row["kill_sites"],
+                row["all_bit_identical"],
+                row["supersteps_replayed_total"], row["wall_s"],
+            )
+            for row in kill_rows
+        ],
+    )
+    _merge_record(
+        "fault_tolerance",
+        {
+            "benchmark": "distributed_fault_tolerance",
+            "scale": SCALE,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "graph": {
+                "n": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "family": "lfr",
+            },
+            "workers": FAULT_WORKERS,
+            "iterations": FAULT_ITERATIONS,
+            "checkpoint_overhead": {
+                "transport": "shm",
+                "reps": FAULT_REPS,
+                "intervals": FAULT_INTERVALS,
+                "results": overhead,
+            },
+            "kill_matrix": {
+                "transports": list(TRANSPORTS),
+                "checkpoint_interval": 2,
+                "results": kill_rows,
+            },
+        },
+    )
+    report(f"results recorded in {RESULT_PATH}")
+
+    # Acceptance: every kill site on every transport recovered exactly.
+    assert all(row["all_bit_identical"] for row in kill_rows)
+    assert all(
+        row["kill_sites"] == FAULT_WORKERS * (FAULT_ITERATIONS + 1)
+        for row in kill_rows
+    )
+
+
+def test_fault_recovery_smoke(benchmark, report):
+    """Scaled-down recovery matrix for CI (`-k "fault and smoke"`): one
+    mid-run SIGKILL per transport at 2 workers, bit-identity asserted,
+    no timing gate, no JSON write."""
+    graph = _sweep_lfr(250)
+    part = ContiguousPartitioner(2, graph.num_vertices)
+    ref_memories, ref_steps = _slpa_reference(graph, part, 6)
+    results = {}
+
+    def run():
+        rows = []
+        for transport in TRANSPORTS:
+            memories, steps, wall_s, recovery = _fault_slpa_run(
+                graph, part, transport, 6,
+                fault_tolerance=True, checkpoint_interval=2,
+                fault_plan=FaultPlan(kill=(1, 3)),
+            )
+            assert memories == ref_memories, transport
+            assert steps == ref_steps, transport
+            assert recovery.recoveries == 1, transport
+            rows.append((transport, round(wall_s, 3),
+                         recovery.supersteps_replayed))
+        results["rows"] = rows
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        banner(
+            "Fault recovery smoke: SIGKILL mid-fit on every transport",
+            "checkpoint/replay restores a consistent cut and respawns",
+            "covers and per-superstep CommStats identical to failure-free",
+        )
+    )
+    print_table(
+        report, ["transport", "wall (s)", "replayed steps"], results["rows"]
+    )
+    assert len(results["rows"]) == len(TRANSPORTS)

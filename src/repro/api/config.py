@@ -122,6 +122,17 @@ class ExecutionConfig:
         ``"auto"`` (shm whenever the array plane runs multiprocess).
         Only meaningful with ``multiprocess=True``; ``shm``/``tcp``
         require the array message plane.
+    fault_tolerance:
+        Supervise the multiprocess engine: checkpoint a consistent cut
+        every ``checkpoint_interval`` supersteps and transparently
+        respawn/replay on worker death (bit-identical results).  Requires
+        ``multiprocess=True``.
+    checkpoint_interval:
+        Supersteps between consistent cuts (``None`` = resolver default).
+        Requires ``fault_tolerance=True``.
+    max_restarts:
+        Worker respawns allowed before a crash is surfaced
+        (``None`` = resolver default).  Requires ``fault_tolerance=True``.
     """
 
     backend: str = "auto"
@@ -132,6 +143,9 @@ class ExecutionConfig:
     partitioner: Optional[Union[str, object]] = None
     multiprocess: bool = False
     transport: str = "auto"
+    fault_tolerance: bool = False
+    checkpoint_interval: Optional[int] = None
+    max_restarts: Optional[int] = None
 
     def __post_init__(self):
         from repro.api.registry import ENGINES as engine_registry
@@ -150,6 +164,16 @@ class ExecutionConfig:
                 f"num_workers must be >= 0, got {self.num_workers}"
             )
         check_type(self.multiprocess, bool, "multiprocess")
+        check_type(self.fault_tolerance, bool, "fault_tolerance")
+        if self.checkpoint_interval is not None:
+            check_type(self.checkpoint_interval, int, "checkpoint_interval")
+            check_positive(self.checkpoint_interval, "checkpoint_interval")
+        if self.max_restarts is not None:
+            check_type(self.max_restarts, int, "max_restarts")
+            if self.max_restarts < 0:
+                raise ValueError(
+                    f"max_restarts must be >= 0, got {self.max_restarts}"
+                )
 
 
 @dataclass(frozen=True)

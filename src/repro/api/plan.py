@@ -26,6 +26,11 @@ asserted equivalent by ``tests/test_api_plan.py``:
   runs, ``None`` otherwise; column transports (``shm``/``tcp``) on the
   tuple plane are an error, as is any explicit transport without
   ``multiprocess=True``.
+* ``fault_tolerance=True`` → requires ``multiprocess=True`` (only the
+  supervised process engine can respawn a dead worker);
+  ``checkpoint_interval=None`` → 4 supersteps between cuts,
+  ``max_restarts=None`` → 3 respawns.  Either knob without
+  ``fault_tolerance=True`` is an error.
 """
 
 from __future__ import annotations
@@ -39,6 +44,10 @@ from repro.api.registry import PARTITIONERS, TRANSPORTS
 __all__ = ["GraphCaps", "PlanDecision", "RunPlan", "resolve_plan", "plan_for"]
 
 _RELABEL_HINT = "repro.graph.relabel_to_integers"
+
+#: Resolver defaults for the fault-tolerance knobs (``None`` in the config).
+DEFAULT_CHECKPOINT_INTERVAL = 4
+DEFAULT_MAX_RESTARTS = 3
 
 
 @dataclass(frozen=True)
@@ -116,6 +125,9 @@ class RunPlan:
     caps: GraphCaps
     requested: ExecutionConfig
     transport: Optional[str] = None  # "pipe" | "shm" | "tcp" | None (not mp)
+    fault_tolerance: bool = False
+    checkpoint_interval: Optional[int] = None  # concrete iff fault-tolerant
+    max_restarts: Optional[int] = None  # concrete iff fault-tolerant
     decisions: Tuple[PlanDecision, ...] = ()
 
     @property
@@ -129,11 +141,17 @@ class RunPlan:
             return f"local fit, backend={self.backend}"
         workers = f"{self.num_workers} {'process' if self.multiprocess else 'simulated'} workers"
         transport = f", transport={self.transport}" if self.multiprocess else ""
+        fault = (
+            f", fault_tolerance=on (checkpoint_interval="
+            f"{self.checkpoint_interval}, max_restarts={self.max_restarts})"
+            if self.fault_tolerance
+            else ""
+        )
         return (
             f"distributed fit on {workers}, backend={self.backend}, "
             f"engine={self.engine}, shard_backend={self.shard_backend}, "
             f"state_format={self.state_format}, partitioner={self.partitioner}"
-            f"{transport}"
+            f"{transport}{fault}"
         )
 
     def explain(self) -> str:
@@ -312,6 +330,57 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
             f"the in-process engines exchange messages by reference"
         )
 
+    # Fault tolerance ------------------------------------------------------
+    fault_tolerance = config.fault_tolerance
+    checkpoint_interval = max_restarts = None
+    if fault_tolerance:
+        if not multiprocess:
+            raise ValueError(
+                "fault_tolerance=True requires multiprocess=True with "
+                "num_workers > 0: only the supervised process engine can "
+                "respawn a dead worker (the in-process engines share the "
+                "driver's fate)"
+            )
+        _decide(
+            decisions,
+            "fault_tolerance",
+            True,
+            True,
+            "checkpoint/replay recovery supervises the worker processes",
+        )
+        if config.checkpoint_interval is None:
+            checkpoint_interval = DEFAULT_CHECKPOINT_INTERVAL
+            reason = "default cut cadence (replay cost vs snapshot traffic)"
+        else:
+            checkpoint_interval = config.checkpoint_interval
+            reason = "explicitly requested"
+        _decide(
+            decisions,
+            "checkpoint_interval",
+            config.checkpoint_interval,
+            checkpoint_interval,
+            reason,
+        )
+        if config.max_restarts is None:
+            max_restarts = DEFAULT_MAX_RESTARTS
+            reason = "default respawn budget"
+        else:
+            max_restarts = config.max_restarts
+            reason = "explicitly requested"
+        _decide(
+            decisions, "max_restarts", config.max_restarts, max_restarts, reason
+        )
+    elif config.checkpoint_interval is not None or config.max_restarts is not None:
+        knob = (
+            "checkpoint_interval"
+            if config.checkpoint_interval is not None
+            else "max_restarts"
+        )
+        raise ValueError(
+            f"{knob} tunes the fault-tolerant supervisor and requires "
+            f"fault_tolerance=True"
+        )
+
     return RunPlan(
         mode=mode,
         backend=backend,
@@ -324,6 +393,9 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
         caps=caps,
         requested=config,
         transport=transport,
+        fault_tolerance=fault_tolerance,
+        checkpoint_interval=checkpoint_interval,
+        max_restarts=max_restarts,
         decisions=tuple(decisions),
     )
 

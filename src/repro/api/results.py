@@ -38,6 +38,13 @@ class DetectionResult:
     def num_communities(self) -> int:
         return len(self.cover)
 
+    @property
+    def recovery(self) -> Optional[Any]:
+        """Fault-tolerance counters
+        (:class:`~repro.distributed.metrics.RecoveryStats`) when the fit
+        ran on the supervised multiprocess engine, else ``None``."""
+        return getattr(self.comm_stats, "recovery", None)
+
 
 @dataclass(frozen=True)
 class UpdateResult:
@@ -58,3 +65,10 @@ class DistributedResult:
     comm_stats: Any  #: per-superstep :class:`~repro.distributed.metrics.CommStats`
     plan: RunPlan
     timings: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def recovery(self) -> Optional[Any]:
+        """Fault-tolerance counters
+        (:class:`~repro.distributed.metrics.RecoveryStats`) when the run
+        was supervised (``plan.fault_tolerance``), else ``None``."""
+        return getattr(self.comm_stats, "recovery", None)

@@ -167,6 +167,29 @@ def add_execution_args(
         "repro.api.registry.TRANSPORTS, or 'auto' (shm on the array "
         "plane); requires --multiprocess",
     )
+    parser.add_argument(
+        "--fault-tolerance",
+        action="store_true",
+        help="supervise the multiprocess engine: checkpoint a consistent "
+        "cut every K supersteps and transparently respawn/replay on "
+        "worker death (bit-identical results); requires --multiprocess",
+    )
+    parser.add_argument(
+        "--checkpoint-interval",
+        type=int,
+        default=None,
+        metavar="K",
+        help="supersteps between consistent cuts (default: plan-resolved); "
+        "requires --fault-tolerance",
+    )
+    parser.add_argument(
+        "--max-restarts",
+        type=int,
+        default=None,
+        metavar="N",
+        help="worker respawns allowed before a crash is surfaced "
+        "(default: plan-resolved); requires --fault-tolerance",
+    )
 
 
 def algo_config_from_args(args) -> AlgoConfig:
@@ -187,6 +210,9 @@ def execution_config_from_args(args) -> ExecutionConfig:
         partitioner=getattr(args, "partitioner", None),
         multiprocess=getattr(args, "multiprocess", False),
         transport=getattr(args, "transport", "auto"),
+        fault_tolerance=getattr(args, "fault_tolerance", False),
+        checkpoint_interval=getattr(args, "checkpoint_interval", None),
+        max_restarts=getattr(args, "max_restarts", None),
     )
 
 

@@ -70,6 +70,18 @@ partitioners/transports are looked up in :mod:`repro.api.registry` —
 through the multiprocess engine with identical results and stats.  A
 worker process that dies mid-run raises :class:`WorkerCrashedError`
 naming the dead worker instead of hanging the driver.
+
+**Fault tolerance** (``fault_tolerance=True`` on
+:class:`MultiprocessBSPEngine` or :class:`~repro.api.config.
+ExecutionConfig`) upgrades that crash detection to supervised recovery:
+the driver checkpoints a consistent cut (CRC-validated program snapshots
+plus materialised outboxes) every ``checkpoint_interval`` supersteps,
+respawns dead workers, restores the cut on every worker, and replays —
+covers and per-superstep :class:`CommStats` stay bit-identical to a
+failure-free run because all randomness is counter-keyed inside the
+snapshot.  :class:`RecoveryStats` counts the cost; failures are scripted
+deterministically with a :class:`FaultPlan`
+(:mod:`repro.distributed.faults`) for testing.
 """
 
 from repro.distributed.cluster import (
@@ -97,7 +109,8 @@ from repro.distributed.message_array import (
     register_schema,
     route_columns,
 )
-from repro.distributed.metrics import CommStats, SuperstepStats
+from repro.distributed.faults import FaultPlan
+from repro.distributed.metrics import CommStats, RecoveryStats, SuperstepStats
 from repro.distributed.multiprocess import MultiprocessBSPEngine
 from repro.distributed.transport import (
     PipeTransport,
@@ -146,6 +159,8 @@ __all__ = [
     "route_columns",
     "CommStats",
     "SuperstepStats",
+    "RecoveryStats",
+    "FaultPlan",
     "RSLPAPropagationProgram",
     "SLPAPropagationProgram",
     "CorrectionPropagationProgram",

@@ -201,8 +201,22 @@ def _run_multiprocess(plan: RunPlan, shards, part, program_cls, seed, iterations
 
     factory = partial(program_cls, seed=seed, iterations=iterations)
     plane = "array" if plan.engine == "array" else "tuple"
+    fault_kwargs = {}
+    if plan.fault_tolerance:
+        # resolve_plan already made both knobs concrete for fault-tolerant
+        # plans; the engine defaults only back-stop direct construction.
+        fault_kwargs = dict(
+            fault_tolerance=True,
+            checkpoint_interval=plan.checkpoint_interval,
+            max_restarts=plan.max_restarts,
+        )
     with MultiprocessBSPEngine(
-        shards, part, factory, plane=plane, transport=plan.transport or "pipe"
+        shards,
+        part,
+        factory,
+        plane=plane,
+        transport=plan.transport or "pipe",
+        **fault_kwargs,
     ) as engine:
         engine.run()
         results = engine.collect()

@@ -72,6 +72,22 @@ class WorkerProgram:
         """Return this worker's final local results (merged by the caller)."""
         return {}
 
+    def snapshot(self) -> dict:
+        """Portable copy of this program's mutable state (checkpointing).
+
+        The default captures everything in ``__dict__`` except the shard:
+        shards are immutable inputs the supervisor re-ships to a
+        replacement process, not state.  The snapshot is pickled across a
+        process boundary, which is what gives it copy semantics — programs
+        whose state is builtins/ndarrays (all built-ins) need not override.
+        """
+        return {k: v for k, v in self.__dict__.items() if k != "shard"}
+
+    def restore(self, snapshot: dict) -> None:
+        """Reinstate a :meth:`snapshot`; replay from it is bit-identical
+        because every random draw is keyed by counters in that state."""
+        self.__dict__.update(snapshot)
+
 
 class BSPEngine:
     """Runs a program over shards with synchronous message routing."""

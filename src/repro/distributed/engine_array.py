@@ -77,6 +77,16 @@ class ArrayWorkerProgram:
         """Return this worker's final local results (merged by the caller)."""
         return {}
 
+    def snapshot(self) -> dict:
+        """Portable copy of the mutable state (everything but the shard);
+        same contract as :meth:`WorkerProgram.snapshot
+        <repro.distributed.engine.WorkerProgram.snapshot>`."""
+        return {k: v for k, v in self.__dict__.items() if k != "shard"}
+
+    def restore(self, snapshot: dict) -> None:
+        """Reinstate a :meth:`snapshot` for bit-identical replay."""
+        self.__dict__.update(snapshot)
+
 
 class TupleProgramAdapter(ArrayWorkerProgram):
     """Runs an unmodified tuple-plane program on the columnar engine.
@@ -107,6 +117,14 @@ class TupleProgramAdapter(ArrayWorkerProgram):
 
     def collect(self) -> dict:
         return self.program.collect()
+
+    def snapshot(self) -> dict:
+        # Delegate: the wrapped program's state is the state (the default
+        # would capture `self.program` wholesale, shard included).
+        return self.program.snapshot()
+
+    def restore(self, snapshot: dict) -> None:
+        self.program.restore(snapshot)
 
 
 class ArrayBSPEngine:

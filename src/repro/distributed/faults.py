@@ -1,0 +1,223 @@
+"""Deterministic fault injection for the multiprocess BSP engine.
+
+Fault-tolerance code is only trustworthy if its failure paths run in CI,
+and failure paths only run in CI if failures can be *scripted*.  A
+:class:`FaultPlan` is that script: a declarative, picklable description of
+which worker misbehaves at which superstep, handed to
+:class:`~repro.distributed.multiprocess.MultiprocessBSPEngine` (and from
+there to every worker process), so tests and benchmarks can replay the
+exact same failure on every run.
+
+Five fault kinds, all keyed by ``(worker_id, superstep)`` — superstep 0
+is the ``start`` barrier, superstep ``s >= 1`` the ``step`` verb for
+superstep ``s``:
+
+``kill``
+    The worker SIGKILLs itself on receiving the verb, before touching its
+    inbox — the hard-crash case (OOM killer, machine loss).
+``drop_send``
+    The worker computes its superstep but exits before its outbox moves,
+    simulating a transport send that never completes.  To the driver this
+    is indistinguishable from a crash (by design: a half-sent superstep
+    must never be half-applied).
+``stall``
+    The worker sleeps for the given seconds before computing — the
+    slow-worker / GC-pause case.  The driver's liveness polling must wait
+    it out, not misdiagnose it as a crash.
+``delay``
+    The worker sleeps *after* computing but before sending, widening the
+    window in which other workers' crashes are detected mid-barrier.
+``torn_snapshot``
+    The worker truncates the checkpoint blob it returns for that
+    superstep (keeping the CRC of the intact blob), simulating a torn
+    checkpoint write; the driver must reject the whole cut and keep the
+    previous one.
+
+The plan only *decides*; the worker loop performs the actions, so the
+decisions stay unit-testable in-process.  Supervised recovery respawns a
+dead worker with :meth:`without_worker` applied — a respawned worker is
+healthy, which is what makes every scripted kill terminate instead of
+re-firing on replay forever.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+__all__ = ["FaultPlan"]
+
+Site = Tuple[int, int]  # (worker_id, superstep)
+
+
+def _check_site(site, kind: str) -> Site:
+    try:
+        worker, superstep = site
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{kind} fault must be a (worker_id, superstep) pair, got {site!r}"
+        )
+    worker, superstep = int(worker), int(superstep)
+    if worker < 0 or superstep < 0:
+        raise ValueError(
+            f"{kind} fault needs worker_id >= 0 and superstep >= 0, "
+            f"got ({worker}, {superstep})"
+        )
+    return (worker, superstep)
+
+
+def _sites(single, many: Iterable, kind: str) -> FrozenSet[Site]:
+    sites = [_check_site(site, kind) for site in many]
+    if single is not None:
+        sites.append(_check_site(single, kind))
+    return frozenset(sites)
+
+
+def _timed_sites(single, many: Iterable, kind: str) -> Dict[Site, float]:
+    timed: Dict[Site, float] = {}
+    entries = list(many)
+    if single is not None:
+        entries.append(single)
+    for entry in entries:
+        try:
+            worker, superstep, seconds = entry
+        except (TypeError, ValueError):
+            raise ValueError(
+                f"{kind} fault must be a (worker_id, superstep, seconds) "
+                f"triple, got {entry!r}"
+            )
+        site = _check_site((worker, superstep), kind)
+        seconds = float(seconds)
+        if seconds < 0:
+            raise ValueError(f"{kind} seconds must be >= 0, got {seconds}")
+        timed[site] = seconds  # one duration per site: last spec wins
+    return timed
+
+
+class FaultPlan:
+    """A deterministic failure script for one multiprocess run.
+
+    Singular keywords (``kill=``, ``drop_send=``, ``stall=``, ``delay=``,
+    ``torn_snapshot=``) take one fault spec; their plural forms take any
+    iterable of specs.  Instances are immutable in spirit, picklable (they
+    cross the process boundary with the worker arguments), and comparable
+    by value.
+
+    >>> plan = FaultPlan(kill=(1, 3), stall=(0, 2, 0.1))
+    >>> plan.should_kill(1, 3), plan.should_kill(1, 2)
+    (True, False)
+    >>> plan.without_worker(1).should_kill(1, 3)
+    False
+    """
+
+    __slots__ = ("kills", "drop_sends", "stalls", "delays", "torn_snapshots")
+
+    def __init__(
+        self,
+        kill: Optional[Site] = None,
+        kills: Iterable[Site] = (),
+        drop_send: Optional[Site] = None,
+        drop_sends: Iterable[Site] = (),
+        stall=None,
+        stalls: Iterable = (),
+        delay=None,
+        delays: Iterable = (),
+        torn_snapshot: Optional[Site] = None,
+        torn_snapshots: Iterable[Site] = (),
+    ):
+        self.kills = _sites(kill, kills, "kill")
+        self.drop_sends = _sites(drop_send, drop_sends, "drop_send")
+        self.stalls = _timed_sites(stall, stalls, "stall")
+        self.delays = _timed_sites(delay, delays, "delay")
+        self.torn_snapshots = _sites(torn_snapshot, torn_snapshots, "torn_snapshot")
+
+    # ------------------------------------------------------------------
+    # Decisions (the worker loop performs the matching actions)
+    # ------------------------------------------------------------------
+    def should_kill(self, worker_id: int, superstep: int) -> bool:
+        return (worker_id, superstep) in self.kills
+
+    def should_drop_send(self, worker_id: int, superstep: int) -> bool:
+        return (worker_id, superstep) in self.drop_sends
+
+    def stall_seconds(self, worker_id: int, superstep: int) -> float:
+        return self.stalls.get((worker_id, superstep), 0.0)
+
+    def delay_seconds(self, worker_id: int, superstep: int) -> float:
+        return self.delays.get((worker_id, superstep), 0.0)
+
+    def should_tear_snapshot(self, worker_id: int, superstep: int) -> bool:
+        return (worker_id, superstep) in self.torn_snapshots
+
+    # ------------------------------------------------------------------
+    # Plan algebra
+    # ------------------------------------------------------------------
+    def without_worker(self, worker_id: int) -> "FaultPlan":
+        """The plan with every fault of ``worker_id`` removed.
+
+        Supervised recovery hands this to the replacement process, so a
+        scripted failure fires exactly once: a respawned worker is healthy.
+        """
+        keep = lambda site: site[0] != worker_id  # noqa: E731
+        return FaultPlan(
+            kills=filter(keep, self.kills),
+            drop_sends=filter(keep, self.drop_sends),
+            stalls=(
+                site + (seconds,)
+                for site, seconds in self.stalls.items()
+                if keep(site)
+            ),
+            delays=(
+                site + (seconds,)
+                for site, seconds in self.delays.items()
+                if keep(site)
+            ),
+            torn_snapshots=filter(keep, self.torn_snapshots),
+        )
+
+    def __bool__(self) -> bool:
+        return bool(
+            self.kills
+            or self.drop_sends
+            or self.stalls
+            or self.delays
+            or self.torn_snapshots
+        )
+
+    def _key(self):
+        return (
+            self.kills,
+            self.drop_sends,
+            tuple(sorted(self.stalls.items())),
+            tuple(sorted(self.delays.items())),
+            self.torn_snapshots,
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FaultPlan):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    # __slots__ classes need explicit pickle support (no __dict__).
+    def __getstate__(self):
+        return {slot: getattr(self, slot) for slot in self.__slots__}
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            object.__setattr__(self, slot, value)
+
+    def __repr__(self) -> str:
+        parts = []
+        for label, sites in (
+            ("kills", self.kills),
+            ("drop_sends", self.drop_sends),
+            ("torn_snapshots", self.torn_snapshots),
+        ):
+            if sites:
+                parts.append(f"{label}={sorted(sites)}")
+        for label, timed in (("stalls", self.stalls), ("delays", self.delays)):
+            if timed:
+                parts.append(f"{label}={sorted(timed.items())}")
+        return f"FaultPlan({', '.join(parts)})"

@@ -5,14 +5,21 @@ fetch protocol moves ``O(|V|)`` labels per iteration where SLPA moves
 ``O(|E|)`` (Section III-A), and Correction Propagation moves ``O(η)``
 (Section IV-D).  :class:`CommStats` measures exactly those quantities —
 messages and bytes per superstep, split into worker-local and remote.
+
+:class:`RecoveryStats` is the fault-tolerance sibling: checkpoint and
+recovery counters the supervised multiprocess engine maintains, attached
+to its :class:`CommStats` (``stats.recovery``) so they travel through the
+cluster wrappers and the service unchanged.  After a recovery the engine
+rewinds :class:`CommStats` with :meth:`CommStats.truncate`, which is what
+keeps per-superstep counters bit-identical to a failure-free run.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List
+from typing import Dict, List, Optional
 
-__all__ = ["SuperstepStats", "CommStats"]
+__all__ = ["SuperstepStats", "CommStats", "RecoveryStats"]
 
 
 @dataclass
@@ -31,13 +38,53 @@ class SuperstepStats:
 
 
 @dataclass
+class RecoveryStats:
+    """Fault-tolerance counters for one supervised multiprocess engine.
+
+    All zero on a failure-free run with checkpointing off; a recovered run
+    reports how much work the failure cost (``supersteps_replayed``)
+    without perturbing any :class:`CommStats` counter.
+    """
+
+    checkpoints_taken: int = 0
+    checkpoints_torn: int = 0
+    recoveries: int = 0
+    workers_respawned: int = 0
+    supersteps_replayed: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON-serialisable view (service stats / benchmark records)."""
+        return {
+            "checkpoints_taken": self.checkpoints_taken,
+            "checkpoints_torn": self.checkpoints_torn,
+            "recoveries": self.recoveries,
+            "workers_respawned": self.workers_respawned,
+            "supersteps_replayed": self.supersteps_replayed,
+        }
+
+
+@dataclass
 class CommStats:
-    """Aggregated counters for one engine run."""
+    """Aggregated counters for one engine run.
+
+    ``recovery`` is attached by the supervised multiprocess engine (and is
+    ``None`` for the in-process engines, which share the driver's fate).
+    """
 
     per_superstep: List[SuperstepStats] = field(default_factory=list)
+    recovery: Optional[RecoveryStats] = None
 
     def record(self, stats: SuperstepStats) -> None:
         self.per_superstep.append(stats)
+
+    def truncate(self, supersteps: int) -> None:
+        """Forget everything recorded after the first ``supersteps`` entries.
+
+        Recovery rewinds the run to its last consistent cut and replays;
+        the replayed supersteps re-record identical counters, so the
+        rewound stats end bit-identical to a failure-free run's.
+        """
+        del self.per_superstep[supersteps:]
 
     @property
     def supersteps(self) -> int:

@@ -53,6 +53,7 @@ import os
 import pickle
 import socket
 import struct
+import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -76,6 +77,12 @@ __all__ = [
 
 #: Seconds between liveness polls while waiting on a worker.
 _POLL_S = 0.05
+
+#: Worker-side connect retries (exponential backoff from _CONNECT_DELAY_S):
+#: a respawned worker may dial in while the driver is still detaching its
+#: predecessor's socket, so the first attempt is allowed to fail.
+_CONNECT_ATTEMPTS = 6
+_CONNECT_DELAY_S = 0.05
 
 
 class WorkerCrashedError(RuntimeError):
@@ -140,6 +147,24 @@ class Transport:
         """Receive one outbox; ``recv_header()`` is the crash-aware pipe
         read the engine supplies."""
         raise NotImplementedError
+
+    def detach(self, worker_id: int) -> None:
+        """Release one worker's per-connection state after its process died.
+
+        Called by supervised recovery before respawning, so the
+        replacement's :meth:`attach` starts clean; the default has no
+        per-worker state to release.
+        """
+
+    def drain_stale(self, worker_id: int, header) -> None:
+        """Discard the payload a stale outbox ``header`` refers to.
+
+        During recovery the driver drains leftover pipe messages from the
+        interrupted barrier; a transport whose header is followed by an
+        out-of-band payload (tcp) must consume that payload here or the
+        connection desynchronises.  The default (pipe/shm: the header *is*
+        or *indexes* the payload) does nothing.
+        """
 
     def close(self) -> None:
         """Release every driver-side resource (idempotent)."""
@@ -337,6 +362,16 @@ class SharedMemoryTransport(Transport):
     def recv_outbox(self, worker_id, recv_header) -> ArrayOutbox:
         return self._outbox_caches[worker_id].unpack(recv_header())
 
+    def detach(self, worker_id) -> None:
+        # Reap the dead worker's outbox segments now (its own close never
+        # ran) and start a fresh cache for the replacement's ring.  The
+        # driver-owned inbox ring stays: the replacement re-attaches the
+        # same segments by name on its first step.
+        cache = self._outbox_caches.get(worker_id)
+        if cache is not None:
+            cache.close(unlink=True)
+        self._outbox_caches[worker_id] = _SegmentCache()
+
     def close(self) -> None:
         for ring in self._inbox_rings.values():
             ring.close()
@@ -528,6 +563,27 @@ class SocketTransport(Transport):
             f"worker {worker_id}",
         )
 
+    def detach(self, worker_id) -> None:
+        sock = self._socks.pop(worker_id, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._processes.pop(worker_id, None)
+
+    def drain_stale(self, worker_id, header) -> None:
+        # A ``None`` header is an outbox ack: a frame is in (or still
+        # entering) the socket.  Drain it so the survivor unblocks and the
+        # stream realigns; any other stale message (a collect dict, a
+        # control reply) carries no out-of-band payload.
+        if header is None and worker_id in self._socks:
+            _recv_frame(
+                self._socks[worker_id],
+                lambda: self._alive(worker_id),
+                f"worker {worker_id}",
+            )
+
     def close(self) -> None:
         for sock in self._socks.values():
             try:
@@ -549,7 +605,19 @@ class SocketWorkerEndpoint(WorkerEndpoint):
         self._sock: Optional[socket.socket] = None
 
     def open(self) -> None:
-        self._sock = socket.create_connection((self._host, self._port))
+        # Exponential backoff over a bounded retry budget: a respawned
+        # worker may dial in while the driver is still tearing down its
+        # predecessor's socket or busy inside the recovery barrier.
+        delay = _CONNECT_DELAY_S
+        for attempt in range(_CONNECT_ATTEMPTS):
+            try:
+                self._sock = socket.create_connection((self._host, self._port))
+                break
+            except OSError:
+                if attempt == _CONNECT_ATTEMPTS - 1:
+                    raise
+                time.sleep(delay)
+                delay *= 2
         self._sock.sendall(
             self._cookie + struct.pack("<q", self._worker_id)
         )

@@ -67,6 +67,13 @@ class WorkerShard:
         """Incident edge endpoints stored on this worker."""
         return sum(len(nbrs) for nbrs in self.adjacency.values())
 
+    def describe(self) -> str:
+        """One-line supervisor-facing description (respawn/recovery logs)."""
+        return (
+            f"{type(self).__name__} {self.worker_id}: "
+            f"{self.num_vertices} vertices, {self.local_edges()} edge endpoints"
+        )
+
     def __repr__(self) -> str:
         return f"{type(self).__name__}(id={self.worker_id}, |V|={self.num_vertices})"
 

@@ -102,6 +102,10 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self._wal_handle = None
+        #: Records dropped by the last :meth:`read_wal` because a torn or
+        #: corrupt line cut the log — by write-ahead ordering they were
+        #: never applied, but recovery should still surface the loss.
+        self.last_discarded_records = 0
 
     # ------------------------------------------------------------------
     # Checkpoints
@@ -200,19 +204,24 @@ class CheckpointStore:
         """All intact WAL records with epoch > ``after_epoch``, in order.
 
         Reading stops at the first torn or corrupt record — by the
-        write-ahead ordering everything after it was never applied.
+        write-ahead ordering everything after it was never applied.  The
+        number of lines discarded that way (the torn one included) is
+        kept in :attr:`last_discarded_records`.
         """
+        self.last_discarded_records = 0
         if not self.wal_path.exists():
             return []
         records: List[Tuple[int, EditBatch]] = []
         with open(self.wal_path, "r", encoding="utf-8") as handle:
-            for line in handle:
-                record = self._parse_wal_line(line)
-                if record is None:
-                    break
-                epoch, batch = record
-                if epoch > after_epoch:
-                    records.append((epoch, batch))
+            lines = handle.readlines()
+        for position, line in enumerate(lines):
+            record = self._parse_wal_line(line)
+            if record is None:
+                self.last_discarded_records = len(lines) - position
+                break
+            epoch, batch = record
+            if epoch > after_epoch:
+                records.append((epoch, batch))
         return records
 
     @staticmethod

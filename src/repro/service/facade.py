@@ -14,7 +14,18 @@ One object wires the three planes together around a fitted
 * with a checkpoint directory configured, every applied batch is logged
   write-ahead and the state checkpoints every ``checkpoint_every``
   batches, so :meth:`recover` restores a bit-identical service after a
-  crash.
+  crash (a torn WAL tail is discarded, counted, and surfaced in
+  :meth:`stats` — by write-ahead ordering those records were never
+  applied).
+
+The service degrades gracefully rather than failing hard: a lazy
+re-extraction that raises keeps serving the last published index (the
+queries stay answerable, counted as ``stale_serves``), ingest bursts
+surface :class:`~repro.service.ingest.BackpressureError` with a
+``retry_after`` hint (and :meth:`submit` accepts a bounded-wait
+``timeout=``), and when the detector ran on the supervised multiprocess
+engine its :class:`~repro.distributed.metrics.RecoveryStats` counters
+appear under ``stats()["recovery"]``.
 
 The facade works unchanged over every engine the detector offers: local
 reference, the vectorised array substrate, or a :meth:`start`
@@ -24,6 +35,7 @@ the durability contract holds across them too.
 
 from __future__ import annotations
 
+import logging
 from dataclasses import dataclass, replace
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
@@ -46,6 +58,8 @@ from repro.service.index import MembershipIndex
 from repro.service.ingest import EditQueue
 
 __all__ = ["CommunityService", "ServiceConfig", "ServicePlanConfig"]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass(frozen=True)
@@ -202,6 +216,9 @@ class CommunityService:
         self.batches_since_extract = 0
         self.extractions = 0
         self.queries_served = 0
+        self.wal_discarded_records = 0
+        self.stale_serves = 0
+        self.refresh_failures = 0
         self.last_report: Optional[UpdateReport] = None
 
     # ------------------------------------------------------------------
@@ -262,6 +279,11 @@ class CommunityService:
         after its last durably-applied batch.  The seed is taken from the
         checkpoint; other config (backend, staleness, batching) may differ
         from the original run without affecting the recovered state.
+
+        A torn WAL tail (the crash interrupted an append) is discarded —
+        by write-ahead ordering those records were never applied — but the
+        loss is logged and surfaced as ``wal_discarded_records`` in
+        :meth:`stats`.
         """
         cfg, execution = _normalise_config(config, overrides)
         store = CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
@@ -293,6 +315,8 @@ class CommunityService:
         service.extractions = 0
         service.queries_served = 0
         service.checkpoints_skipped = 0
+        service.stale_serves = 0
+        service.refresh_failures = 0
         service.last_report = None
         for epoch, batch in store.read_wal(after_epoch=ckpt.batch_epoch):
             if epoch != service.batches_applied + 1:
@@ -303,6 +327,15 @@ class CommunityService:
             service.last_report = service.detector.update(batch)
             service.batches_applied = epoch
             service.edits_applied += batch.size
+        service.wal_discarded_records = store.last_discarded_records
+        if service.wal_discarded_records:
+            logger.warning(
+                "recovery discarded %d torn WAL record(s); by write-ahead "
+                "ordering they were never applied, so the recovered state "
+                "is still exact as of batch epoch %d",
+                service.wal_discarded_records,
+                service.batches_applied,
+            )
         service.refresh()
         return service
 
@@ -313,24 +346,33 @@ class CommunityService:
     # ------------------------------------------------------------------
     # Ingest
     # ------------------------------------------------------------------
-    def submit(self, op: str, u: int, v: int) -> Optional[UpdateReport]:
+    def submit(
+        self, op: str, u: int, v: int, timeout: Optional[float] = None
+    ) -> Optional[UpdateReport]:
         """Offer one edit ('+' insert / '-' delete); flush if a window fills.
 
         Returns the flush's :class:`UpdateReport` when this edit completed
         a window, else ``None`` (the edit is pending, coalesced, or
-        cancelled).
+        cancelled).  A full queue raises
+        :class:`~repro.service.ingest.BackpressureError` carrying a
+        ``retry_after`` back-off hint; ``timeout=`` bounds a wait for
+        capacity first.
         """
         self._require_started()
-        self.queue.offer(op, u, v)
+        self.queue.offer(op, u, v, timeout=timeout)
         if self.queue.ready:
             return self.flush()
         return None
 
-    def submit_insert(self, u: int, v: int) -> Optional[UpdateReport]:
-        return self.submit("+", u, v)
+    def submit_insert(
+        self, u: int, v: int, timeout: Optional[float] = None
+    ) -> Optional[UpdateReport]:
+        return self.submit("+", u, v, timeout=timeout)
 
-    def submit_delete(self, u: int, v: int) -> Optional[UpdateReport]:
-        return self.submit("-", u, v)
+    def submit_delete(
+        self, u: int, v: int, timeout: Optional[float] = None
+    ) -> Optional[UpdateReport]:
+        return self.submit("-", u, v, timeout=timeout)
 
     def flush(self) -> Optional[UpdateReport]:
         """Drain the queue and apply the net batch now (empty → no-op)."""
@@ -443,7 +485,23 @@ class CommunityService:
             self.batches_since_extract
             and self.batches_since_extract >= self.config.staleness_batches
         ):
-            self.refresh()
+            # Graceful degradation: a failed lazy re-extraction (e.g. the
+            # fit engine is mid-recovery) keeps serving the last published
+            # index instead of failing the query — staleness over outage.
+            # Explicit refresh() calls still raise; only the lazy path
+            # degrades.
+            try:
+                self.refresh()
+            except Exception:
+                self.refresh_failures += 1
+                self.stale_serves += 1
+                logger.warning(
+                    "lazy re-extraction failed; serving the index from "
+                    "generation %d (%d batch(es) stale)",
+                    self.index.generation,
+                    self.batches_since_extract,
+                    exc_info=True,
+                )
 
     def communities_of(self, vertex: int) -> Tuple[int, ...]:
         """Stable ids of the communities containing ``vertex``."""
@@ -472,10 +530,10 @@ class CommunityService:
         self._maybe_refresh()
         return self.index.cover
 
-    def stats(self) -> Dict[str, Union[int, bool, None]]:
+    def stats(self) -> Dict[str, object]:
         """A JSON-serialisable operational snapshot."""
         graph = self.detector.graph
-        payload: Dict[str, Union[int, bool, None]] = {
+        payload: Dict[str, object] = {
             "started": self._started,
             "vertices": graph.num_vertices,
             "edges": graph.num_edges,
@@ -490,12 +548,24 @@ class CommunityService:
             "index_generation": self.index.generation,
             "queue_cancelled_pairs": self.queue.cancelled_pairs,
             "queue_duplicates": self.queue.duplicates,
+            "queue_backpressure_hits": self.queue.backpressure_hits,
+            "queue_retry_after": self.queue.retry_after,
+            "stale_serves": self.stale_serves,
+            "refresh_failures": self.refresh_failures,
         }
         if self.store is not None:
             payload["checkpoints"] = len(self.store.checkpoint_epochs())
             payload["latest_checkpoint_epoch"] = self.store.latest_epoch()
             payload["wal_records"] = self.store.wal_records()
             payload["checkpoints_skipped"] = self.checkpoints_skipped
+            payload["wal_discarded_records"] = self.wal_discarded_records
+        recovery = getattr(
+            getattr(self.detector, "comm_stats", None), "recovery", None
+        )
+        if recovery is not None:
+            # The supervised multiprocess engine ran the fit: surface its
+            # fault-tolerance counters alongside the service's own.
+            payload["recovery"] = recovery.as_dict()
         return payload
 
     def close(self) -> None:

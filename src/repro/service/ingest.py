@@ -16,7 +16,10 @@ sits between that stream and ``detector.update``:
 * **Backpressure** — with ``max_pending`` set, offers that would grow the
   queue past the bound raise :class:`BackpressureError` instead of letting
   an ingest burst outrun the repair engine unboundedly.  Cancelling and
-  duplicate offers never trip it (they do not grow the queue).
+  duplicate offers never trip it (they do not grow the queue).  The error
+  carries a ``retry_after`` hint — an EWMA of the observed drain cadence —
+  and ``offer(..., timeout=)`` turns the hard error into a bounded wait
+  for capacity.
 
 The queue is graph-agnostic: validation against the live graph happens at
 apply time (strictly, in the service), so the queue itself stays O(1) per
@@ -25,7 +28,8 @@ offer.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+import time
+from typing import Dict, Optional, Tuple, Union
 
 from repro.graph.adjacency import normalize_edge
 from repro.graph.edits import EditBatch
@@ -41,7 +45,15 @@ Edge = Tuple[int, int]
 
 
 class BackpressureError(RuntimeError):
-    """The queue is at ``max_pending`` and cannot absorb a growing offer."""
+    """The queue is at ``max_pending`` and cannot absorb a growing offer.
+
+    ``retry_after`` (seconds, possibly ``None``) hints when capacity is
+    likely to exist again — the queue's EWMA of its recent drain cadence.
+    """
+
+    def __init__(self, message: str, retry_after: Optional[float] = None):
+        super().__init__(message)
+        self.retry_after = retry_after
 
 
 class EditQueue:
@@ -75,18 +87,30 @@ class EditQueue:
         self.duplicates = 0
         self.drained_batches = 0
         self.drained_edits = 0
+        self.backpressure_hits = 0
+        self._last_drain_time: Optional[float] = None
+        self._drain_interval_s: Optional[float] = None  # EWMA of the cadence
 
     # ------------------------------------------------------------------
     # Offering
     # ------------------------------------------------------------------
-    def offer(self, op: str, u: int, v: int) -> bool:
+    def offer(
+        self, op: str, u: int, v: int, timeout: Optional[float] = None
+    ) -> bool:
         """Enqueue one edit; returns True iff the edit is now pending.
 
         False means it coalesced away — a duplicate of an identical pending
         edit, or the cancellation of the opposite pending edit.
+
+        With ``timeout`` (seconds) set, a full queue waits up to that long
+        for another thread to drain capacity before raising
+        :class:`BackpressureError`; the default raises immediately.  The
+        raised error carries :attr:`retry_after` either way.
         """
         if op not in (INSERT, DELETE):
             raise ValueError(f"op must be '+' or '-', got {op!r}")
+        if timeout is not None and timeout < 0:
+            raise ValueError(f"timeout must be >= 0, got {timeout}")
         edge = normalize_edge(u, v)
         self.offered += 1
         pending_op = self._pending.get(edge)
@@ -98,10 +122,22 @@ class EditQueue:
             self.cancelled_pairs += 1
             return False
         if self.max_pending is not None and len(self._pending) >= self.max_pending:
-            raise BackpressureError(
-                f"edit queue at max_pending={self.max_pending}; drain before "
-                "offering more"
-            )
+            if timeout:
+                deadline = time.monotonic() + timeout
+                while len(self._pending) >= self.max_pending:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        break
+                    # Bounded sleep-poll: wake at the cadence hint (or
+                    # quickly, if the cadence is unknown/faster).
+                    time.sleep(max(0.001, min(remaining, self.retry_after, 0.05)))
+            if len(self._pending) >= self.max_pending:
+                self.backpressure_hits += 1
+                raise BackpressureError(
+                    f"edit queue at max_pending={self.max_pending}; drain "
+                    f"before offering more (retry_after~{self.retry_after:.3f}s)",
+                    retry_after=self.retry_after,
+                )
         self._pending[edge] = op
         return True
 
@@ -124,6 +160,18 @@ class EditQueue:
         """Whether a full ``batch_size`` window is pending."""
         return len(self._pending) >= self.batch_size
 
+    @property
+    def retry_after(self) -> float:
+        """Seconds a producer should back off when the queue is full.
+
+        An EWMA of the observed inter-drain interval; 0.1 s before any
+        cadence has been observed (one drain establishes nothing — the
+        estimate starts at the second).
+        """
+        if self._drain_interval_s is None:
+            return 0.1
+        return self._drain_interval_s
+
     def drain(self, limit: Optional[int] = None) -> EditBatch:
         """Remove up to ``limit`` pending edits (all, by default) as a batch.
 
@@ -143,9 +191,19 @@ class EditQueue:
         if batch:
             self.drained_batches += 1
             self.drained_edits += batch.size
+            now = time.monotonic()
+            if self._last_drain_time is not None:
+                interval = now - self._last_drain_time
+                if self._drain_interval_s is None:
+                    self._drain_interval_s = interval
+                else:  # EWMA, half-life of ~one drain
+                    self._drain_interval_s = (
+                        0.5 * self._drain_interval_s + 0.5 * interval
+                    )
+            self._last_drain_time = now
         return batch
 
-    def stats(self) -> Dict[str, int]:
+    def stats(self) -> Dict[str, Union[int, float]]:
         return {
             "pending": self.pending,
             "offered": self.offered,
@@ -153,6 +211,8 @@ class EditQueue:
             "cancelled_pairs": self.cancelled_pairs,
             "drained_batches": self.drained_batches,
             "drained_edits": self.drained_edits,
+            "backpressure_hits": self.backpressure_hits,
+            "retry_after": self.retry_after,
         }
 
     def __len__(self) -> int:

@@ -635,3 +635,114 @@ class TestTransportResolution:
         )
         assert memories_shm == memories_ref
         assert stats_shm.per_superstep == stats_ref.per_superstep
+
+
+class TestFaultToleranceResolution:
+    """The fault-tolerance knobs: defaults, provenance, gating."""
+
+    CAPS = GraphCaps(num_vertices=60, num_edges=200, contiguous_ids=True)
+
+    def test_off_by_default(self):
+        plan = resolve_plan(
+            self.CAPS, ExecutionConfig(num_workers=4, multiprocess=True)
+        )
+        assert plan.fault_tolerance is False
+        assert plan.checkpoint_interval is None
+        assert plan.max_restarts is None
+        assert "fault_tolerance" not in plan.summary()
+
+    def test_defaults_resolved_with_provenance(self):
+        plan = resolve_plan(
+            self.CAPS,
+            ExecutionConfig(
+                num_workers=4, multiprocess=True, fault_tolerance=True
+            ),
+        )
+        assert plan.fault_tolerance is True
+        assert plan.checkpoint_interval == 4
+        assert plan.max_restarts == 3
+        assert (
+            "fault_tolerance=on (checkpoint_interval=4, max_restarts=3)"
+            in plan.summary()
+        )
+        fields = {d.field: d for d in plan.decisions}
+        assert fields["fault_tolerance"].value is True
+        assert fields["checkpoint_interval"].value == 4
+        assert fields["checkpoint_interval"].requested is None
+        assert fields["max_restarts"].value == 3
+
+    def test_explicit_knobs_recorded(self):
+        plan = resolve_plan(
+            self.CAPS,
+            ExecutionConfig(
+                num_workers=4,
+                multiprocess=True,
+                fault_tolerance=True,
+                checkpoint_interval=2,
+                max_restarts=7,
+            ),
+        )
+        assert plan.checkpoint_interval == 2
+        assert plan.max_restarts == 7
+        fields = {d.field: d for d in plan.decisions}
+        assert fields["checkpoint_interval"].reason == "explicitly requested"
+        assert fields["max_restarts"].reason == "explicitly requested"
+
+    def test_requires_multiprocess(self):
+        with pytest.raises(ValueError, match="multiprocess=True"):
+            resolve_plan(
+                self.CAPS,
+                ExecutionConfig(num_workers=4, fault_tolerance=True),
+            )
+        with pytest.raises(ValueError, match="multiprocess=True"):
+            resolve_plan(self.CAPS, ExecutionConfig(fault_tolerance=True))
+
+    def test_knobs_require_fault_tolerance(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            resolve_plan(
+                self.CAPS,
+                ExecutionConfig(
+                    num_workers=4, multiprocess=True, checkpoint_interval=2
+                ),
+            )
+        with pytest.raises(ValueError, match="max_restarts"):
+            resolve_plan(
+                self.CAPS,
+                ExecutionConfig(
+                    num_workers=4, multiprocess=True, max_restarts=1
+                ),
+            )
+
+    def test_config_validates_knobs(self):
+        with pytest.raises(ValueError, match="checkpoint_interval"):
+            ExecutionConfig(checkpoint_interval=0)
+        with pytest.raises(ValueError, match="max_restarts"):
+            ExecutionConfig(max_restarts=-1)
+        with pytest.raises(TypeError):
+            ExecutionConfig(fault_tolerance="yes")
+
+    def test_fault_tolerant_run_matches_plain(self, cliques_ring):
+        from repro.distributed.cluster import run_distributed_slpa
+
+        memories_ft, stats_ft = run_distributed_slpa(
+            cliques_ring,
+            seed=3,
+            iterations=8,
+            config=ExecutionConfig(
+                num_workers=2,
+                multiprocess=True,
+                fault_tolerance=True,
+                checkpoint_interval=2,
+            ),
+        )
+        memories_ref, stats_ref = run_distributed_slpa(
+            cliques_ring,
+            seed=3,
+            iterations=8,
+            config=ExecutionConfig(num_workers=2, multiprocess=True),
+        )
+        assert memories_ft == memories_ref
+        assert stats_ft.per_superstep == stats_ref.per_superstep
+        assert stats_ft.recovery is not None
+        assert stats_ft.recovery.checkpoints_taken >= 1
+        assert stats_ft.recovery.recoveries == 0

@@ -314,3 +314,28 @@ class TestUpdateNpzState:
         with open(npz_state, "rb") as handle:
             assert handle.read(2) == b"PK"
         assert type(load_state(npz_state)).__name__ == "ArrayLabelState"
+
+
+class TestFaultToleranceFlags:
+    def test_plan_resolves_fault_tolerance(self, graph_file):
+        code, output = run_cli(
+            "plan", graph_file, "--distributed", "2", "--multiprocess",
+            "--fault-tolerance", "--checkpoint-interval", "2",
+        )
+        assert code == 0
+        assert "fault_tolerance=on (checkpoint_interval=2, max_restarts=3)" in output
+        assert "checkpoint_interval" in output
+        assert "explicitly requested" in output
+
+    def test_fault_tolerance_requires_multiprocess(self, graph_file):
+        code, output = run_cli(
+            "plan", graph_file, "--distributed", "2", "--fault-tolerance"
+        )
+        assert code != 0
+
+    def test_knobs_require_fault_tolerance(self, graph_file):
+        code, _ = run_cli(
+            "plan", graph_file, "--distributed", "2", "--multiprocess",
+            "--max-restarts", "5",
+        )
+        assert code != 0

@@ -219,3 +219,76 @@ class TestStats:
 
         service = make_service(cliques_ring).start()
         json.dumps(service.stats())
+
+
+class TestDegradation:
+    """Graceful degradation: stale serving, bounded ingest waits."""
+
+    def break_extraction(self, service, monkeypatch):
+        def boom():
+            raise RuntimeError("fit engine mid-recovery")
+
+        monkeypatch.setattr(service.detector, "communities", boom)
+
+    def test_lazy_refresh_failure_serves_stale_index(
+        self, cliques_ring, monkeypatch, caplog
+    ):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=1
+        ).start()
+        fresh = service.communities_of(0)
+        service.submit_insert(0, 10)  # one batch: next query wants a refresh
+        self.break_extraction(service, monkeypatch)
+        with caplog.at_level("WARNING", logger="repro.service.facade"):
+            stale = service.communities_of(0)
+        assert stale == fresh  # last published index still answers
+        assert service.stale_serves == 1
+        assert service.refresh_failures == 1
+        assert any(
+            "lazy re-extraction failed" in record.message
+            for record in caplog.records
+        )
+        stats = service.stats()
+        assert stats["stale_serves"] == 1
+        assert stats["refresh_failures"] == 1
+
+    def test_explicit_refresh_still_raises(self, cliques_ring, monkeypatch):
+        service = make_service(cliques_ring).start()
+        self.break_extraction(service, monkeypatch)
+        with pytest.raises(RuntimeError, match="mid-recovery"):
+            service.refresh()
+
+    def test_recovered_extraction_resumes_freshness(
+        self, cliques_ring, monkeypatch
+    ):
+        service = make_service(
+            cliques_ring, batch_size=1, staleness_batches=1
+        ).start()
+        service.submit_insert(0, 10)
+        self.break_extraction(service, monkeypatch)
+        service.communities_of(0)            # degraded serve
+        monkeypatch.undo()                   # the engine "recovers"
+        service.communities_of(0)
+        assert service.stale_serves == 1     # no further degradation
+        assert service.batches_since_extract == 0
+
+    def test_submit_timeout_passes_through_to_queue(self, cliques_ring):
+        service = make_service(
+            cliques_ring, batch_size=2, max_pending=2
+        ).start()
+        # Fill the queue below the flush threshold via the raw queue so
+        # submit's own flush-on-ready cannot relieve the pressure.
+        service.queue.offer_insert(0, 10)
+        service.queue.offer_insert(0, 11)
+        import time
+
+        start = time.monotonic()
+        with pytest.raises(BackpressureError) as excinfo:
+            service.submit_insert(0, 12, timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+        assert excinfo.value.retry_after is not None
+        assert service.stats()["queue_backpressure_hits"] == 1
+
+    def test_stats_have_no_recovery_section_in_process(self, cliques_ring):
+        service = make_service(cliques_ring).start()
+        assert "recovery" not in service.stats()

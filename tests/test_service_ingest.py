@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.service.ingest import BackpressureError, EditQueue
+from repro.service.ingest import BackpressureError, EditQueue, INSERT
 
 
 class TestOfferCoalescing:
@@ -140,3 +140,68 @@ class TestBackpressure:
     def test_bad_batch_size_rejected(self):
         with pytest.raises(ValueError):
             EditQueue(batch_size=0)
+
+
+class TestRetryAfterAndTimeout:
+    def full_queue(self):
+        queue = EditQueue(batch_size=2, max_pending=2)
+        queue.offer_insert(1, 2)
+        queue.offer_insert(2, 3)
+        return queue
+
+    def test_error_carries_retry_after_hint(self):
+        queue = self.full_queue()
+        with pytest.raises(BackpressureError) as excinfo:
+            queue.offer_insert(3, 4)
+        assert excinfo.value.retry_after == queue.retry_after
+        assert "retry_after~" in str(excinfo.value)
+        assert queue.backpressure_hits == 1
+
+    def test_retry_after_defaults_before_any_cadence(self):
+        assert EditQueue(batch_size=2).retry_after == 0.1
+
+    def test_retry_after_tracks_drain_cadence(self):
+        import time
+
+        queue = EditQueue(batch_size=1)
+        queue.offer_insert(1, 2)
+        queue.drain()                    # first drain: no cadence yet
+        assert queue.retry_after == 0.1
+        time.sleep(0.01)
+        queue.offer_insert(2, 3)
+        queue.drain()                    # second drain establishes the EWMA
+        assert 0.0 < queue.retry_after < 0.1
+
+    def test_timeout_bounds_the_wait_then_raises(self):
+        import time
+
+        queue = self.full_queue()
+        start = time.monotonic()
+        with pytest.raises(BackpressureError):
+            queue.offer(INSERT, 3, 4, timeout=0.05)
+        assert time.monotonic() - start >= 0.04
+
+    def test_timeout_succeeds_when_capacity_appears(self):
+        import threading
+
+        queue = self.full_queue()
+        timer = threading.Timer(0.02, queue.drain)
+        timer.start()
+        try:
+            assert queue.offer(INSERT, 3, 4, timeout=2.0) is True
+        finally:
+            timer.cancel()
+        assert queue.backpressure_hits == 0
+
+    def test_negative_timeout_rejected(self):
+        queue = EditQueue(batch_size=2)
+        with pytest.raises(ValueError, match="timeout"):
+            queue.offer(INSERT, 1, 2, timeout=-1)
+
+    def test_stats_expose_backpressure_counters(self):
+        queue = self.full_queue()
+        with pytest.raises(BackpressureError):
+            queue.offer_insert(3, 4)
+        stats = queue.stats()
+        assert stats["backpressure_hits"] == 1
+        assert stats["retry_after"] == queue.retry_after
