@@ -10,6 +10,13 @@ sweep varies the staleness bound K to show the query-side cost of
 freshness, and the ingest sweep is repeated with the write-ahead log
 enabled to price durability.
 
+A third sweep prices the replication plane: a supervised primary plus N
+replicas ingests a stream while a scripted fault kills the primary
+mid-run.  The sweep reports failover latency (the wall time of the batch
+that absorbed the promotion, against the median batch) and query
+availability (client queries answered throughout — stale serves and
+re-routes counted, errors fatal).
+
 Records ``BENCH_service.json``.
 
 Run:  PYTHONPATH=src:. python -m pytest benchmarks/bench_service_throughput.py -q
@@ -17,12 +24,15 @@ The ``-k smoke`` selection runs a scaled-down, time-bounded sweep (CI).
 """
 
 import json
+import statistics
 import tempfile
 import time
 from pathlib import Path
 
 from benchmarks.bench_common import SCALE, banner, print_table, scaled
-from repro.service import CommunityService
+from repro.api.config import AlgoConfig, ServicePlanConfig
+from repro.distributed.faults import FaultPlan
+from repro.service import CommunityService, ServiceSupervisor
 from repro.workloads.dynamic import EditStream
 from repro.workloads.webgraph import WebGraphParams, generate_webgraph
 
@@ -38,6 +48,11 @@ BATCH_SIZES = scaled(
 EDITS_TOTAL = scaled(6_000, 30_000, 200_000)
 NUM_QUERIES = scaled(3_000, 10_000, 30_000)
 STALENESS_SWEEP = scaled([1, 4, 16], [1, 4, 16], [1, 4, 16, 64])
+# Replication sweep: replica counts per transport, on a bounded graph —
+# every extra replica is a full child process holding its own detector.
+REPLICA_SWEEP = scaled([1, 2], [1, 2, 3], [1, 2, 3, 4])
+REPLICATION_GRAPH_N = scaled(1_200, 2_500, 5_000)
+REPLICATION_BATCHES = scaled(10, 14, 20)
 
 
 def _build_service(graph, batch_size, staleness, checkpoint_dir=None):
@@ -132,6 +147,108 @@ def _staleness_sweep(graph, staleness_values, num_batches=20, queries_per_batch=
     return rows
 
 
+def _replication_sweep(graph, replica_counts, transports=("pipe",),
+                       num_batches=12, batch_size=100,
+                       queries_per_batch=20, kill=True):
+    """Failover latency and query availability under a mid-stream kill.
+
+    Each cell runs a supervised primary + N replicas over the same edit
+    stream; with ``kill`` a scripted fault SIGKILLs the primary at the
+    middle WAL sequence ("applied" phase, so the promotion also replays
+    one record).  The batch that absorbs the failover is timed against
+    the median batch; the client keeps querying throughout — a query
+    *error* (as opposed to a counted stale serve or re-route) fails the
+    benchmark on the spot.
+    """
+    rows = []
+    kill_seq = max(1, num_batches // 2)
+    for transport in transports:
+        for replicas in replica_counts:
+            config = ServicePlanConfig(
+                algo=AlgoConfig(seed=3, iterations=ITERATIONS),
+                batch_size=batch_size,
+                staleness_batches=4,
+                checkpoint_every=4,
+                replicas=replicas,
+                service_transport=transport,
+            )
+            fault = (
+                FaultPlan(kill_primary=(kill_seq, "applied"))
+                if kill else None
+            )
+            stream = EditStream(graph, batch_size=batch_size, seed=17)
+            batches = stream.take(num_batches)
+            n = graph.num_vertices
+            with tempfile.TemporaryDirectory() as state_dir:
+                sup = ServiceSupervisor(
+                    graph, state_dir, config, fault_plan=fault
+                ).start()
+                try:
+                    client = sup.client()
+                    batch_times = []
+                    for batch in batches:
+                        t0 = time.perf_counter()
+                        sup.apply(batch)
+                        batch_times.append(time.perf_counter() - t0)
+                        for q in range(queries_per_batch):
+                            client.communities_of((q * 7919) % n)
+                    stats = sup.stats()
+                finally:
+                    sup.shutdown()
+            median_ms = statistics.median(batch_times) * 1e3
+            failover_ms = (
+                batch_times[kill_seq - 1] * 1e3 if kill else None
+            )
+            rows.append(
+                {
+                    "transport": transport,
+                    "replicas": replicas,
+                    "batches": num_batches,
+                    "killed_at_seq": kill_seq if kill else None,
+                    "failovers": stats["failovers"],
+                    "replayed_records": stats["replayed_records"],
+                    "median_batch_ms": median_ms,
+                    "failover_batch_ms": failover_ms,
+                    "queries": client.queries_served,
+                    "stale_serves": client.stale_serves,
+                    "reroutes": client.reroutes,
+                    "primary_fallbacks": client.primary_fallbacks,
+                }
+            )
+    return rows
+
+
+def _report_replication(report, rows):
+    report("")
+    print_table(
+        report,
+        [
+            "wire",
+            "replicas",
+            "failovers",
+            "median batch (ms)",
+            "failover batch (ms)",
+            "queries",
+            "stale",
+            "reroutes",
+        ],
+        [
+            (
+                row["transport"],
+                row["replicas"],
+                row["failovers"],
+                round(row["median_batch_ms"], 1),
+                round(row["failover_batch_ms"], 1)
+                if row["failover_batch_ms"] is not None else "-",
+                row["queries"],
+                row["stale_serves"],
+                row["reroutes"],
+            )
+            for row in rows
+        ],
+    )
+
+
 def _report_sweeps(report, title, graph, ingest_rows, staleness_rows):
     report(
         banner(
@@ -187,11 +304,20 @@ def test_service_throughput(benchmark, report, webgraph):
     graph = webgraph.graph
     results = {}
 
+    replication_graph = generate_webgraph(
+        WebGraphParams(n=REPLICATION_GRAPH_N, avg_out_degree=8.0), seed=7
+    ).graph
+
     def run_sweeps():
         results["ingest"] = _ingest_sweep(
             graph, BATCH_SIZES, EDITS_TOTAL, NUM_QUERIES
         )
         results["staleness"] = _staleness_sweep(graph, STALENESS_SWEEP)
+        results["replication"] = _replication_sweep(
+            replication_graph, REPLICA_SWEEP,
+            transports=("pipe", "tcp"),
+            num_batches=REPLICATION_BATCHES,
+        )
         return results
 
     benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
@@ -204,6 +330,11 @@ def test_service_throughput(benchmark, report, webgraph):
         ingest_rows,
         staleness_rows,
     )
+    report(
+        f"replication graph: |V|={replication_graph.num_vertices}, "
+        f"|E|={replication_graph.num_edges}; primary killed mid-stream"
+    )
+    _report_replication(report, results["replication"])
 
     payload = {
         "benchmark": "service_throughput",
@@ -240,6 +371,11 @@ def test_service_throughput(benchmark, report, webgraph):
     assert all(a >= b for a, b in zip(extractions, extractions[1:])), (
         f"extraction counts not monotone in K: {extractions}"
     )
+    # Replication availability contract: the kill fired, exactly one
+    # failover happened, and every client query was answered.
+    for row in results["replication"]:
+        assert row["failovers"] == 1, row
+        assert row["queries"] == row["batches"] * 20, row
 
 
 def test_service_smoke(benchmark, report):
@@ -258,6 +394,9 @@ def test_service_smoke(benchmark, report):
         results["staleness"] = _staleness_sweep(
             graph, [1, 4], num_batches=6, queries_per_batch=10
         )
+        results["replication"] = _replication_sweep(
+            graph, [2], num_batches=6, batch_size=50, queries_per_batch=5
+        )
         return results
 
     benchmark.pedantic(run_sweeps, rounds=1, iterations=1)
@@ -268,8 +407,11 @@ def test_service_smoke(benchmark, report):
         results["ingest"],
         results["staleness"],
     )
+    _report_replication(report, results["replication"])
     assert len(results["ingest"]) == 2
     assert all(row["extractions"] >= 1 for row in results["staleness"])
+    assert results["replication"][0]["failovers"] == 1
+    assert results["replication"][0]["queries"] == 6 * 5
 
 
 if __name__ == "__main__":  # pragma: no cover - ad-hoc run without pytest

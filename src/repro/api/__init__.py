@@ -34,9 +34,28 @@ from repro.api.config import (
     ExecutionConfig,
     ServicePlanConfig,
 )
-from repro.api.plan import GraphCaps, PlanDecision, RunPlan, plan_for, resolve_plan
-from repro.api.registry import ENGINES, PARTITIONERS, PROGRAMS, Registry
-from repro.api.results import DetectionResult, DistributedResult, UpdateResult
+from repro.api.plan import (
+    GraphCaps,
+    PlanDecision,
+    RunPlan,
+    ServiceRunPlan,
+    plan_for,
+    resolve_plan,
+    resolve_service_plan,
+)
+from repro.api.registry import (
+    ENGINES,
+    PARTITIONERS,
+    PROGRAMS,
+    SERVICE_TRANSPORTS,
+    Registry,
+)
+from repro.api.results import (
+    DetectionResult,
+    DistributedResult,
+    ReplicatedRunResult,
+    UpdateResult,
+)
 from repro.api.run import detect, run_distributed, update
 
 __all__ = [
@@ -47,15 +66,19 @@ __all__ = [
     "GraphCaps",
     "PlanDecision",
     "RunPlan",
+    "ServiceRunPlan",
     "resolve_plan",
+    "resolve_service_plan",
     "plan_for",
     "Registry",
     "PARTITIONERS",
     "ENGINES",
     "PROGRAMS",
+    "SERVICE_TRANSPORTS",
     "DetectionResult",
     "UpdateResult",
     "DistributedResult",
+    "ReplicatedRunResult",
     "detect",
     "update",
     "run_distributed",

@@ -36,6 +36,7 @@ __all__ = [
     "SHARD_BACKEND_CHOICES",
     "STATE_FORMAT_CHOICES",
     "TRANSPORT_CHOICES",
+    "SERVICE_TRANSPORT_CHOICES",
 ]
 
 #: Paper default for rSLPA (Section V-A3: stable for T >= 200).
@@ -49,6 +50,10 @@ ENGINE_CHOICES = ("auto", "reference", "array")
 SHARD_BACKEND_CHOICES = ("auto", "dict", "csr")
 STATE_FORMAT_CHOICES = ("auto", "dict", "array")
 TRANSPORT_CHOICES = ("auto", "pipe", "shm", "tcp")
+#: Service-plane (primary → replica WAL shipping) transports; distinct
+#: from the BSP data plane because replicas exchange small pickled
+#: control records, not packed label columns.
+SERVICE_TRANSPORT_CHOICES = ("auto", "pipe", "tcp")
 
 
 def _check_choice(value: str, choices, name: str) -> None:
@@ -182,10 +187,21 @@ class ServicePlanConfig:
 
     Composes the algorithm and execution configs with the service planes'
     knobs (see :class:`repro.service.ServiceConfig` for the flat legacy
-    form, which maps 1:1 onto this).  ``staleness_batches`` is K in the
-    lazy re-extraction policy; ``checkpoint_every = 0`` disables automatic
-    checkpoints; with ``strict_edits`` off, no-op edits are dropped
-    instead of raising.
+    form, which maps 1:1 onto the non-replication fields).
+    ``staleness_batches`` is K in the lazy re-extraction policy;
+    ``checkpoint_every = 0`` disables automatic checkpoints; with
+    ``strict_edits`` off, no-op edits are dropped instead of raising.
+
+    The replication topology lives here too: ``replicas > 0`` deploys the
+    service under a :class:`~repro.service.replication.ServiceSupervisor`
+    with that many read replicas.  ``heartbeat_interval`` (seconds,
+    ``None`` = resolver default), ``max_failovers`` (primary promotions
+    allowed before the supervisor gives up, ``None`` = one per replica)
+    and ``service_transport`` (``"pipe"``/``"tcp"``/``"auto"``, or a
+    plugin in :data:`repro.api.registry.SERVICE_TRANSPORTS`) are
+    negotiated with provenance by
+    :func:`repro.api.plan.resolve_service_plan`; any of them set with
+    ``replicas = 0`` is an error caught there.
     """
 
     algo: AlgoConfig = field(default_factory=AlgoConfig)
@@ -198,9 +214,32 @@ class ServicePlanConfig:
     checkpoint_every: int = 1
     keep_checkpoints: int = 2
     strict_edits: bool = True
+    replicas: int = 0
+    heartbeat_interval: Optional[float] = None
+    max_failovers: Optional[int] = None
+    service_transport: str = "auto"
 
     def __post_init__(self):
+        from repro.api.registry import SERVICE_TRANSPORTS as service_registry
+
         check_type(self.algo, AlgoConfig, "algo")
         check_type(self.execution, ExecutionConfig, "execution")
         check_type(self.batch_size, int, "batch_size")
         check_positive(self.batch_size, "batch_size")
+        check_type(self.replicas, int, "replicas")
+        if self.replicas < 0:
+            raise ValueError(f"replicas must be >= 0, got {self.replicas}")
+        if self.heartbeat_interval is not None:
+            check_positive(self.heartbeat_interval, "heartbeat_interval")
+        if self.max_failovers is not None:
+            check_type(self.max_failovers, int, "max_failovers")
+            if self.max_failovers < 0:
+                raise ValueError(
+                    f"max_failovers must be >= 0, got {self.max_failovers}"
+                )
+        if self.service_transport not in service_registry:
+            _check_choice(
+                self.service_transport,
+                SERVICE_TRANSPORT_CHOICES,
+                "service_transport",
+            )

@@ -31,6 +31,17 @@ asserted equivalent by ``tests/test_api_plan.py``:
   ``checkpoint_interval=None`` → 4 supersteps between cuts,
   ``max_restarts=None`` → 3 respawns.  Either knob without
   ``fault_tolerance=True`` is an error.
+
+:func:`resolve_service_plan` layers the replication topology of a
+:class:`~repro.api.config.ServicePlanConfig` on top, with the same
+provenance discipline:
+
+* ``service_transport="auto"`` → ``pipe`` when ``replicas > 0`` (the
+  replicas are local children; pipes skip the socket stack), ``None``
+  when replication is off.
+* ``heartbeat_interval=None`` → 0.5 s; ``max_failovers=None`` → one
+  promotion per replica.  Any replication knob set with ``replicas=0``
+  is an error (there is nothing to fail over to).
 """
 
 from __future__ import annotations
@@ -38,16 +49,27 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Optional, Tuple
 
-from repro.api.config import ExecutionConfig
+from repro.api.config import ExecutionConfig, ServicePlanConfig
 from repro.api.registry import PARTITIONERS, TRANSPORTS
 
-__all__ = ["GraphCaps", "PlanDecision", "RunPlan", "resolve_plan", "plan_for"]
+__all__ = [
+    "GraphCaps",
+    "PlanDecision",
+    "RunPlan",
+    "ServiceRunPlan",
+    "resolve_plan",
+    "resolve_service_plan",
+    "plan_for",
+]
 
 _RELABEL_HINT = "repro.graph.relabel_to_integers"
 
 #: Resolver defaults for the fault-tolerance knobs (``None`` in the config).
 DEFAULT_CHECKPOINT_INTERVAL = 4
 DEFAULT_MAX_RESTARTS = 3
+
+#: Resolver default for the replication heartbeat cadence (seconds).
+DEFAULT_HEARTBEAT_INTERVAL = 0.5
 
 
 @dataclass(frozen=True)
@@ -396,6 +418,140 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
         fault_tolerance=fault_tolerance,
         checkpoint_interval=checkpoint_interval,
         max_restarts=max_restarts,
+        decisions=tuple(decisions),
+    )
+
+
+@dataclass(frozen=True)
+class ServiceRunPlan:
+    """A resolved service deployment: the execution plan + the topology.
+
+    ``base`` is the :class:`RunPlan` the detector itself runs on; the
+    replication axes are ``None``/0 for an unreplicated deployment.
+    ``decisions`` holds only the service-plane provenance — ``explain()``
+    renders both layers.
+    """
+
+    base: RunPlan
+    replicas: int
+    heartbeat_interval: Optional[float]  # concrete iff replicas > 0
+    max_failovers: Optional[int]  # concrete iff replicas > 0
+    service_transport: Optional[str]  # "pipe" | "tcp" | None (unreplicated)
+    requested: ServicePlanConfig
+    decisions: Tuple[PlanDecision, ...] = ()
+
+    @property
+    def replicated(self) -> bool:
+        return self.replicas > 0
+
+    def summary(self) -> str:
+        if not self.replicated:
+            return f"unreplicated service over a {self.base.summary()}"
+        return (
+            f"replicated service ({self.replicas} replica(s), "
+            f"transport={self.service_transport}, heartbeat="
+            f"{self.heartbeat_interval}s, max_failovers={self.max_failovers}) "
+            f"over a {self.base.summary()}"
+        )
+
+    def explain(self) -> str:
+        """Both provenance layers: the service topology, then the base plan."""
+        lines = [f"service plan: {self.summary()}"]
+        lines.extend(f"  {decision}" for decision in self.decisions)
+        lines.append(self.base.explain())
+        return "\n".join(lines)
+
+
+def resolve_service_plan(
+    caps: GraphCaps, config: Optional[ServicePlanConfig] = None
+) -> ServiceRunPlan:
+    """Negotiate a :class:`~repro.api.config.ServicePlanConfig` topology.
+
+    Resolves the embedded :class:`ExecutionConfig` through
+    :func:`resolve_plan`, then the replication axes with the same
+    recorded-provenance discipline.  Replication knobs without
+    ``replicas > 0`` raise :class:`ValueError` — a topology that cannot
+    fail over must not silently pretend it could.
+    """
+    from repro.api.registry import SERVICE_TRANSPORTS
+
+    config = config if config is not None else ServicePlanConfig()
+    base = resolve_plan(caps, config.execution)
+    decisions = []
+    replicated = config.replicas > 0
+
+    heartbeat_interval = max_failovers = service_transport = None
+    if replicated:
+        _decide(
+            decisions,
+            "replicas",
+            config.replicas,
+            config.replicas,
+            "read replicas rebuilt from shipped WAL records",
+        )
+        if config.service_transport == "auto":
+            service_transport = "pipe"
+            reason = "replicas are local children; pipes skip the socket stack"
+        else:
+            service_transport = config.service_transport
+            reason = "explicitly requested"
+            SERVICE_TRANSPORTS.resolve(service_transport)  # fail fast
+        _decide(
+            decisions,
+            "service_transport",
+            config.service_transport,
+            service_transport,
+            reason,
+        )
+        if config.heartbeat_interval is None:
+            heartbeat_interval = DEFAULT_HEARTBEAT_INTERVAL
+            reason = "default lapse-detection cadence"
+        else:
+            heartbeat_interval = config.heartbeat_interval
+            reason = "explicitly requested"
+        _decide(
+            decisions,
+            "heartbeat_interval",
+            config.heartbeat_interval,
+            heartbeat_interval,
+            reason,
+        )
+        if config.max_failovers is None:
+            max_failovers = config.replicas
+            reason = "default budget: every replica may be promoted once"
+        else:
+            max_failovers = config.max_failovers
+            reason = "explicitly requested"
+        _decide(
+            decisions,
+            "max_failovers",
+            config.max_failovers,
+            max_failovers,
+            reason,
+        )
+    else:
+        for knob, value in (
+            ("heartbeat_interval", config.heartbeat_interval),
+            ("max_failovers", config.max_failovers),
+        ):
+            if value is not None:
+                raise ValueError(
+                    f"{knob} tunes the replication supervisor and requires "
+                    f"replicas > 0"
+                )
+        if config.service_transport != "auto":
+            raise ValueError(
+                f"service_transport={config.service_transport!r} connects "
+                f"the primary to its replicas and requires replicas > 0"
+            )
+
+    return ServiceRunPlan(
+        base=base,
+        replicas=config.replicas,
+        heartbeat_interval=heartbeat_interval,
+        max_failovers=max_failovers,
+        service_transport=service_transport,
+        requested=config,
         decisions=tuple(decisions),
     )
 

@@ -25,6 +25,11 @@ Calling conventions per registry (what a resolved component *is*):
   distributed.transport.Transport` *class* (instantiated with no
   arguments per engine), e.g. ``"shm"`` for the zero-copy
   shared-memory plane.
+* :data:`SERVICE_TRANSPORTS` — the replication control-plane
+  :class:`~repro.service.replication.ServiceWire` *class* (instantiated
+  with no arguments per supervisor); ships pickled WAL records and
+  query traffic between the supervisor and its primary/replica
+  children.
 
 Built-ins are registered lazily (the loader imports on first resolve), so
 importing :mod:`repro.api` never drags in the distributed machinery.
@@ -34,7 +39,14 @@ from __future__ import annotations
 
 from typing import Any, Callable, Dict, List
 
-__all__ = ["Registry", "PARTITIONERS", "ENGINES", "PROGRAMS", "TRANSPORTS"]
+__all__ = [
+    "Registry",
+    "PARTITIONERS",
+    "ENGINES",
+    "PROGRAMS",
+    "TRANSPORTS",
+    "SERVICE_TRANSPORTS",
+]
 
 
 class Registry:
@@ -97,6 +109,7 @@ PARTITIONERS = Registry("partitioner")
 ENGINES = Registry("bsp engine")
 PROGRAMS = Registry("worker program")
 TRANSPORTS = Registry("transport")
+SERVICE_TRANSPORTS = Registry("service transport")
 
 
 # ----------------------------------------------------------------------
@@ -201,3 +214,22 @@ def _load_tcp_transport():
 TRANSPORTS.register_lazy("pipe", _load_pipe_transport)
 TRANSPORTS.register_lazy("shm", _load_shm_transport)
 TRANSPORTS.register_lazy("tcp", _load_tcp_transport)
+
+
+# ----------------------------------------------------------------------
+# Built-in service-plane (replication) wires.
+# ----------------------------------------------------------------------
+def _load_pipe_service_wire():
+    from repro.service.replication import PipeServiceWire
+
+    return PipeServiceWire
+
+
+def _load_tcp_service_wire():
+    from repro.service.replication import TcpServiceWire
+
+    return TcpServiceWire
+
+
+SERVICE_TRANSPORTS.register_lazy("pipe", _load_pipe_service_wire)
+SERVICE_TRANSPORTS.register_lazy("tcp", _load_tcp_service_wire)

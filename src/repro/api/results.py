@@ -18,9 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Mapping, Optional
 
-from repro.api.plan import RunPlan
+from repro.api.plan import RunPlan, ServiceRunPlan
 
-__all__ = ["DetectionResult", "UpdateResult", "DistributedResult"]
+__all__ = [
+    "DetectionResult",
+    "UpdateResult",
+    "DistributedResult",
+    "ReplicatedRunResult",
+]
 
 
 @dataclass(frozen=True)
@@ -72,3 +77,31 @@ class DistributedResult:
         (:class:`~repro.distributed.metrics.RecoveryStats`) when the run
         was supervised (``plan.fault_tolerance``), else ``None``."""
         return getattr(self.comm_stats, "recovery", None)
+
+
+@dataclass(frozen=True)
+class ReplicatedRunResult:
+    """A completed replicated-service run (supervisor shut down cleanly).
+
+    ``stats`` is the final ``ServiceSupervisor.stats()`` snapshot —
+    including the failover ledger — frozen at shutdown; ``cover`` is the
+    promoted (or never-failed) primary's final extraction, bit-identical
+    per seed to an unreplicated run of the same edit sequence.
+    """
+
+    cover: Any  #: final :class:`~repro.core.communities.Cover`
+    stats: Mapping[str, Any]
+    plan: ServiceRunPlan
+    timings: Mapping[str, float] = field(default_factory=dict)
+
+    @property
+    def failovers(self) -> int:
+        return int(self.stats.get("failovers", 0))
+
+    @property
+    def promoted_replica(self) -> Optional[int]:
+        return self.stats.get("promoted_replica")
+
+    @property
+    def replayed_records(self) -> int:
+        return int(self.stats.get("replayed_records", 0))

@@ -289,9 +289,78 @@ def _cmd_update(args, out) -> int:
     return 0
 
 
+def _cmd_serve_replicated(args, out) -> int:
+    from repro.service import ServiceSupervisor
+
+    if args.recover:
+        raise ValueError(
+            "--recover is not supported with --replicas: the supervisor's "
+            "primary fits fresh and replicas bootstrap from its live state"
+        )
+    if not args.checkpoint_dir:
+        raise ValueError(
+            "--replicas requires --checkpoint-dir (replicas bootstrap from "
+            "the shared checkpoint + WAL)"
+        )
+    if not args.graph:
+        raise ValueError("a graph file is required with --replicas")
+    graph = read_edge_list(args.graph)
+    config = ServicePlanConfig(
+        algo=algo_config_from_args(args),
+        execution=execution_config_from_args(args),
+        batch_size=args.batch_size,
+        staleness_batches=args.staleness,
+        checkpoint_every=args.checkpoint_every,
+        replicas=args.replicas,
+        heartbeat_interval=args.heartbeat_interval,
+        max_failovers=args.max_failovers,
+        service_transport=args.service_transport,
+    )
+    supervisor = ServiceSupervisor(graph, args.checkpoint_dir, config)
+    supervisor.start()
+    try:
+        client = supervisor.client()
+        if args.edits:
+            for op, u, v in iter_edit_file(args.edits):
+                supervisor.submit(op, u, v)
+            supervisor.flush()
+        payload = {
+            "stats": supervisor.stats(),
+            "plan": supervisor.plan.summary(),
+        }
+        if args.query:
+            memberships = {}
+            for v in args.query:
+                cids = client.communities_of(v)
+                memberships[str(v)] = {
+                    "communities": list(cids),
+                    "sizes": [len(client.members(c)) for c in cids],
+                }
+            payload["memberships"] = memberships
+            payload["client"] = {
+                "queries_served": client.queries_served,
+                "stale_serves": client.stale_serves,
+                "reroutes": client.reroutes,
+            }
+    finally:
+        supervisor.shutdown()
+    json.dump(payload, out, indent=2)
+    out.write("\n")
+    return 0
+
+
 def _cmd_serve(args, out) -> int:
     from repro.service import CommunityService
 
+    if args.replicas:
+        return _cmd_serve_replicated(args, out)
+    for knob, value, unset in (
+        ("--max-failovers", args.max_failovers, None),
+        ("--heartbeat-interval", args.heartbeat_interval, None),
+        ("--service-transport", args.service_transport, "auto"),
+    ):
+        if value != unset:
+            raise ValueError(f"{knob} tunes replication and requires --replicas")
     if args.recover:
         if not args.checkpoint_dir:
             raise ValueError("--recover requires --checkpoint-dir")
@@ -447,6 +516,37 @@ def build_parser() -> argparse.ArgumentParser:
         default=[],
         metavar="V",
         help="report stable community ids of vertex V (repeatable)",
+    )
+    serve.add_argument(
+        "--replicas",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run under the replication supervisor with N read replicas "
+        "(requires --checkpoint-dir; queries survive primary crashes)",
+    )
+    serve.add_argument(
+        "--max-failovers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="primary promotions allowed before the supervisor gives up "
+        "(default: one per replica; needs --replicas)",
+    )
+    serve.add_argument(
+        "--heartbeat-interval",
+        type=float,
+        default=None,
+        metavar="S",
+        help="replica lapse-detection window in seconds "
+        "(default 0.5; needs --replicas)",
+    )
+    serve.add_argument(
+        "--service-transport",
+        choices=("auto", "pipe", "tcp"),
+        default="auto",
+        help="supervisor-to-child control wire: 'pipe' (local default) or "
+        "'tcp' (localhost sockets; needs --replicas)",
     )
     serve.set_defaults(func=_cmd_serve)
 

@@ -38,6 +38,34 @@ decisions stay unit-testable in-process.  Supervised recovery respawns a
 dead worker with :meth:`without_worker` applied — a respawned worker is
 healthy, which is what makes every scripted kill terminate instead of
 re-firing on replay forever.
+
+The same script drives the *service plane*
+(:mod:`repro.service.replication`), keyed by WAL sequence number instead
+of superstep:
+
+``kill_primary``
+    ``(seq, phase)`` — the primary SIGKILLs itself at batch ``seq``,
+    either on ``"recv"`` (before the WAL append: the batch is lost in
+    flight and must be re-sent to the promoted primary) or ``"applied"``
+    (after WAL append + apply, before acking: the promoted replica must
+    replay it from the shipped/on-disk tail).  A bare int means
+    ``"applied"``.
+``kill_replica``
+    ``(replica_id, seq)`` — the replica SIGKILLs itself after applying
+    shipped record ``seq``; the supervisor must respawn it and the client
+    must re-route around it meanwhile.
+``drop_wal_record``
+    ``(replica_id, seq)`` — the shipped copy of record ``seq`` to that
+    replica is dropped once in transit; the replica's gap detection must
+    nack and the supervisor re-ship.
+``stall_heartbeat``
+    ``(replica_id, seq, seconds)`` — the replica stops heartbeating (and
+    answering queries) for ``seconds`` after applying ``seq``; the client
+    must re-route to a live peer instead of erroring.
+
+Promotion and respawn strip the fired fault with
+:meth:`without_kill_primary` / :meth:`without_replica`, the service-plane
+mirror of :meth:`without_worker`.
 """
 
 from __future__ import annotations
@@ -69,6 +97,35 @@ def _sites(single, many: Iterable, kind: str) -> FrozenSet[Site]:
     sites = [_check_site(site, kind) for site in many]
     if single is not None:
         sites.append(_check_site(single, kind))
+    return frozenset(sites)
+
+
+PRIMARY_PHASES = ("recv", "applied")
+
+
+def _check_primary_site(spec, kind: str) -> Tuple[int, str]:
+    if isinstance(spec, int):
+        spec = (spec, "applied")
+    try:
+        seq, phase = spec
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{kind} fault must be a seq or a (seq, phase) pair, got {spec!r}"
+        )
+    seq = int(seq)
+    if seq < 1:
+        raise ValueError(f"{kind} fault needs seq >= 1, got {seq}")
+    if phase not in PRIMARY_PHASES:
+        raise ValueError(
+            f"{kind} phase must be one of {PRIMARY_PHASES}, got {phase!r}"
+        )
+    return (seq, phase)
+
+
+def _primary_sites(single, many: Iterable, kind: str) -> FrozenSet[Tuple[int, str]]:
+    sites = [_check_primary_site(spec, kind) for spec in many]
+    if single is not None:
+        sites.append(_check_primary_site(single, kind))
     return frozenset(sites)
 
 
@@ -109,7 +166,17 @@ class FaultPlan:
     False
     """
 
-    __slots__ = ("kills", "drop_sends", "stalls", "delays", "torn_snapshots")
+    __slots__ = (
+        "kills",
+        "drop_sends",
+        "stalls",
+        "delays",
+        "torn_snapshots",
+        "kill_primaries",
+        "kill_replicas",
+        "drop_wal_records",
+        "stall_heartbeats",
+    )
 
     def __init__(
         self,
@@ -123,12 +190,32 @@ class FaultPlan:
         delays: Iterable = (),
         torn_snapshot: Optional[Site] = None,
         torn_snapshots: Iterable[Site] = (),
+        kill_primary=None,
+        kill_primaries: Iterable = (),
+        kill_replica: Optional[Site] = None,
+        kill_replicas: Iterable[Site] = (),
+        drop_wal_record: Optional[Site] = None,
+        drop_wal_records: Iterable[Site] = (),
+        stall_heartbeat=None,
+        stall_heartbeats: Iterable = (),
     ):
         self.kills = _sites(kill, kills, "kill")
         self.drop_sends = _sites(drop_send, drop_sends, "drop_send")
         self.stalls = _timed_sites(stall, stalls, "stall")
         self.delays = _timed_sites(delay, delays, "delay")
         self.torn_snapshots = _sites(torn_snapshot, torn_snapshots, "torn_snapshot")
+        # Service plane: sites are (seq, phase) for the primary and
+        # (replica_id, seq) for replicas.
+        self.kill_primaries = _primary_sites(
+            kill_primary, kill_primaries, "kill_primary"
+        )
+        self.kill_replicas = _sites(kill_replica, kill_replicas, "kill_replica")
+        self.drop_wal_records = _sites(
+            drop_wal_record, drop_wal_records, "drop_wal_record"
+        )
+        self.stall_heartbeats = _timed_sites(
+            stall_heartbeat, stall_heartbeats, "stall_heartbeat"
+        )
 
     # ------------------------------------------------------------------
     # Decisions (the worker loop performs the matching actions)
@@ -148,6 +235,19 @@ class FaultPlan:
     def should_tear_snapshot(self, worker_id: int, superstep: int) -> bool:
         return (worker_id, superstep) in self.torn_snapshots
 
+    # -- service plane --------------------------------------------------
+    def should_kill_primary(self, seq: int, phase: str) -> bool:
+        return (seq, phase) in self.kill_primaries
+
+    def should_kill_replica(self, replica_id: int, seq: int) -> bool:
+        return (replica_id, seq) in self.kill_replicas
+
+    def should_drop_wal_record(self, replica_id: int, seq: int) -> bool:
+        return (replica_id, seq) in self.drop_wal_records
+
+    def heartbeat_stall_seconds(self, replica_id: int, seq: int) -> float:
+        return self.stall_heartbeats.get((replica_id, seq), 0.0)
+
     # ------------------------------------------------------------------
     # Plan algebra
     # ------------------------------------------------------------------
@@ -158,21 +258,46 @@ class FaultPlan:
         scripted failure fires exactly once: a respawned worker is healthy.
         """
         keep = lambda site: site[0] != worker_id  # noqa: E731
-        return FaultPlan(
-            kills=filter(keep, self.kills),
-            drop_sends=filter(keep, self.drop_sends),
-            stalls=(
-                site + (seconds,)
-                for site, seconds in self.stalls.items()
-                if keep(site)
-            ),
-            delays=(
-                site + (seconds,)
-                for site, seconds in self.delays.items()
-                if keep(site)
-            ),
-            torn_snapshots=filter(keep, self.torn_snapshots),
+        return self._replace(
+            kills=frozenset(filter(keep, self.kills)),
+            drop_sends=frozenset(filter(keep, self.drop_sends)),
+            stalls={s: t for s, t in self.stalls.items() if keep(s)},
+            delays={s: t for s, t in self.delays.items() if keep(s)},
+            torn_snapshots=frozenset(filter(keep, self.torn_snapshots)),
         )
+
+    def without_kill_primary(self, seq: int, phase: str) -> "FaultPlan":
+        """The plan with the one fired primary kill removed.
+
+        The supervisor hands this to the promoted primary, so each
+        scripted primary kill fires exactly once even when ``max_failovers``
+        scripts several in a row.
+        """
+        return self._replace(
+            kill_primaries=self.kill_primaries - {(int(seq), phase)}
+        )
+
+    def without_replica(self, replica_id: int) -> "FaultPlan":
+        """The plan with every fault of replica ``replica_id`` removed.
+
+        Applied on respawn (a replacement replica is healthy) and on
+        promotion (the promoted process stops being that replica).
+        """
+        keep = lambda site: site[0] != replica_id  # noqa: E731
+        return self._replace(
+            kill_replicas=frozenset(filter(keep, self.kill_replicas)),
+            drop_wal_records=frozenset(filter(keep, self.drop_wal_records)),
+            stall_heartbeats={
+                s: t for s, t in self.stall_heartbeats.items() if keep(s)
+            },
+        )
+
+    def _replace(self, **slots) -> "FaultPlan":
+        """A copy with the given slots swapped (already-validated values)."""
+        clone = FaultPlan()
+        for slot in self.__slots__:
+            object.__setattr__(clone, slot, slots.get(slot, getattr(self, slot)))
+        return clone
 
     def __bool__(self) -> bool:
         return bool(
@@ -181,6 +306,10 @@ class FaultPlan:
             or self.stalls
             or self.delays
             or self.torn_snapshots
+            or self.kill_primaries
+            or self.kill_replicas
+            or self.drop_wal_records
+            or self.stall_heartbeats
         )
 
     def _key(self):
@@ -190,6 +319,10 @@ class FaultPlan:
             tuple(sorted(self.stalls.items())),
             tuple(sorted(self.delays.items())),
             self.torn_snapshots,
+            self.kill_primaries,
+            self.kill_replicas,
+            self.drop_wal_records,
+            tuple(sorted(self.stall_heartbeats.items())),
         )
 
     def __eq__(self, other) -> bool:
@@ -214,10 +347,17 @@ class FaultPlan:
             ("kills", self.kills),
             ("drop_sends", self.drop_sends),
             ("torn_snapshots", self.torn_snapshots),
+            ("kill_primaries", self.kill_primaries),
+            ("kill_replicas", self.kill_replicas),
+            ("drop_wal_records", self.drop_wal_records),
         ):
             if sites:
                 parts.append(f"{label}={sorted(sites)}")
-        for label, timed in (("stalls", self.stalls), ("delays", self.delays)):
+        for label, timed in (
+            ("stalls", self.stalls),
+            ("delays", self.delays),
+            ("stall_heartbeats", self.stall_heartbeats),
+        ):
             if timed:
                 parts.append(f"{label}={sorted(timed.items())}")
         return f"FaultPlan({', '.join(parts)})"

@@ -53,7 +53,6 @@ import os
 import pickle
 import socket
 import struct
-import time
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -65,6 +64,7 @@ from repro.distributed.message_array import (
     packed_nbytes,
     unpack_columns,
 )
+from repro.utils.backoff import JitteredBackoff
 
 __all__ = [
     "WorkerCrashedError",
@@ -78,9 +78,10 @@ __all__ = [
 #: Seconds between liveness polls while waiting on a worker.
 _POLL_S = 0.05
 
-#: Worker-side connect retries (exponential backoff from _CONNECT_DELAY_S):
-#: a respawned worker may dial in while the driver is still detaching its
-#: predecessor's socket, so the first attempt is allowed to fail.
+#: Worker-side connect retries (exponential backoff from _CONNECT_DELAY_S,
+#: jittered — see SocketWorkerEndpoint.open): a respawned worker may dial
+#: in while the driver is still detaching its predecessor's socket, so the
+#: first attempt is allowed to fail.
 _CONNECT_ATTEMPTS = 6
 _CONNECT_DELAY_S = 0.05
 
@@ -607,17 +608,21 @@ class SocketWorkerEndpoint(WorkerEndpoint):
     def open(self) -> None:
         # Exponential backoff over a bounded retry budget: a respawned
         # worker may dial in while the driver is still tearing down its
-        # predecessor's socket or busy inside the recovery barrier.
-        delay = _CONNECT_DELAY_S
-        for attempt in range(_CONNECT_ATTEMPTS):
-            try:
-                self._sock = socket.create_connection((self._host, self._port))
-                break
-            except OSError:
-                if attempt == _CONNECT_ATTEMPTS - 1:
-                    raise
-                time.sleep(delay)
-                delay *= 2
+        # predecessor's socket or busy inside the recovery barrier.  The
+        # schedule is jittered so simultaneously-respawned workers spread
+        # their redials instead of hammering the listener in lock-step;
+        # keying the jitter by (cookie, worker id) keeps each worker's
+        # delays reproducible run over run.
+        backoff = JitteredBackoff(
+            _CONNECT_DELAY_S,
+            attempts=_CONNECT_ATTEMPTS,
+            key=(self._cookie, self._worker_id, "tcp-reconnect"),
+        )
+
+        def dial():
+            self._sock = socket.create_connection((self._host, self._port))
+
+        backoff.retry(dial, exceptions=(OSError,))
         self._sock.sendall(
             self._cookie + struct.pack("<q", self._worker_id)
         )

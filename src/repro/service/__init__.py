@@ -36,12 +36,40 @@ together and is the one class most deployments need::
     service.communities_of(17)             # stable ids, served from cache
     # after a crash:
     service = CommunityService.recover("state/")
+
+A fourth plane, **replication** (``repro.service.replication``), runs the
+service as a supervised topology — one primary process plus N read
+replicas fed by shipped WAL records — so queries keep being answered
+through primary crashes (the freshest replica is promoted and replays
+its tail, bit-identically)::
+
+    from repro.service import ServiceSupervisor
+
+    sup = ServiceSupervisor(graph, "state/", replicas=2, seed=7).start()
+    client = sup.client()
+    sup.submit_insert(17, 23)
+    client.communities_of(17)   # served by a replica; primary fallback
+    result = sup.finish()       # stats()["failovers"] et al.
 """
 
-from repro.service.durability import Checkpoint, CheckpointStore
+from repro.service.durability import (
+    Checkpoint,
+    CheckpointStore,
+    CorruptCheckpointError,
+)
 from repro.service.facade import CommunityService, ServiceConfig, ServicePlanConfig
 from repro.service.index import MembershipIndex
 from repro.service.ingest import DELETE, INSERT, BackpressureError, EditQueue
+from repro.service.replication import (
+    ChildCrashedError,
+    FailoverExhaustedError,
+    PipeServiceWire,
+    ReplicatedClient,
+    ReplicaLapsedError,
+    ServiceSupervisor,
+    ServiceWire,
+    TcpServiceWire,
+)
 
 __all__ = [
     "CommunityService",
@@ -54,4 +82,13 @@ __all__ = [
     "MembershipIndex",
     "Checkpoint",
     "CheckpointStore",
+    "CorruptCheckpointError",
+    "ServiceSupervisor",
+    "ReplicatedClient",
+    "ServiceWire",
+    "PipeServiceWire",
+    "TcpServiceWire",
+    "ChildCrashedError",
+    "FailoverExhaustedError",
+    "ReplicaLapsedError",
 ]

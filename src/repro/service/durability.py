@@ -20,15 +20,25 @@ pieces make that possible:
 
 A torn tail (the record being written when the process died) fails its CRC
 and is discarded; everything before it replays.  On checkpoint the WAL is
-rotated down to the records newer than the checkpoint epoch and older
-checkpoint files are pruned, so disk usage stays bounded by
-``keep`` checkpoints + one WAL window.
+rotated down to the records newer than the *oldest retained* checkpoint
+epoch and older checkpoint files are pruned, so disk usage stays bounded
+by ``keep`` checkpoints + ``keep`` WAL windows — and, crucially, every
+retained checkpoint has a complete WAL tail, so recovery can fall back to
+an older checkpoint (a torn latest file raises
+:class:`CorruptCheckpointError`) and still replay to the exact same state.
+
+The store is thread-safe for the append/rotate pair: a WAL append racing
+a checkpoint's rotation (the facade is single-threaded, but embedders and
+the replication supervisor are not obliged to be) can never drop a
+CRC-valid record — the internal lock serialises the two.
 """
 
 from __future__ import annotations
 
 import json
 import os
+import threading
+import zipfile
 import zlib
 from dataclasses import dataclass
 from pathlib import Path
@@ -41,11 +51,35 @@ from repro.core.serialize import state_from_arrays, state_to_arrays
 from repro.graph.adjacency import Graph
 from repro.graph.edits import EditBatch
 
-__all__ = ["Checkpoint", "CheckpointStore"]
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "CorruptCheckpointError",
+    "encode_wal_record",
+    "parse_wal_line",
+]
 
 CHECKPOINT_FORMAT = "repro.service_checkpoint"
 CHECKPOINT_VERSION = 1
 WAL_NAME = "wal.log"
+
+
+class CorruptCheckpointError(RuntimeError):
+    """A checkpoint file failed to load: torn write, bad zip, missing keys.
+
+    Carries the offending ``path`` and ``epoch`` so recovery code can fall
+    back to an older retained checkpoint (the WAL keeps every retained
+    checkpoint's full tail, so the fallback still replays exactly).
+    """
+
+    def __init__(self, path, epoch: int, cause: BaseException):
+        self.path = Path(path)
+        self.epoch = epoch
+        self.cause = cause
+        super().__init__(
+            f"checkpoint {self.path} (epoch {epoch}) is corrupt: "
+            f"{type(cause).__name__}: {cause}"
+        )
 
 
 @dataclass
@@ -72,9 +106,10 @@ def _wal_crc(epoch: int, ins: List[List[int]], dels: List[List[int]]) -> int:
     return zlib.crc32(body.encode("utf-8"))
 
 
-def _encode_wal_record(epoch: int, batch: EditBatch) -> str:
-    """One WAL line; the single encoder both append and rotation use, so
-    rotated records always re-pass their CRC on later reads."""
+def encode_wal_record(epoch: int, batch: EditBatch) -> str:
+    """One WAL line; the single encoder append, rotation, and the
+    replication plane's record shipping all use, so every copy of a record
+    re-passes its CRC wherever it is read."""
     ins = [list(e) for e in sorted(batch.insertions)]
     dels = [list(e) for e in sorted(batch.deletions)]
     record = {
@@ -84,6 +119,30 @@ def _encode_wal_record(epoch: int, batch: EditBatch) -> str:
         "crc": _wal_crc(epoch, ins, dels),
     }
     return json.dumps(record, separators=(",", ":")) + "\n"
+
+
+def parse_wal_line(line: str) -> Optional[Tuple[int, EditBatch]]:
+    """Decode one WAL line, or ``None`` if it is torn or fails its CRC.
+
+    The inverse of :func:`encode_wal_record`; the replication plane runs
+    every shipped record through this before applying it, so a record
+    corrupted in transit is indistinguishable from a torn disk tail and
+    triggers the same re-fetch path.
+    """
+    try:
+        payload = json.loads(line)
+        epoch = payload["epoch"]
+        ins = payload["ins"]
+        dels = payload["del"]
+        if payload["crc"] != _wal_crc(epoch, ins, dels):
+            return None
+        batch = EditBatch(
+            insertions=frozenset(tuple(e) for e in ins),
+            deletions=frozenset(tuple(e) for e in dels),
+        )
+    except (ValueError, KeyError, TypeError):
+        return None
+    return epoch, batch
 
 
 class CheckpointStore:
@@ -102,6 +161,10 @@ class CheckpointStore:
         self.directory.mkdir(parents=True, exist_ok=True)
         self.keep = keep
         self._wal_handle = None
+        # Serialises WAL appends against checkpoint rotation: an append
+        # racing _rotate_wal's close/replace could land its record in the
+        # just-unlinked file and silently lose it.
+        self._lock = threading.RLock()
         #: Records dropped by the last :meth:`read_wal` because a torn or
         #: corrupt line cut the log — by write-ahead ordering they were
         #: never applied, but recovery should still surface the loss.
@@ -152,10 +215,15 @@ class CheckpointStore:
             np.savez_compressed(handle, **arrays)
             handle.flush()
             os.fsync(handle.fileno())
-        os.replace(tmp, final)
-        self._rotate_wal(batch_epoch)
-        for epoch in self.checkpoint_epochs()[: -self.keep]:
-            self._checkpoint_path(epoch).unlink(missing_ok=True)
+        with self._lock:
+            os.replace(tmp, final)
+            for epoch in self.checkpoint_epochs()[: -self.keep]:
+                self._checkpoint_path(epoch).unlink(missing_ok=True)
+            # Rotate down to the *oldest retained* checkpoint, not the one
+            # just written: every surviving checkpoint keeps its full
+            # replay tail, so recovery can fall back past a corrupt latest
+            # file and still reach the identical state.
+            self._rotate_wal(self.checkpoint_epochs()[0])
         return final
 
     def load_checkpoint(self, epoch: Optional[int] = None) -> Checkpoint:
@@ -167,20 +235,28 @@ class CheckpointStore:
                     f"no checkpoints under {self.directory}"
                 )
         path = self._checkpoint_path(epoch)
-        with np.load(path) as arrays:
-            if str(arrays["ckpt_format"]) != CHECKPOINT_FORMAT:
-                raise ValueError(f"{path} is not a service checkpoint")
-            if int(arrays["ckpt_version"]) != CHECKPOINT_VERSION:
-                raise ValueError(
-                    f"{path}: unsupported checkpoint version "
-                    f"{int(arrays['ckpt_version'])}"
-                )
-            state = state_from_arrays(arrays)
-            edges = [tuple(edge) for edge in arrays["edges"].tolist()]
-            meta = {
-                key: int(arrays[key])
-                for key in ("seed", "batch_epoch", "edits_applied")
-            }
+        try:
+            with np.load(path) as arrays:
+                if str(arrays["ckpt_format"]) != CHECKPOINT_FORMAT:
+                    raise ValueError(f"{path} is not a service checkpoint")
+                if int(arrays["ckpt_version"]) != CHECKPOINT_VERSION:
+                    raise ValueError(
+                        f"{path}: unsupported checkpoint version "
+                        f"{int(arrays['ckpt_version'])}"
+                    )
+                state = state_from_arrays(arrays)
+                edges = [tuple(edge) for edge in arrays["edges"].tolist()]
+                meta = {
+                    key: int(arrays[key])
+                    for key in ("seed", "batch_epoch", "edits_applied")
+                }
+        except FileNotFoundError:
+            raise
+        except (zipfile.BadZipFile, KeyError, EOFError, OSError) as exc:
+            # A torn write (crash mid-publish never does this, but a torn
+            # copy, disk fault, or truncation can) surfaces as one typed
+            # error the caller can catch to fall back an epoch.
+            raise CorruptCheckpointError(path, epoch, exc) from exc
         vertices = np.nonzero(state.alive)[0].tolist()
         graph = Graph.from_edges(edges, vertices=vertices)
         return Checkpoint(state=state, graph=graph, **meta)
@@ -194,11 +270,12 @@ class CheckpointStore:
 
     def append_wal(self, epoch: int, batch: EditBatch) -> None:
         """Durably append one applied batch (call *before* the apply)."""
-        if self._wal_handle is None:
-            self._wal_handle = open(self.wal_path, "a", encoding="utf-8")
-        self._wal_handle.write(_encode_wal_record(epoch, batch))
-        self._wal_handle.flush()
-        os.fsync(self._wal_handle.fileno())
+        with self._lock:
+            if self._wal_handle is None:
+                self._wal_handle = open(self.wal_path, "a", encoding="utf-8")
+            self._wal_handle.write(encode_wal_record(epoch, batch))
+            self._wal_handle.flush()
+            os.fsync(self._wal_handle.fileno())
 
     def read_wal(self, after_epoch: int = -1) -> List[Tuple[int, EditBatch]]:
         """All intact WAL records with epoch > ``after_epoch``, in order.
@@ -208,61 +285,47 @@ class CheckpointStore:
         number of lines discarded that way (the torn one included) is
         kept in :attr:`last_discarded_records`.
         """
-        self.last_discarded_records = 0
-        if not self.wal_path.exists():
-            return []
-        records: List[Tuple[int, EditBatch]] = []
-        with open(self.wal_path, "r", encoding="utf-8") as handle:
-            lines = handle.readlines()
-        for position, line in enumerate(lines):
-            record = self._parse_wal_line(line)
-            if record is None:
-                self.last_discarded_records = len(lines) - position
-                break
-            epoch, batch = record
-            if epoch > after_epoch:
-                records.append((epoch, batch))
-        return records
-
-    @staticmethod
-    def _parse_wal_line(line: str) -> Optional[Tuple[int, EditBatch]]:
-        try:
-            payload = json.loads(line)
-            epoch = payload["epoch"]
-            ins = payload["ins"]
-            dels = payload["del"]
-            if payload["crc"] != _wal_crc(epoch, ins, dels):
-                return None
-            batch = EditBatch(
-                insertions=frozenset(tuple(e) for e in ins),
-                deletions=frozenset(tuple(e) for e in dels),
-            )
-        except (ValueError, KeyError, TypeError):
-            return None
-        return epoch, batch
+        with self._lock:
+            self.last_discarded_records = 0
+            if not self.wal_path.exists():
+                return []
+            records: List[Tuple[int, EditBatch]] = []
+            with open(self.wal_path, "r", encoding="utf-8") as handle:
+                lines = handle.readlines()
+            for position, line in enumerate(lines):
+                record = parse_wal_line(line)
+                if record is None:
+                    self.last_discarded_records = len(lines) - position
+                    break
+                epoch, batch = record
+                if epoch > after_epoch:
+                    records.append((epoch, batch))
+            return records
 
     def _rotate_wal(self, checkpoint_epoch: int) -> None:
-        """Drop WAL records the new checkpoint has made redundant."""
-        survivors = self.read_wal(after_epoch=checkpoint_epoch)
-        if self._wal_handle is not None:
-            self._wal_handle.close()
-            self._wal_handle = None
-        tmp = self.wal_path.with_suffix(".log.tmp")
-        with open(tmp, "w", encoding="utf-8") as handle:
-            for epoch, batch in survivors:
-                handle.write(_encode_wal_record(epoch, batch))
-            handle.flush()
-            os.fsync(handle.fileno())
-        os.replace(tmp, self.wal_path)
+        """Drop WAL records the oldest retained checkpoint made redundant."""
+        with self._lock:
+            survivors = self.read_wal(after_epoch=checkpoint_epoch)
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
+            tmp = self.wal_path.with_suffix(".log.tmp")
+            with open(tmp, "w", encoding="utf-8") as handle:
+                for epoch, batch in survivors:
+                    handle.write(encode_wal_record(epoch, batch))
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, self.wal_path)
 
     def wal_records(self) -> int:
         """Number of intact records currently in the WAL."""
         return len(self.read_wal())
 
     def close(self) -> None:
-        if self._wal_handle is not None:
-            self._wal_handle.close()
-            self._wal_handle = None
+        with self._lock:
+            if self._wal_handle is not None:
+                self._wal_handle.close()
+                self._wal_handle = None
 
     def __repr__(self) -> str:
         return (

@@ -53,7 +53,7 @@ from repro.core.labels_array import ArrayLabelState
 from repro.core.tracking import TransitionReport
 from repro.graph.adjacency import Graph
 from repro.graph.edits import EditBatch
-from repro.service.durability import CheckpointStore
+from repro.service.durability import CheckpointStore, CorruptCheckpointError
 from repro.service.index import MembershipIndex
 from repro.service.ingest import EditQueue
 
@@ -211,6 +211,7 @@ class CommunityService:
             )
         self._started = False
         self.checkpoints_skipped = 0
+        self.checkpoint_fallbacks = 0
         self.batches_applied = 0
         self.edits_applied = 0
         self.batches_since_extract = 0
@@ -284,10 +285,36 @@ class CommunityService:
         by write-ahead ordering those records were never applied — but the
         loss is logged and surfaced as ``wal_discarded_records`` in
         :meth:`stats`.
+
+        A corrupt checkpoint *file* (torn copy, disk fault) raises
+        :class:`~repro.service.durability.CorruptCheckpointError` — but
+        only after falling back through every older retained checkpoint:
+        the WAL keeps each retained checkpoint's full tail, so recovering
+        from an older epoch replays to the exact same state.  The number
+        of files skipped that way is surfaced as ``checkpoint_fallbacks``
+        in :meth:`stats`.
         """
         cfg, execution = _normalise_config(config, overrides)
         store = CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
-        ckpt = store.load_checkpoint()
+        epochs = store.checkpoint_epochs()
+        if not epochs:
+            raise FileNotFoundError(f"no checkpoints under {checkpoint_dir}")
+        ckpt = None
+        corrupt: list = []
+        for epoch in reversed(epochs):
+            try:
+                ckpt = store.load_checkpoint(epoch)
+                break
+            except CorruptCheckpointError as exc:
+                corrupt.append(exc)
+                logger.warning(
+                    "skipping corrupt checkpoint (falling back an epoch): %s",
+                    exc,
+                )
+        if ckpt is None:
+            # Every retained checkpoint is bad; re-raise the freshest
+            # failure — it names the file the operator should inspect.
+            raise corrupt[0]
         cfg = replace(cfg, seed=ckpt.seed, iterations=ckpt.iterations)
         service = cls.__new__(cls)
         service.config = cfg
@@ -315,6 +342,7 @@ class CommunityService:
         service.extractions = 0
         service.queries_served = 0
         service.checkpoints_skipped = 0
+        service.checkpoint_fallbacks = len(corrupt)
         service.stale_serves = 0
         service.refresh_failures = 0
         service.last_report = None
@@ -558,6 +586,7 @@ class CommunityService:
             payload["latest_checkpoint_epoch"] = self.store.latest_epoch()
             payload["wal_records"] = self.store.wal_records()
             payload["checkpoints_skipped"] = self.checkpoints_skipped
+            payload["checkpoint_fallbacks"] = self.checkpoint_fallbacks
             payload["wal_discarded_records"] = self.wal_discarded_records
         recovery = getattr(
             getattr(self.detector, "comm_stats", None), "recovery", None

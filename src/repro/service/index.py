@@ -84,6 +84,39 @@ class MembershipIndex:
         self.last_transition = None if first else report
         return self.last_transition
 
+    def export_state(self) -> Dict[str, object]:
+        """Everything that shapes future id assignment, picklable.
+
+        Stable ids are path-dependent — each extraction is matched against
+        the *previous* one — so a replica that starts indexing mid-stream
+        would mint a different id trajectory than its primary.  Shipping
+        this snapshot and :meth:`install_state`-ing it puts the replica on
+        the primary's trajectory: identical covers then yield identical
+        ids forever after.
+        """
+        return {
+            "cover": [frozenset(c) for c in self._cover],
+            "ids": self._ids,
+            "next_id": self._next_id,
+            "generation": self.generation,
+        }
+
+    def install_state(self, state: Dict[str, object]) -> None:
+        """Adopt an :meth:`export_state` snapshot (rebuilds the query maps)."""
+        self._cover = Cover(state["cover"])
+        self._ids = tuple(state["ids"])
+        self._next_id = int(state["next_id"])
+        self.generation = int(state["generation"])
+        members: Dict[int, FrozenSet[int]] = {}
+        vertex: Dict[int, list] = {}
+        for cid, community in zip(self._ids, self._cover):
+            members[cid] = community
+            for v in community:
+                vertex.setdefault(v, []).append(cid)
+        self._members = members
+        self._vertex = {v: tuple(sorted(cids)) for v, cids in vertex.items()}
+        self.last_transition = None
+
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------

@@ -1,0 +1,1496 @@
+"""Replication plane: WAL-shipping read replicas with supervised failover.
+
+One :class:`CommunityService` process is a single point of failure for
+both ingest and queries.  This module keeps the service answering through
+crashes by running it as a small supervised topology:
+
+* a **primary** child process owns the authoritative
+  :class:`~repro.service.facade.CommunityService` (ingest, WAL,
+  checkpoints);
+* N **read replicas** rebuild the same detector state from the shared
+  :class:`~repro.service.durability.CheckpointStore` checkpoint plus the
+  CRC-tagged WAL records the supervisor ships record-by-record, and serve
+  membership queries from their own :class:`MembershipIndex`;
+* the **supervisor** (this process) windows edits, commits each batch to
+  the primary, fans the resulting WAL record out to the replicas, and —
+  when the primary dies — promotes the freshest replica (highest applied
+  WAL sequence), replays its on-disk tail, and resumes ingest, bounded by
+  the resolved ``max_failovers`` budget.
+
+Determinism is the whole design.  Batches are sequence-labelled once by
+the supervisor; applies are idempotent (``seq <= applied`` is a no-op
+ack); every shipped record re-passes its CRC on arrival
+(:func:`~repro.service.durability.parse_wal_line`); and index refreshes
+happen on a fixed grid (every ``staleness_batches`` applied batches, the
+service's K) on primary and replicas alike, with replicas bootstrapped
+from the primary's exported index state so stable-id trajectories match.
+A run with scripted primary kills therefore converges to the *bit
+identical* cover and stable-id assignment of a failure-free run.
+
+Failures are scripted with the service-plane faults of
+:class:`~repro.distributed.faults.FaultPlan` (``kill_primary``,
+``kill_replica``, ``drop_wal_record``, ``stall_heartbeat``), mirroring
+the BSP engine's crash-matrix discipline: a promotion strips the fired
+primary kill (:meth:`FaultPlan.without_kill_primary`), a respawn strips
+the replica's faults (:meth:`FaultPlan.without_replica`), so every
+scripted fault fires exactly once.
+
+Queries go through :class:`ReplicatedClient`: per-request timeout,
+retry with jittered exponential backoff
+(:class:`~repro.utils.backoff.JitteredBackoff`), automatic re-routing
+away from replicas whose heartbeat lapsed (an ack or query response that
+missed the resolved ``heartbeat_interval``), and a final crash-aware
+fallback to the primary — so no client query errors during a failover;
+at worst it is served stale (bounded by K batches) and counted.
+
+The control wire between supervisor and children is pluggable
+(:data:`repro.api.registry.SERVICE_TRANSPORTS`): ``pipe`` (one
+``multiprocessing.Pipe`` per child) or ``tcp`` (length-prefixed pickles
+over localhost sockets with per-supervisor cookie auth, the two-"host"
+shape of the BSP data plane's tcp transport).
+
+Replication requires ``strict_edits=True``: the supervisor's encoding of
+a batch must be byte-identical to the record the primary logs, which a
+primary-side no-op filter would silently break.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing as mp
+import os
+import pickle
+import signal
+import socket
+import struct
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.api.config import ServicePlanConfig
+from repro.api.plan import GraphCaps, ServiceRunPlan, resolve_service_plan
+from repro.api.registry import SERVICE_TRANSPORTS
+from repro.api.results import ReplicatedRunResult
+from repro.core.detector import RSLPADetector
+from repro.distributed.faults import FaultPlan
+from repro.graph.adjacency import Graph
+from repro.graph.edits import EditBatch
+from repro.service.durability import (
+    CheckpointStore,
+    encode_wal_record,
+    parse_wal_line,
+)
+from repro.service.facade import (
+    CommunityService,
+    ServiceConfig,
+    _flatten_plan_config,
+)
+from repro.service.index import MembershipIndex
+from repro.service.ingest import EditQueue
+from repro.utils.backoff import JitteredBackoff
+
+__all__ = [
+    "ChildCrashedError",
+    "FailoverExhaustedError",
+    "ReplicaLapsedError",
+    "ServiceWire",
+    "ChildServiceEndpoint",
+    "PipeServiceWire",
+    "TcpServiceWire",
+    "ServiceSupervisor",
+    "ReplicatedClient",
+]
+
+logger = logging.getLogger(__name__)
+
+#: Seconds between liveness polls while the supervisor waits on a child.
+_POLL_S = 0.05
+
+#: The child id of the initially-spawned primary (replicas use their rid).
+_PRIMARY_CID = -1
+
+#: Child-side reconnect budget (tcp): same shape as the BSP transport's.
+_CONNECT_ATTEMPTS = 6
+_CONNECT_DELAY_S = 0.05
+
+#: Sentinel returned by :meth:`ServiceWire.recv` when the timeout lapses
+#: without a message (distinct from any picklable payload).
+TIMEOUT = object()
+
+
+class ChildCrashedError(RuntimeError):
+    """A service child process died while the supervisor waited on it."""
+
+    def __init__(self, child: str, exitcode: Optional[int] = None,
+                 detail: str = ""):
+        self.child = str(child)
+        self.exitcode = exitcode
+        message = f"service child {child} died"
+        if exitcode is not None:
+            message += f" with exit code {exitcode}"
+        if detail:
+            message += f" {detail}"
+        super().__init__(message)
+
+
+class FailoverExhaustedError(RuntimeError):
+    """The primary died more times than ``max_failovers`` allows."""
+
+
+class ReplicaLapsedError(RuntimeError):
+    """A replica missed its heartbeat window; the caller should re-route."""
+
+
+# ----------------------------------------------------------------------
+# Service wires (the supervisor <-> child control channel)
+# ----------------------------------------------------------------------
+class ServiceWire:
+    """Supervisor-side control channel: one instance, all children.
+
+    The supervisor calls :meth:`bind` once, then per child
+    :meth:`child_endpoint` (the picklable half handed to the process) and
+    :meth:`attach` after the process started.  Messages are arbitrary
+    pickles; :meth:`recv` never blocks past a dead child (it raises
+    :class:`ChildCrashedError`) and returns :data:`TIMEOUT` when an
+    explicit timeout lapses first.
+    """
+
+    name = "base"
+
+    def bind(self, mp_context) -> None:
+        """Allocate supervisor-side resources before any child starts."""
+
+    def child_endpoint(self, cid: int) -> "ChildServiceEndpoint":
+        raise NotImplementedError
+
+    def attach(self, cid: int, process) -> None:
+        """Complete the per-child handshake after ``process`` started."""
+
+    def send(self, cid: int, message) -> None:
+        raise NotImplementedError
+
+    def recv(self, cid: int, timeout: Optional[float] = None):
+        raise NotImplementedError
+
+    def poll(self, cid: int) -> bool:
+        """Whether a message from ``cid`` is already waiting."""
+        raise NotImplementedError
+
+    def detach(self, cid: int) -> None:
+        """Release one child's connection state after its process died."""
+
+    def close(self) -> None:
+        """Release every supervisor-side resource (idempotent)."""
+
+
+class ChildServiceEndpoint:
+    """Child-side control channel, constructed in the supervisor."""
+
+    def open(self) -> None:
+        """Connect inside the child process (before the first message)."""
+
+    def recv(self):
+        raise NotImplementedError
+
+    def send(self, message) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release child-side resources (idempotent)."""
+
+
+class PipeServiceWire(ServiceWire):
+    """One ``multiprocessing.Pipe`` per child (the local default)."""
+
+    name = "pipe"
+
+    def __init__(self):
+        self._conns: Dict[int, object] = {}
+        self._child_conns: Dict[int, object] = {}
+        self._processes: Dict[int, object] = {}
+        self._ctx = None
+
+    def bind(self, mp_context) -> None:
+        self._ctx = mp_context
+
+    def child_endpoint(self, cid: int) -> "PipeChildEndpoint":
+        parent_conn, child_conn = self._ctx.Pipe()
+        self._conns[cid] = parent_conn
+        self._child_conns[cid] = child_conn
+        return PipeChildEndpoint(child_conn)
+
+    def attach(self, cid: int, process) -> None:
+        self._processes[cid] = process
+        # Drop the supervisor's reference to the child half so an EOF is
+        # unambiguous: only the child holds that end now.
+        child_conn = self._child_conns.pop(cid, None)
+        if child_conn is not None:
+            child_conn.close()
+
+    def send(self, cid: int, message) -> None:
+        try:
+            self._conns[cid].send(message)
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            process = self._processes.get(cid)
+            raise ChildCrashedError(
+                cid, getattr(process, "exitcode", None), "(control pipe closed)"
+            )
+
+    def recv(self, cid: int, timeout: Optional[float] = None):
+        conn = self._conns[cid]
+        process = self._processes.get(cid)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while not conn.poll(_POLL_S):
+            if process is not None and not process.is_alive():
+                # One final poll: the child may have replied just before
+                # dying and the message still sits in the pipe buffer.
+                if conn.poll(_POLL_S):
+                    break
+                raise ChildCrashedError(cid, process.exitcode)
+            if deadline is not None and time.monotonic() >= deadline:
+                return TIMEOUT
+        try:
+            return conn.recv()
+        except (EOFError, ConnectionResetError):
+            raise ChildCrashedError(
+                cid, getattr(process, "exitcode", None), "(pipe truncated)"
+            )
+
+    def poll(self, cid: int) -> bool:
+        try:
+            return self._conns[cid].poll(0)
+        except (OSError, EOFError):  # pragma: no cover - racing a close
+            return False
+
+    def detach(self, cid: int) -> None:
+        conn = self._conns.pop(cid, None)
+        if conn is not None:
+            conn.close()
+        self._child_conns.pop(cid, None)
+        self._processes.pop(cid, None)
+
+    def close(self) -> None:
+        for conns in (self._conns, self._child_conns):
+            for conn in conns.values():
+                try:
+                    conn.close()
+                except OSError:  # pragma: no cover
+                    pass
+            conns.clear()
+        self._processes.clear()
+
+
+class PipeChildEndpoint(ChildServiceEndpoint):
+    def __init__(self, conn):
+        self._conn = conn
+
+    def recv(self):
+        return self._conn.recv()
+
+    def send(self, message) -> None:
+        self._conn.send(message)
+
+    def close(self) -> None:
+        self._conn.close()
+
+
+def _sock_send_msg(sock, message, alive, who: str) -> None:
+    """One length-prefixed pickled message down ``sock``."""
+    blob = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    view = memoryview(struct.pack("<Q", len(blob)) + blob)
+    sent = 0
+    while sent < len(view):
+        try:
+            sent += sock.send(view[sent:])
+        except socket.timeout:
+            if not alive():
+                raise ConnectionError(f"{who} died mid-frame")
+            continue
+
+
+def _sock_recv_exact(sock, count: int, alive, who: str,
+                     deadline: Optional[float], started: bool):
+    """Read exactly ``count`` bytes; :data:`TIMEOUT` only before byte one.
+
+    Once the first byte of a frame arrived the read commits (a mid-frame
+    timeout would desynchronise the stream), so the deadline is honoured
+    only while ``started`` is still false and nothing has been read.
+    """
+    buf = bytearray(count)
+    view = memoryview(buf)
+    got = 0
+    while got < count:
+        try:
+            n = sock.recv_into(view[got:])
+        except socket.timeout:
+            if not alive():
+                raise ConnectionError(f"{who} died mid-frame")
+            if (not started and got == 0 and deadline is not None
+                    and time.monotonic() >= deadline):
+                return TIMEOUT
+            continue
+        if n == 0:
+            raise ConnectionError(f"{who} closed the connection mid-frame")
+        got += n
+    return buf
+
+
+def _sock_recv_msg(sock, alive, who: str, deadline: Optional[float] = None):
+    head = _sock_recv_exact(sock, 8, alive, who, deadline, started=False)
+    if head is TIMEOUT:
+        return TIMEOUT
+    (length,) = struct.unpack("<Q", head)
+    body = _sock_recv_exact(sock, length, alive, who, None, started=True)
+    return pickle.loads(bytes(body))
+
+
+class TcpServiceWire(ServiceWire):
+    """Length-prefixed pickles over localhost TCP with cookie auth.
+
+    The supervisor listens on an ephemeral ``127.0.0.1`` port; every
+    child dials in (with jittered exponential backoff, so a respawned
+    replica survives racing the supervisor's detach of its predecessor)
+    and authenticates with the per-supervisor cookie — the same
+    two-"host" shape as the BSP data plane's tcp transport, so promoting
+    replicas to another machine is an address change, not a format one.
+    """
+
+    name = "tcp"
+
+    def __init__(self, host: str = "127.0.0.1"):
+        self._host = host
+        self._listener = None
+        self._port: Optional[int] = None
+        self._cookie: bytes = b""
+        self._socks: Dict[int, socket.socket] = {}
+        self._processes: Dict[int, object] = {}
+
+    def bind(self, mp_context) -> None:
+        self._listener = socket.create_server((self._host, 0))
+        self._listener.settimeout(_POLL_S)
+        self._port = self._listener.getsockname()[1]
+        self._cookie = os.urandom(16)
+
+    def child_endpoint(self, cid: int) -> "TcpChildEndpoint":
+        return TcpChildEndpoint(self._host, self._port, cid, self._cookie)
+
+    def attach(self, cid: int, process) -> None:
+        self._processes[cid] = process
+        while cid not in self._socks:
+            try:
+                sock, _addr = self._listener.accept()
+            except socket.timeout:
+                if not process.is_alive():
+                    raise ChildCrashedError(
+                        cid, process.exitcode, "before connecting"
+                    )
+                continue
+            hello = _sock_recv_exact(
+                sock, 24, lambda: True, "connecting child", None, True
+            )
+            if bytes(hello[:16]) != self._cookie:
+                sock.close()  # not ours: refuse cross-supervisor traffic
+                continue
+            (dialled_cid,) = struct.unpack("<q", hello[16:])
+            sock.settimeout(_POLL_S)
+            self._socks[dialled_cid] = sock
+
+    def _alive(self, cid: int) -> bool:
+        process = self._processes.get(cid)
+        return process is None or process.is_alive()
+
+    def send(self, cid: int, message) -> None:
+        try:
+            _sock_send_msg(
+                self._socks[cid], message,
+                lambda: self._alive(cid), f"child {cid}",
+            )
+        except (ConnectionError, OSError):
+            process = self._processes.get(cid)
+            raise ChildCrashedError(
+                cid, getattr(process, "exitcode", None), "(socket closed)"
+            )
+
+    def recv(self, cid: int, timeout: Optional[float] = None):
+        deadline = None if timeout is None else time.monotonic() + timeout
+        try:
+            return _sock_recv_msg(
+                self._socks[cid],
+                lambda: self._alive(cid), f"child {cid}",
+                deadline=deadline,
+            )
+        except (ConnectionError, OSError):
+            process = self._processes.get(cid)
+            raise ChildCrashedError(
+                cid, getattr(process, "exitcode", None), "(socket closed)"
+            )
+
+    def poll(self, cid: int) -> bool:
+        import select
+
+        sock = self._socks.get(cid)
+        if sock is None:
+            return False
+        readable, _, _ = select.select([sock], [], [], 0)
+        return bool(readable)
+
+    def detach(self, cid: int) -> None:
+        sock = self._socks.pop(cid, None)
+        if sock is not None:
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._processes.pop(cid, None)
+
+    def close(self) -> None:
+        for sock in self._socks.values():
+            try:
+                sock.close()
+            except OSError:  # pragma: no cover
+                pass
+        self._socks.clear()
+        if self._listener is not None:
+            self._listener.close()
+            self._listener = None
+
+
+class TcpChildEndpoint(ChildServiceEndpoint):
+    def __init__(self, host: str, port: int, cid: int, cookie: bytes):
+        self._host = host
+        self._port = port
+        self._cid = cid
+        self._cookie = cookie
+        self._sock: Optional[socket.socket] = None
+
+    def open(self) -> None:
+        backoff = JitteredBackoff(
+            _CONNECT_DELAY_S,
+            attempts=_CONNECT_ATTEMPTS,
+            key=(self._cookie, self._cid, "service-reconnect"),
+        )
+
+        def dial():
+            self._sock = socket.create_connection((self._host, self._port))
+
+        backoff.retry(dial, exceptions=(OSError,))
+        self._sock.sendall(self._cookie + struct.pack("<q", self._cid))
+        self._sock.settimeout(_POLL_S)
+
+    def recv(self):
+        # alive() is always true child-side: a dead supervisor closes the
+        # socket and the read raises ConnectionError instead.
+        return _sock_recv_msg(self._sock, lambda: True, "supervisor")
+
+    def send(self, message) -> None:
+        _sock_send_msg(self._sock, message, lambda: True, "supervisor")
+
+    def close(self) -> None:
+        if self._sock is not None:
+            try:
+                self._sock.close()
+            except OSError:  # pragma: no cover
+                pass
+            self._sock = None
+
+
+# ----------------------------------------------------------------------
+# Child process main loop
+# ----------------------------------------------------------------------
+def _refresh_grid(cfg: ServiceConfig) -> int:
+    """K of the fixed extraction grid (refresh after every K-th batch)."""
+    return max(1, cfg.staleness_batches)
+
+
+def _index_payload(index: MembershipIndex, kind: str, args: tuple):
+    """Answer one query against an index, bypassing any lazy refresh."""
+    if kind == "communities_of":
+        return index.communities_of(*args)
+    if kind == "members":
+        return index.members(*args)
+    if kind == "overlap":
+        return index.overlap(*args)
+    if kind == "snapshot":
+        return index.snapshot()
+    raise ValueError(f"unknown query kind {kind!r}")
+
+
+class _ReplicaRuntime:
+    """A replica child's state: detector + index following the primary."""
+
+    def __init__(self, cfg: ServiceConfig, checkpoint_dir: str,
+                 index_state, last_refresh: int, lines: List[str]):
+        store = CheckpointStore(checkpoint_dir, keep=cfg.keep_checkpoints)
+        try:
+            ckpt = store.load_checkpoint()
+        finally:
+            store.close()
+        self.cfg = cfg
+        self.checkpoint_dir = checkpoint_dir
+        self.detector = RSLPADetector.from_state(
+            ckpt.graph,
+            ckpt.state,
+            ckpt.seed,
+            backend=cfg.backend,
+            tau_step=cfg.tau_step,
+            batch_epoch=ckpt.batch_epoch,
+        )
+        self.index = MembershipIndex(
+            match_threshold=cfg.match_threshold,
+            drift_tolerance=cfg.drift_tolerance,
+        )
+        self.index.install_state(index_state)
+        self.applied = ckpt.batch_epoch
+        self.edits_applied = ckpt.edits_applied
+        self.last_refresh = last_refresh
+        self.grid = _refresh_grid(cfg)
+        for line in lines:
+            record = parse_wal_line(line)
+            if record is not None:
+                self.apply(record[0], record[1])
+
+    def apply(self, seq: int, batch: EditBatch) -> bool:
+        """Apply one in-order record; idempotent below ``applied``."""
+        if seq <= self.applied:
+            return False
+        if seq != self.applied + 1:
+            raise ValueError(
+                f"replica gap: expected seq {self.applied + 1}, got {seq}"
+            )
+        self.detector.update(batch)
+        self.applied = seq
+        self.edits_applied += batch.size
+        return True
+
+    def maybe_refresh(self, seq: int) -> None:
+        """Refresh on the fixed grid — and only past the bootstrap point,
+        so a replica never re-extracts at a grid point the shipped index
+        state already absorbed (the id trajectory must match the
+        primary's exactly)."""
+        if seq % self.grid == 0 and seq > self.last_refresh:
+            self.index.update(self.detector.communities())
+            self.last_refresh = seq
+
+    def promote(self) -> Tuple[CommunityService, int]:
+        """Become the primary: replay the on-disk WAL tail, assemble a
+        full service around this runtime's detector and index."""
+        store = CheckpointStore(
+            self.checkpoint_dir, keep=self.cfg.keep_checkpoints
+        )
+        replayed = 0
+        for epoch, batch in store.read_wal(after_epoch=self.applied):
+            if self.apply(epoch, batch):
+                replayed += 1
+                self.maybe_refresh(epoch)
+        cfg = self.cfg
+        service = CommunityService.__new__(CommunityService)
+        service.config = cfg
+        from repro.api.config import ExecutionConfig
+
+        service.execution = ExecutionConfig(backend=cfg.backend)
+        service.detector = self.detector
+        service.queue = EditQueue(
+            batch_size=cfg.batch_size, max_pending=cfg.max_pending
+        )
+        service.index = self.index
+        service.store = store
+        service._started = True
+        service.batches_applied = self.applied
+        service.edits_applied = self.edits_applied
+        service.batches_since_extract = self.applied - self.last_refresh
+        service.extractions = 0
+        service.queries_served = 0
+        service.checkpoints_skipped = 0
+        service.checkpoint_fallbacks = 0
+        service.stale_serves = 0
+        service.refresh_failures = 0
+        service.wal_discarded_records = store.last_discarded_records
+        service.last_report = None
+        return service, replayed
+
+
+def _service_child_main(
+    endpoint: ChildServiceEndpoint,
+    role: str,
+    rid: int,
+    graph: Optional[Graph],
+    cfg: ServiceConfig,
+    checkpoint_dir: str,
+    fault_plan: Optional[FaultPlan],
+) -> None:
+    """Child-process loop: primary or replica, switching role on promote."""
+    faults = fault_plan if fault_plan is not None else FaultPlan()
+    grid = _refresh_grid(cfg)
+    service: Optional[CommunityService] = None
+    runtime: Optional[_ReplicaRuntime] = None
+    try:
+        endpoint.open()
+        if role == "primary":
+            service = CommunityService(
+                graph, config=cfg, checkpoint_dir=checkpoint_dir
+            ).start()
+            endpoint.send(
+                ("ready", 0, service.index.export_state(), 0)
+            )
+        else:
+            message = endpoint.recv()
+            if message[0] != "bootstrap":  # pragma: no cover - protocol
+                raise ValueError(f"replica expected bootstrap, got {message!r}")
+            _verb, index_state, last_refresh, lines = message
+            runtime = _ReplicaRuntime(
+                cfg, checkpoint_dir, index_state, last_refresh, lines
+            )
+            endpoint.send(("ready", runtime.applied, None, runtime.last_refresh))
+        while True:
+            message = endpoint.recv()
+            verb = message[0]
+            if verb == "stop":
+                break
+            if verb == "query":
+                _verb, token, kind, args = message
+                if role == "primary":
+                    index, applied = service.index, service.batches_applied
+                else:
+                    index, applied = runtime.index, runtime.applied
+                try:
+                    if kind == "stats":
+                        if role == "primary":
+                            payload = service.stats()
+                        else:
+                            payload = {
+                                "role": "replica",
+                                "applied": runtime.applied,
+                                "index_generation": runtime.index.generation,
+                            }
+                    elif kind == "status":
+                        payload = applied
+                    else:
+                        payload = _index_payload(index, kind, args)
+                    endpoint.send(("resp", token, True, payload, applied))
+                except Exception as exc:
+                    endpoint.send(("resp", token, False, exc, applied))
+            elif verb == "apply" and role == "primary":
+                _verb, seq, line = message
+                if faults.should_kill_primary(seq, "recv"):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if seq <= service.batches_applied:
+                    # Idempotent replay after a failover re-send: the
+                    # record is already durable (the promotion replayed
+                    # it from the on-disk tail).
+                    endpoint.send(
+                        ("applied", seq, True, None,
+                         service.batches_applied,
+                         service.store.latest_epoch() or 0)
+                    )
+                    continue
+                record = parse_wal_line(line)
+                error: Optional[BaseException] = None
+                if record is None:
+                    error = ValueError(f"record {seq} failed its CRC")
+                elif seq != service.batches_applied + 1:
+                    error = ValueError(
+                        f"primary gap: expected seq "
+                        f"{service.batches_applied + 1}, got {seq}"
+                    )
+                else:
+                    try:
+                        service.apply(record[1])
+                    except (ValueError, KeyError) as exc:
+                        error = exc
+                if error is None:
+                    if faults.should_kill_primary(seq, "applied"):
+                        os.kill(os.getpid(), signal.SIGKILL)
+                    if seq % grid == 0:
+                        service.refresh()
+                endpoint.send(
+                    ("applied", seq, error is None, error,
+                     service.batches_applied,
+                     service.store.latest_epoch() or 0)
+                )
+            elif verb == "wal" and role == "replica":
+                _verb, seq, line = message
+                record = parse_wal_line(line)
+                if record is None or (
+                    seq > runtime.applied + 1
+                ):
+                    # Corrupt in transit or a gap: ask for a re-ship from
+                    # the last record this replica durably applied.
+                    endpoint.send(("nack", runtime.applied))
+                    continue
+                fresh = runtime.apply(seq, record[1])
+                if fresh and faults.should_kill_replica(rid, seq):
+                    os.kill(os.getpid(), signal.SIGKILL)
+                if fresh:
+                    runtime.maybe_refresh(seq)
+                stall = faults.heartbeat_stall_seconds(rid, seq)
+                if fresh and stall:
+                    time.sleep(stall)
+                endpoint.send(("ack", seq, runtime.applied))
+            elif verb == "promote" and role == "replica":
+                _verb, token, new_plan = message
+                faults = new_plan if new_plan is not None else FaultPlan()
+                service, replayed = runtime.promote()
+                runtime = None
+                role = "primary"
+                endpoint.send(
+                    ("promoted", token, service.batches_applied, replayed)
+                )
+            elif verb == "export_index" and role == "primary":
+                _verb, token = message
+                endpoint.send(
+                    ("resp", token, True,
+                     (service.index.export_state(),
+                      service.batches_applied - service.batches_since_extract),
+                     service.batches_applied)
+                )
+            else:  # pragma: no cover - protocol violation
+                raise ValueError(f"unknown command {verb!r} for role {role}")
+    finally:
+        if service is not None:
+            service.close()
+        endpoint.close()
+
+
+# ----------------------------------------------------------------------
+# Supervisor
+# ----------------------------------------------------------------------
+class _ReplicaState:
+    """Supervisor-side ledger for one replica."""
+
+    __slots__ = ("rid", "acked", "shipped", "pending", "stalled", "respawns")
+
+    def __init__(self, rid: int):
+        self.rid = rid
+        self.acked = 0  #: highest seq the replica confirmed applied
+        self.shipped = 0  #: highest seq the supervisor handed to the wire
+        self.pending: Deque[int] = deque()  #: seqs not yet shipped
+        self.stalled = False  #: heartbeat lapsed; client re-routes
+        self.respawns = 0
+
+
+class ServiceSupervisor:
+    """Primary + N read replicas under one deterministic supervisor.
+
+    >>> from repro.graph.generators import ring_of_cliques
+    >>> from repro.api.config import AlgoConfig, ServicePlanConfig
+    >>> config = ServicePlanConfig(
+    ...     algo=AlgoConfig(seed=3, iterations=40), batch_size=2,
+    ...     replicas=1, staleness_batches=2,
+    ... )
+    >>> # sup = ServiceSupervisor(ring_of_cliques(3, 4), "state/", config)
+    >>> # sup.start(); sup.submit_insert(0, 5); ...; sup.shutdown()
+
+    The supervisor windows edits exactly like the facade (same
+    :class:`EditQueue` semantics), labels each drained batch with the
+    next WAL sequence number, commits it to the primary, and ships the
+    acknowledged record to every replica.  ``fault_plan`` scripts
+    deterministic service-plane failures; see the module docstring for
+    the failover protocol.
+    """
+
+    def __init__(
+        self,
+        graph: Graph,
+        checkpoint_dir: str,
+        config: Optional[Union[ServicePlanConfig, ServiceConfig]] = None,
+        fault_plan: Optional[FaultPlan] = None,
+        **overrides,
+    ):
+        from dataclasses import fields, replace
+
+        if isinstance(config, ServiceConfig):
+            config = config.as_plan_config()
+        if config is None:
+            config = ServicePlanConfig()
+        # Accept both config vocabularies as keyword overrides: the
+        # structured ServicePlanConfig fields (replicas=, max_failovers=)
+        # and the facade's flat ServiceConfig fields (seed=, batch_size=).
+        plan_fields = {f.name for f in fields(ServicePlanConfig)}
+        flat_overrides = {
+            k: v for k, v in overrides.items() if k not in plan_fields
+        }
+        plan_overrides = {
+            k: v for k, v in overrides.items() if k in plan_fields
+        }
+        if flat_overrides:
+            flat_cfg = replace(_flatten_plan_config(config), **flat_overrides)
+            config = replace(
+                flat_cfg.as_plan_config(config.execution),
+                replicas=config.replicas,
+                heartbeat_interval=config.heartbeat_interval,
+                max_failovers=config.max_failovers,
+                service_transport=config.service_transport,
+            )
+        if plan_overrides:
+            config = replace(config, **plan_overrides)
+        if config.replicas < 1:
+            raise ValueError(
+                "ServiceSupervisor requires replicas >= 1 in the "
+                "ServicePlanConfig; an unreplicated deployment is plain "
+                "CommunityService"
+            )
+        self.plan: ServiceRunPlan = resolve_service_plan(
+            GraphCaps.of(graph), config
+        )
+        self._cfg: ServiceConfig = _flatten_plan_config(config)
+        if not self._cfg.strict_edits:
+            raise ValueError(
+                "replication requires strict_edits=True: the shipped WAL "
+                "record must be byte-identical to the record the primary "
+                "logs, which the no-op filter would break"
+            )
+        if self._cfg.checkpoint_every < 1:
+            raise ValueError(
+                "replication requires checkpoint_every >= 1: replicas "
+                "bootstrap (and promotions replay) from the shared "
+                "checkpoint + WAL tail"
+            )
+        if checkpoint_dir is None:
+            raise ValueError(
+                "replication requires a checkpoint_dir: replicas bootstrap "
+                "(and promotions replay) from the shared checkpoint + WAL"
+            )
+        self._graph = graph
+        self._checkpoint_dir = str(checkpoint_dir)
+        self._fault_plan = (
+            fault_plan if fault_plan is not None else FaultPlan()
+        )
+        self._fired_drops: set = set()
+        self._queue = EditQueue(
+            batch_size=self._cfg.batch_size, max_pending=self._cfg.max_pending
+        )
+        self._ctx = mp.get_context()
+        self._wire: ServiceWire = SERVICE_TRANSPORTS.resolve(
+            self.plan.service_transport
+        )()
+        self._processes: Dict[int, object] = {}
+        self._replicas: Dict[int, _ReplicaState] = {}
+        self._primary_cid = _PRIMARY_CID
+        self._buffer: Dict[int, str] = {}  #: seq -> shipped WAL line
+        self._committed_seq = 0
+        self._latest_ckpt_epoch = 0
+        self._bootstrap_index_state = None
+        self._bootstrap_last_refresh = 0
+        self._token = 0
+        self._started = False
+        self._closed = False
+        # Failover ledger (surfaced in stats()).
+        self.failovers = 0
+        self.promoted_replica: Optional[int] = None
+        self.replayed_records = 0
+        self.replica_respawns = 0
+        self.wal_reships = 0
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "ServiceSupervisor":
+        """Spawn the primary (fit + baseline checkpoint) and the replicas."""
+        if self._started:
+            raise RuntimeError("supervisor already started")
+        self._wire.bind(self._ctx)
+        try:
+            self._spawn_child(self._primary_cid, "primary", rid=-1)
+            ready = self._wire.recv(self._primary_cid)
+            self._bootstrap_index_state = ready[2]
+            self._bootstrap_last_refresh = ready[3]
+            for rid in range(self.plan.replicas):
+                self._spawn_replica(rid, respawn=False)
+        except BaseException:
+            self.shutdown()
+            raise
+        self._started = True
+        return self
+
+    def _spawn_child(self, cid: int, role: str, rid: int,
+                     fault_plan: Optional[FaultPlan] = None) -> None:
+        endpoint = self._wire.child_endpoint(cid)
+        process = self._ctx.Process(
+            target=_service_child_main,
+            args=(
+                endpoint,
+                role,
+                rid,
+                self._graph if role == "primary" else None,
+                self._cfg,
+                self._checkpoint_dir,
+                fault_plan if fault_plan is not None else self._fault_plan,
+            ),
+            daemon=True,
+        )
+        process.start()
+        self._processes[cid] = process
+        self._wire.attach(cid, process)
+
+    def _spawn_replica(self, rid: int, respawn: bool) -> None:
+        """Spawn (or respawn) replica ``rid`` and bootstrap it.
+
+        A respawned replica is healthy (its scripted faults are
+        stripped) and bootstraps from the latest shared-disk checkpoint
+        plus the supervisor's buffered tail — the same recipe as initial
+        spawn, so the code path is exercised constantly, not only in
+        disasters.
+        """
+        state = self._replicas.get(rid)
+        if state is None:
+            state = _ReplicaState(rid)
+            self._replicas[rid] = state
+        plan = self._fault_plan
+        if respawn:
+            self._wire.detach(rid)
+            old = self._processes.pop(rid, None)
+            if old is not None:
+                old.join(timeout=1.0)
+            state.respawns += 1
+            self.replica_respawns += 1
+            plan = plan.without_replica(rid)
+            self._fault_plan = plan
+        if respawn and self._bootstrap_index_state is not None:
+            # Re-export the primary's index state so the replacement
+            # lands on the current id trajectory, not the start-of-run
+            # one (stable ids are path-dependent).
+            try:
+                index_state, last_refresh = self._request_primary_export()
+                self._bootstrap_index_state = index_state
+                self._bootstrap_last_refresh = last_refresh
+            except ChildCrashedError:
+                self._handle_primary_crash(in_flight=None)
+                index_state, last_refresh = self._request_primary_export()
+                self._bootstrap_index_state = index_state
+                self._bootstrap_last_refresh = last_refresh
+        self._spawn_child(rid, "replica", rid=rid, fault_plan=plan)
+        lines = [
+            self._buffer[seq]
+            for seq in sorted(self._buffer)
+            if seq <= self._committed_seq
+        ]
+        self._wire.send(
+            rid,
+            ("bootstrap", self._bootstrap_index_state,
+             self._bootstrap_last_refresh, lines),
+        )
+        ready = self._wire.recv(rid)
+        state.acked = ready[1]
+        state.shipped = max(state.acked, self._committed_seq)
+        state.pending.clear()
+        state.stalled = False
+
+    def _request_primary_export(self) -> Tuple[object, int]:
+        payload, _applied = self._query_child(
+            self._primary_cid, "export_index", (), timeout=None
+        )
+        return payload
+
+    # ------------------------------------------------------------------
+    # Ingest
+    # ------------------------------------------------------------------
+    def submit(self, op: str, u: int, v: int,
+               timeout: Optional[float] = None) -> Optional[int]:
+        """Offer one edit; commits a batch when the window fills.
+
+        Returns the committed WAL sequence when this edit completed a
+        window, else ``None``.
+        """
+        self._require_started()
+        self._queue.offer(op, u, v, timeout=timeout)
+        if self._queue.ready:
+            return self.flush()
+        return None
+
+    def submit_insert(self, u: int, v: int,
+                      timeout: Optional[float] = None) -> Optional[int]:
+        return self.submit("+", u, v, timeout=timeout)
+
+    def submit_delete(self, u: int, v: int,
+                      timeout: Optional[float] = None) -> Optional[int]:
+        return self.submit("-", u, v, timeout=timeout)
+
+    def flush(self) -> Optional[int]:
+        """Drain the window and commit the net batch now (empty → no-op)."""
+        self._require_started()
+        batch = self._queue.drain()
+        if not batch:
+            return None
+        return self._commit(batch)
+
+    def apply(self, batch: EditBatch) -> Optional[int]:
+        """Commit a pre-built batch (bulk ingest path); flushes first."""
+        self._require_started()
+        if self._queue.pending:
+            self.flush()
+        if not batch:
+            return None
+        return self._commit(batch)
+
+    def _commit(self, batch: EditBatch) -> int:
+        """Label, commit to the primary, and replicate one batch."""
+        seq = self._committed_seq + 1
+        line = encode_wal_record(seq, batch)
+        self._buffer[seq] = line
+        ack = self._apply_on_primary(seq, line)
+        _verb, _seq, ok, error, applied, ckpt_epoch = ack
+        if not ok:
+            # Validation failed before anything durable happened: the
+            # sequence number is not consumed and the error surfaces to
+            # the caller exactly as the unreplicated facade would raise.
+            del self._buffer[seq]
+            raise error
+        self._committed_seq = applied
+        self._latest_ckpt_epoch = max(self._latest_ckpt_epoch, ckpt_epoch)
+        for state in self._replicas.values():
+            state.pending.append(seq)
+        self._pump_replicas()
+        self._prune_buffer()
+        return seq
+
+    def _apply_on_primary(self, seq: int, line: str):
+        """Send one apply and wait for its ack, failing over as needed."""
+        while True:
+            try:
+                self._wire.send(self._primary_cid, ("apply", seq, line))
+                ack = self._recv_primary_ack(seq)
+                return ack
+            except ChildCrashedError:
+                self._handle_primary_crash(in_flight=(seq, line))
+                # Loop: re-send to the promoted primary (idempotent if
+                # the record was already durable before the crash).
+
+    def _recv_primary_ack(self, seq: int):
+        while True:
+            message = self._wire.recv(self._primary_cid)
+            if message[0] == "applied" and message[1] == seq:
+                return message
+            # Anything else is a stale response from an interrupted
+            # exchange (e.g. a query the client timed out on); drop it.
+
+    # ------------------------------------------------------------------
+    # Replication pump
+    # ------------------------------------------------------------------
+    def _absorb(self, state: _ReplicaState) -> None:
+        """Drain late messages (acks after a stall) without blocking."""
+        while self._wire.poll(state.rid):
+            message = self._wire.recv(state.rid, timeout=0)
+            if message is TIMEOUT:
+                break
+            if message[0] == "ack":
+                state.acked = max(state.acked, message[2])
+                state.stalled = False
+            elif message[0] == "nack":
+                self._renact(state, message[1])
+
+    def _renact(self, state: _ReplicaState, applied: int) -> None:
+        """Reset a replica's pending window after a nack (gap/corruption)."""
+        state.acked = applied
+        state.pending = deque(
+            range(applied + 1, max(state.shipped, self._committed_seq) + 1)
+        )
+        self.wal_reships += 1
+
+    def _pump_replicas(self) -> None:
+        for rid in sorted(self._replicas):
+            self._pump(self._replicas[rid])
+
+    def _pump(self, state: _ReplicaState) -> None:
+        """Ship this replica's pending records, one synchronous ack each."""
+        self._absorb(state)
+        guard = 0
+        while guard < 10_000:  # defensive: every path below makes progress
+            guard += 1
+            if not state.pending:
+                if state.stalled or state.acked >= self._committed_seq:
+                    return
+                # Tail gap (a dropped final record): re-ship the rest.
+                self._renact(state, state.acked)
+            seq = state.pending.popleft()
+            if seq <= state.acked:
+                continue
+            if seq not in self._buffer:
+                # Rotated out from under a lagging replica: a respawn
+                # bootstraps it from the checkpoint that superseded the
+                # missing records.
+                self._spawn_replica(state.rid, respawn=True)
+                return
+            drop_site = (state.rid, seq)
+            if (self._fault_plan.should_drop_wal_record(*drop_site)
+                    and drop_site not in self._fired_drops):
+                # Scripted in-transit loss: the supervisor believes the
+                # record shipped; the replica's gap detection must nack.
+                self._fired_drops.add(drop_site)
+                state.shipped = max(state.shipped, seq)
+                continue
+            try:
+                self._wire.send(state.rid, ("wal", seq, self._buffer[seq]))
+                state.shipped = max(state.shipped, seq)
+                reply = self._wire.recv(
+                    state.rid, timeout=self.plan.heartbeat_interval
+                )
+            except ChildCrashedError:
+                self._spawn_replica(state.rid, respawn=True)
+                return
+            if reply is TIMEOUT:
+                # Heartbeat lapse: stop pumping and let the client
+                # re-route meanwhile.  The record is in flight, not lost
+                # — its ack is absorbed on the next pump, and if it never
+                # comes the tail-gap check re-ships from ``acked``.
+                state.stalled = True
+                return
+            if reply[0] == "ack":
+                state.acked = max(state.acked, reply[2])
+                state.stalled = False
+            elif reply[0] == "nack":
+                self._renact(state, reply[1])
+
+    def _prune_buffer(self) -> None:
+        """Drop buffered lines a durable checkpoint made redundant.
+
+        Records at or below the latest announced checkpoint epoch are
+        recoverable from shared disk, so a replica that still needs them
+        (it lagged past the buffer) is respawned from that checkpoint
+        instead of re-shipped.
+        """
+        if not self._latest_ckpt_epoch:
+            return
+        floor = min(
+            [self._latest_ckpt_epoch]
+            + [state.acked for state in self._replicas.values()
+               if not state.stalled]
+        )
+        for seq in [s for s in self._buffer if s <= floor]:
+            del self._buffer[seq]
+
+    # ------------------------------------------------------------------
+    # Failover
+    # ------------------------------------------------------------------
+    def _handle_primary_crash(
+        self, in_flight: Optional[Tuple[int, str]]
+    ) -> None:
+        """Promote the freshest replica and resume, or give up loudly."""
+        self.failovers += 1
+        if self.failovers > self.plan.max_failovers:
+            raise FailoverExhaustedError(
+                f"primary died {self.failovers} time(s); max_failovers="
+                f"{self.plan.max_failovers} exhausted"
+            )
+        self._wire.detach(self._primary_cid)
+        old = self._processes.pop(self._primary_cid, None)
+        if old is not None:
+            old.join(timeout=1.0)
+        if not self._replicas:
+            raise FailoverExhaustedError(
+                "primary died with no replicas left to promote"
+            )
+        logger.warning(
+            "primary died (failover %d); electing the freshest replica",
+            self.failovers,
+        )
+        # Freshest replica = highest applied WAL seq; ties break to the
+        # lowest rid so elections are deterministic.
+        statuses: Dict[int, int] = {}
+        dead: List[int] = []
+        for rid in sorted(self._replicas):
+            state = self._replicas[rid]
+            try:
+                self._absorb(state)
+                applied, _ = self._query_child(
+                    rid, "status", (), timeout=None
+                )
+            except ChildCrashedError:
+                # A dead replica cannot stand for election; respawn it
+                # after a new primary exists to export index state from.
+                dead.append(rid)
+                continue
+            statuses[rid] = applied
+        if not statuses:
+            raise FailoverExhaustedError(
+                "primary died and every replica is dead too; nothing "
+                "left to promote"
+            )
+        promoted = max(sorted(statuses), key=lambda rid: statuses[rid])
+        # Strip the fired kill so the promoted primary cannot re-fire it.
+        # Exactly this record was in flight when the crash happened, so
+        # the fired site is whichever phase is scripted at its seq (a
+        # "recv" kill fires before an "applied" one could).
+        if in_flight is not None:
+            seq = in_flight[0]
+            for phase in ("recv", "applied"):
+                if self._fault_plan.should_kill_primary(seq, phase):
+                    self._fault_plan = self._fault_plan.without_kill_primary(
+                        seq, phase
+                    )
+                    break
+        plan = self._fault_plan.without_replica(promoted)
+        self._fault_plan = plan
+        token = self._next_token()
+        self._wire.send(promoted, ("promote", token, plan))
+        while True:
+            reply = self._wire.recv(promoted)
+            if reply[0] == "promoted" and reply[1] == token:
+                break
+        _verb, _token, applied, replayed = reply
+        self.replayed_records += replayed
+        self.promoted_replica = promoted
+        self._replicas.pop(promoted)
+        self._primary_cid = promoted
+        self._committed_seq = max(self._committed_seq, applied)
+        logger.warning(
+            "promoted replica %d at seq %d (%d record(s) replayed)",
+            promoted, applied, replayed,
+        )
+        for rid in dead:
+            self._spawn_replica(rid, respawn=True)
+
+    # ------------------------------------------------------------------
+    # Query plane (used by ReplicatedClient)
+    # ------------------------------------------------------------------
+    def _next_token(self) -> int:
+        self._token += 1
+        return self._token
+
+    def _query_child(self, cid: int, kind: str, args: tuple,
+                     timeout: Optional[float]):
+        """One token-tagged query; stale responses are discarded."""
+        token = self._next_token()
+        if kind == "export_index":
+            self._wire.send(cid, ("export_index", token))
+        else:
+            self._wire.send(cid, ("query", token, kind, args))
+        deadline = (
+            None if timeout is None else time.monotonic() + timeout
+        )
+        while True:
+            remaining = (
+                None if deadline is None
+                else max(0.0, deadline - time.monotonic())
+            )
+            message = self._wire.recv(cid, timeout=remaining)
+            if message is TIMEOUT:
+                raise ReplicaLapsedError(
+                    f"child {cid} missed the {timeout:.3f}s window"
+                )
+            if message[0] == "resp" and message[1] == token:
+                _verb, _token, ok, payload, applied = message
+                if not ok:
+                    raise payload
+                return payload, applied
+            if message[0] == "ack" and cid in self._replicas:
+                state = self._replicas[cid]
+                state.acked = max(state.acked, message[2])
+                state.stalled = False
+            # Otherwise: a stale tokened response; drop and keep waiting.
+
+    def query_primary(self, kind: str, args: tuple = ()):  # crash-aware
+        """Query the primary (blocking, surviving failovers)."""
+        self._require_started()
+        while True:
+            try:
+                payload, applied = self._query_child(
+                    self._primary_cid, kind, args, timeout=None
+                )
+                return payload, applied
+            except ChildCrashedError:
+                self._handle_primary_crash(in_flight=None)
+
+    def query_replica(self, rid: int, kind: str, args: tuple,
+                      timeout: Optional[float]):
+        """Query one replica; lapses mark it stalled for re-routing."""
+        self._require_started()
+        state = self._replicas[rid]
+        self._pump(state)
+        if state.stalled:
+            raise ReplicaLapsedError(f"replica {rid} heartbeat lapsed")
+        try:
+            return self._query_child(rid, kind, args, timeout=timeout)
+        except ReplicaLapsedError:
+            state.stalled = True
+            raise
+        except ChildCrashedError:
+            self._spawn_replica(rid, respawn=True)
+            raise ReplicaLapsedError(f"replica {rid} died; respawned")
+
+    def live_replicas(self) -> List[int]:
+        """Replica ids currently eligible for queries (not lapsed)."""
+        return [
+            rid for rid in sorted(self._replicas)
+            if not self._replicas[rid].stalled
+        ]
+
+    def client(self, timeout: Optional[float] = None,
+               attempts: int = 4) -> "ReplicatedClient":
+        """A query client over this topology (see :class:`ReplicatedClient`)."""
+        return ReplicatedClient(self, timeout=timeout, attempts=attempts)
+
+    # ------------------------------------------------------------------
+    # Introspection & shutdown
+    # ------------------------------------------------------------------
+    @property
+    def committed_seq(self) -> int:
+        """Highest WAL sequence the primary has acknowledged durable."""
+        return self._committed_seq
+
+    def stats(self) -> Dict[str, object]:
+        """Primary service stats + the supervisor's failover ledger."""
+        self._require_started()
+        payload, _applied = self.query_primary("stats")
+        payload = dict(payload)
+        payload["failovers"] = self.failovers
+        payload["promoted_replica"] = self.promoted_replica
+        payload["replayed_records"] = self.replayed_records
+        payload["replica_respawns"] = self.replica_respawns
+        payload["wal_reships"] = self.wal_reships
+        payload["committed_seq"] = self._committed_seq
+        payload["replicas"] = {
+            rid: {
+                "acked": state.acked,
+                "stalled": state.stalled,
+                "respawns": state.respawns,
+            }
+            for rid, state in sorted(self._replicas.items())
+        }
+        return payload
+
+    def snapshot(self) -> Dict[int, frozenset]:
+        """The primary's ``stable id -> members`` map (bit-identity probe)."""
+        payload, _applied = self.query_primary("snapshot")
+        return payload
+
+    def finish(self) -> ReplicatedRunResult:
+        """Drain replication, collect the final result, and shut down."""
+        self._require_started()
+        self.flush()
+        self._pump_replicas()
+        snapshot = self.snapshot()
+        stats = self.stats()
+        self.shutdown()
+        from repro.core.communities import Cover
+
+        cover = Cover([snapshot[cid] for cid in sorted(snapshot)])
+        return ReplicatedRunResult(cover=cover, stats=stats, plan=self.plan)
+
+    def shutdown(self) -> None:
+        """Stop every child and release the wire (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        for cid, process in list(self._processes.items()):
+            try:
+                self._wire.send(cid, ("stop",))
+            except (ChildCrashedError, KeyError, OSError):
+                pass
+        for cid, process in list(self._processes.items()):
+            process.join(timeout=2.0)
+            if process.is_alive():  # pragma: no cover - stuck child
+                process.terminate()
+                process.join(timeout=1.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=1.0)
+        self._processes.clear()
+        self._wire.close()
+
+    def _require_started(self) -> None:
+        if not self._started:
+            raise RuntimeError("supervisor not started; call start() first")
+        if self._closed:
+            raise RuntimeError("supervisor is shut down")
+
+    def __enter__(self) -> "ServiceSupervisor":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.shutdown()
+
+    def __repr__(self) -> str:
+        return (
+            f"ServiceSupervisor(replicas={sorted(self._replicas)}, "
+            f"committed_seq={self._committed_seq}, "
+            f"failovers={self.failovers})"
+        )
+
+
+# ----------------------------------------------------------------------
+# Client
+# ----------------------------------------------------------------------
+class ReplicatedClient:
+    """Queries over the topology: timeout, retry, re-route, never error.
+
+    Each request walks the live replicas round-robin under a per-request
+    timeout; a lapse (the resolved ``heartbeat_interval`` by default)
+    marks the replica stalled and re-routes to the next.  Between
+    attempts the client sleeps a jittered exponential backoff
+    (:class:`~repro.utils.backoff.JitteredBackoff`, keyed by the service
+    seed and the request number — deterministic per run, decorrelated
+    across requests).  The final fallback queries the primary with a
+    crash-aware blocking wait that survives failovers, so a query can be
+    served stale (counted in :attr:`stale_serves`) but never errors for
+    availability reasons; only genuine semantic errors (e.g. ``KeyError``
+    for a dead community id) propagate.
+    """
+
+    def __init__(self, supervisor: ServiceSupervisor,
+                 timeout: Optional[float] = None, attempts: int = 4):
+        if attempts < 1:
+            raise ValueError(f"attempts must be >= 1, got {attempts}")
+        self._sup = supervisor
+        self._timeout = (
+            timeout if timeout is not None
+            else supervisor.plan.heartbeat_interval
+        )
+        self._attempts = attempts
+        self._rr = 0
+        self._requests = 0
+        self.queries_served = 0
+        self.stale_serves = 0
+        self.reroutes = 0
+        self.primary_fallbacks = 0
+
+    def communities_of(self, vertex: int) -> Tuple[int, ...]:
+        return self._query("communities_of", (vertex,))
+
+    def members(self, cid: int) -> frozenset:
+        return self._query("members", (cid,))
+
+    def overlap(self, u: int, v: int) -> Tuple[int, ...]:
+        return self._query("overlap", (u, v))
+
+    def stats(self) -> Dict[str, object]:
+        return self._query("stats", ())
+
+    def _query(self, kind: str, args: tuple):
+        self._requests += 1
+        backoff = JitteredBackoff(
+            0.01,
+            attempts=self._attempts,
+            key=(self._sup.plan.requested.algo.seed, self._requests, kind),
+        )
+        delays = backoff.delays()
+        for attempt in range(self._attempts - 1):
+            live = self._sup.live_replicas()
+            if not live:
+                break
+            rid = live[self._rr % len(live)]
+            self._rr += 1
+            try:
+                payload, applied = self._sup.query_replica(
+                    rid, kind, args, timeout=self._timeout
+                )
+            except ReplicaLapsedError:
+                self.reroutes += 1
+                time.sleep(next(delays))
+                continue
+            self.queries_served += 1
+            if applied < self._sup.committed_seq:
+                self.stale_serves += 1
+            return payload
+        # Last resort: the primary, blocking and failover-surviving.
+        self.primary_fallbacks += 1
+        payload, _applied = self._sup.query_primary(kind, args)
+        self.queries_served += 1
+        return payload
+
+    def __repr__(self) -> str:
+        return (
+            f"ReplicatedClient(served={self.queries_served}, "
+            f"stale={self.stale_serves}, reroutes={self.reroutes})"
+        )
