@@ -192,10 +192,9 @@ def _engine_sweep(sizes, iterations, workers=SWEEP_WORKERS):
                             "iterations": iterations,
                             "workers": workers,
                             "wall_s": wall_s,
-                            "supersteps": stats.supersteps,
-                            "messages": stats.total_messages,
-                            "bytes": stats.total_bytes,
-                            "remote_messages": stats.total_remote_messages,
+                            # benchmark-record field names come straight
+                            # off the stats object
+                            **stats.as_dict(),
                             "wall_per_superstep_s": wall_s / stats.supersteps,
                             "messages_per_superstep": (
                                 stats.total_messages / stats.supersteps
@@ -866,6 +865,204 @@ def test_fault_tolerance_records_overhead(benchmark, report):
     assert all(
         row["kill_sites"] == FAULT_WORKERS * (FAULT_ITERATIONS + 1)
         for row in kill_rows
+    )
+
+
+# ----------------------------------------------------------------------
+# Observability: phase-timing breakdown + tracing overhead (PR 9)
+# ----------------------------------------------------------------------
+OBS_LFR_N = scaled(400, 2_000, 10_000)
+OBS_ITERATIONS = scaled(6, 8, 10)
+OBS_WORKERS = [2, 4]
+OBS_REPS = scaled(3, 3, 5)
+#: Tracing must cost < 5% wall-clock on the multiprocess plane
+#: (min-of-reps vs the identical untraced run; DESIGN.md budget).
+OBS_OVERHEAD_BUDGET_PCT = 5.0
+
+
+def _obs_slpa_engine(graph, part, iterations, transport, trace):
+    """A reusable (re-entrant) supervised SLPA engine, traced or not."""
+    obs = None
+    if trace:
+        from repro.obs import Obs
+
+        obs = Obs()
+    shards = build_shards(graph, part)
+    factory = partial(
+        FastSLPAPropagationProgram, seed=7, iterations=iterations
+    )
+    return MultiprocessBSPEngine(
+        shards, part, factory, plane="array", transport=transport, obs=obs
+    ), obs
+
+
+def _min_wall(graph, part, iterations, trace, reps, transport="shm"):
+    """Best-of-``reps`` wall-clock for one config (untimed warm-up run)."""
+    engine, _obs = _obs_slpa_engine(graph, part, iterations, transport, trace)
+    try:
+        engine.run()  # warm-up, untimed
+        times = []
+        for _ in range(reps):
+            t0 = time.perf_counter()
+            engine.run()
+            times.append(time.perf_counter() - t0)
+        return min(times)
+    finally:
+        engine.shutdown()
+
+
+def _phase_breakdown(graph, workers, iterations, transport="shm"):
+    """One traced run's per-phase and per-worker second totals."""
+    part = ContiguousPartitioner(workers, graph.num_vertices)
+    engine, obs = _obs_slpa_engine(graph, part, iterations, transport, True)
+    try:
+        t0 = time.perf_counter()
+        engine.run()
+        wall_s = time.perf_counter() - t0
+        engine.collect()
+    finally:
+        engine.shutdown()
+    result = obs.result()
+    busy = {}
+    for span in result.spans:
+        busy[span.worker] = busy.get(span.worker, 0.0) + span.dur_ns / 1e9
+    return {
+        "workers": workers,
+        "wall_s": round(wall_s, 4),
+        "spans": len(result.spans),
+        "phase_seconds": {
+            name: round(total, 6)
+            for name, total in result.phase_totals().items()
+        },
+        "busy_seconds_per_timeline": {
+            str(w): round(s, 6) for w, s in sorted(busy.items())
+        },
+    }
+
+
+def test_observability_phase_breakdown_records(benchmark, report):
+    """Phase-timing breakdown per worker count + tracing overhead,
+    recorded into ``BENCH_distributed.json`` (section ``observability``)."""
+    graph = _sweep_lfr(OBS_LFR_N)
+    results = {}
+
+    def run():
+        results["rows"] = [
+            _phase_breakdown(graph, workers, OBS_ITERATIONS)
+            for workers in OBS_WORKERS
+        ]
+        widest = max(OBS_WORKERS)
+        part = ContiguousPartitioner(widest, graph.num_vertices)
+        plain = _min_wall(graph, part, OBS_ITERATIONS, False, OBS_REPS)
+        traced = _min_wall(graph, part, OBS_ITERATIONS, True, OBS_REPS)
+        results["overhead"] = {
+            "workers": widest,
+            "reps": OBS_REPS,
+            "untraced_best_s": round(plain, 4),
+            "traced_best_s": round(traced, 4),
+            "overhead_pct": round(100.0 * (traced / plain - 1), 2),
+        }
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    rows, overhead = results["rows"], results["overhead"]
+    report(
+        banner(
+            "Observability: superstep phase breakdown + tracing overhead",
+            "where each worker's superstep actually goes (spans, merged)",
+            "barrier/transport/compute split per worker count; <5% overhead",
+        )
+    )
+    report(
+        f"LFR |V|={graph.num_vertices} |E|={graph.num_edges}, "
+        f"SLPA T={OBS_ITERATIONS}, shm transport"
+    )
+    phases = sorted({p for row in rows for p in row["phase_seconds"]})
+    print_table(
+        report,
+        ["workers", "wall (s)", "spans"] + [p.split(".")[-1] for p in phases],
+        [
+            tuple(
+                [row["workers"], row["wall_s"], row["spans"]]
+                + [round(row["phase_seconds"].get(p, 0.0), 4) for p in phases]
+            )
+            for row in rows
+        ],
+    )
+    report(
+        f"tracing overhead at {overhead['workers']} workers: "
+        f"{overhead['overhead_pct']}% "
+        f"({overhead['untraced_best_s']}s -> {overhead['traced_best_s']}s, "
+        f"best of {OBS_REPS})"
+    )
+    _merge_record(
+        "observability",
+        {
+            "benchmark": "distributed_observability",
+            "scale": SCALE,
+            "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+            "graph": {
+                "n": graph.num_vertices,
+                "num_edges": graph.num_edges,
+                "family": "lfr",
+            },
+            "iterations": OBS_ITERATIONS,
+            "transport": "shm",
+            "phase_breakdown": rows,
+            "overhead": overhead,
+        },
+    )
+    report(f"results recorded in {RESULT_PATH}")
+
+    for row in rows:
+        assert {
+            "engine.compute", "engine.pack", "engine.transport_send",
+            "engine.barrier_wait", "engine.route",
+        } <= set(row["phase_seconds"]), row["workers"]
+
+
+def test_observability_overhead_smoke(benchmark, report):
+    """Tracing-overhead gate for CI (`-k "smoke"`): a traced multiprocess
+    SLPA fit must stay within the 5% wall-clock budget of the identical
+    untraced run (best of reps), and record every superstep phase."""
+    graph = _sweep_lfr(250)
+    part = ContiguousPartitioner(2, graph.num_vertices)
+    results = {}
+
+    def run():
+        results["plain"] = _min_wall(graph, part, 8, False, OBS_REPS)
+        results["traced"] = _min_wall(graph, part, 8, True, OBS_REPS)
+        results["breakdown"] = _phase_breakdown(graph, 2, 8)
+        return results
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    plain, traced = results["plain"], results["traced"]
+    overhead_pct = 100.0 * (traced / plain - 1)
+    report(
+        banner(
+            "Observability smoke: tracing overhead within budget",
+            "span recording is two gated statements per phase",
+            f"overhead {overhead_pct:.1f}% (budget "
+            f"{OBS_OVERHEAD_BUDGET_PCT}%)",
+        )
+    )
+    breakdown = results["breakdown"]
+    print_table(
+        report,
+        ["phase", "total (s)"],
+        sorted(breakdown["phase_seconds"].items()),
+    )
+    report(
+        f"untraced best {plain:.4f}s, traced best {traced:.4f}s "
+        f"(best of {OBS_REPS})"
+    )
+    assert {
+        "engine.compute", "engine.pack", "engine.transport_send",
+        "engine.barrier_wait", "engine.route",
+    } <= set(breakdown["phase_seconds"])
+    assert overhead_pct < OBS_OVERHEAD_BUDGET_PCT, (
+        f"tracing cost {overhead_pct:.1f}% wall-clock "
+        f"(budget {OBS_OVERHEAD_BUDGET_PCT}%)"
     )
 
 

@@ -15,7 +15,11 @@ per hour."  This example runs that operating mode through
 * drift is reported from the service's *stable community ids* — the index
   matches consecutive extractions (maximum-Jaccard), so "community 3"
   means the same evolving community all run long, with births, deaths,
-  merges and splits called out explicitly.
+  merges and splits called out explicitly;
+* the run is traced (``ExecutionConfig(trace=True)``), so the monitor
+  reports *live metrics* from the observability plane at every extraction
+  — queue depth, coalescing ratio, apply/extract time split — and closes
+  with the phase-timing summary and a Prometheus exposition excerpt.
 
 Run:  python examples/streaming_monitor.py
 """
@@ -23,6 +27,7 @@ Run:  python examples/streaming_monitor.py
 import time
 
 from repro import CommunityService, generate_lfr, LFRParams
+from repro.api.config import AlgoConfig, ExecutionConfig, ServicePlanConfig
 from repro.workloads.dynamic import EditStream
 
 N = 400
@@ -61,11 +66,12 @@ def main() -> None:
     )
     service = CommunityService(
         lfr.graph,
-        seed=9,
-        iterations=120,
-        tau_step=0.01,
-        batch_size=BATCH_SIZE,
-        staleness_batches=STALENESS,
+        config=ServicePlanConfig(
+            algo=AlgoConfig(seed=9, iterations=120, tau_step=0.01),
+            execution=ExecutionConfig(trace=True),
+            batch_size=BATCH_SIZE,
+            staleness_batches=STALENESS,
+        ),
     ).start()
 
     snapshot = service.index.snapshot()
@@ -102,6 +108,19 @@ def main() -> None:
                 f"{len(fresh)} communities — "
                 f"{describe_drift(snapshot, fresh, transition)}"
             )
+            # Live metrics straight off the observability registry: how
+            # hard the ingest plane is coalescing and where the service's
+            # time is going so far.
+            metrics = stats["metrics"]
+            phase_s = service.obs.result().phase_totals()
+            print(
+                f"  live metrics: queue depth "
+                f"{metrics['gauges']['service.queue_depth']:.0f}, "
+                f"coalesce ratio "
+                f"{metrics['gauges']['service.coalesce_ratio']:.2f}, "
+                f"apply {phase_s.get('service.apply', 0.0):.2f}s / "
+                f"extract {phase_s.get('service.extract', 0.0):.2f}s total"
+            )
             snapshot = fresh
             update_seconds = 0.0
 
@@ -114,6 +133,19 @@ def main() -> None:
         "while extraction ran on demand, the operating mode the paper "
         "describes for production monitoring."
     )
+
+    # The run's frozen trace: the phase table the CLI prints for --trace,
+    # and a Prometheus exposition (what --metrics would write to a file).
+    trace = service.trace_result()
+    print("\nphase-timing summary:")
+    print(trace.summary())
+    exposition = [
+        line for line in trace.to_prometheus().splitlines()
+        if not line.startswith("#")
+    ]
+    print(f"\nPrometheus exposition ({len(exposition)} samples), excerpt:")
+    for line in exposition[:6]:
+        print(f"  {line}")
 
 
 if __name__ == "__main__":

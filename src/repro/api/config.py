@@ -138,6 +138,13 @@ class ExecutionConfig:
     max_restarts:
         Worker respawns allowed before a crash is surfaced
         (``None`` = resolver default).  Requires ``fault_tolerance=True``.
+    trace:
+        Record the run on the observability plane (:mod:`repro.obs`):
+        per-phase spans on a bounded flight recorder plus the mergeable
+        metrics registry, surfaced as ``result.trace``
+        (:class:`~repro.obs.TraceResult`).  Off by default — the
+        disabled path makes zero calls into :mod:`repro.obs` and
+        results stay bit-identical either way.
     """
 
     backend: str = "auto"
@@ -151,6 +158,7 @@ class ExecutionConfig:
     fault_tolerance: bool = False
     checkpoint_interval: Optional[int] = None
     max_restarts: Optional[int] = None
+    trace: bool = False
 
     def __post_init__(self):
         from repro.api.registry import ENGINES as engine_registry
@@ -170,6 +178,7 @@ class ExecutionConfig:
             )
         check_type(self.multiprocess, bool, "multiprocess")
         check_type(self.fault_tolerance, bool, "fault_tolerance")
+        check_type(self.trace, bool, "trace")
         if self.checkpoint_interval is not None:
             check_type(self.checkpoint_interval, int, "checkpoint_interval")
             check_positive(self.checkpoint_interval, "checkpoint_interval")

@@ -31,6 +31,9 @@ asserted equivalent by ``tests/test_api_plan.py``:
   ``checkpoint_interval=None`` → 4 supersteps between cuts,
   ``max_restarts=None`` → 3 respawns.  Either knob without
   ``fault_tolerance=True`` is an error.
+* ``trace=True`` → carried through verbatim (every mode can record);
+  the decision is logged so ``explain()`` shows the observability
+  plane was on for the run.
 
 :func:`resolve_service_plan` layers the replication topology of a
 :class:`~repro.api.config.ServicePlanConfig` on top, with the same
@@ -150,6 +153,7 @@ class RunPlan:
     fault_tolerance: bool = False
     checkpoint_interval: Optional[int] = None  # concrete iff fault-tolerant
     max_restarts: Optional[int] = None  # concrete iff fault-tolerant
+    trace: bool = False  # observability plane (repro.obs) on/off
     decisions: Tuple[PlanDecision, ...] = ()
 
     @property
@@ -160,7 +164,9 @@ class RunPlan:
     def summary(self) -> str:
         """One line: the resolved choices without the provenance."""
         if self.mode == "local":
-            return f"local fit, backend={self.backend}"
+            return f"local fit, backend={self.backend}" + (
+                ", trace=on" if self.trace else ""
+            )
         workers = f"{self.num_workers} {'process' if self.multiprocess else 'simulated'} workers"
         transport = f", transport={self.transport}" if self.multiprocess else ""
         fault = (
@@ -169,11 +175,12 @@ class RunPlan:
             if self.fault_tolerance
             else ""
         )
+        trace = ", trace=on" if self.trace else ""
         return (
             f"distributed fit on {workers}, backend={self.backend}, "
             f"engine={self.engine}, shard_backend={self.shard_backend}, "
             f"state_format={self.state_format}, partitioner={self.partitioner}"
-            f"{transport}{fault}"
+            f"{transport}{fault}{trace}"
         )
 
     def explain(self) -> str:
@@ -403,6 +410,16 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
             f"fault_tolerance=True"
         )
 
+    # Observability --------------------------------------------------------
+    if config.trace:
+        _decide(
+            decisions,
+            "trace",
+            True,
+            True,
+            "flight recorder + metrics registry on (repro.obs)",
+        )
+
     return RunPlan(
         mode=mode,
         backend=backend,
@@ -418,6 +435,7 @@ def resolve_plan(caps: GraphCaps, config: Optional[ExecutionConfig] = None) -> R
         fault_tolerance=fault_tolerance,
         checkpoint_interval=checkpoint_interval,
         max_restarts=max_restarts,
+        trace=config.trace,
         decisions=tuple(decisions),
     )
 

@@ -28,6 +28,16 @@ __all__ = [
 ]
 
 
+def _trace_result(comm_stats: Any, plan: Any) -> Optional[Any]:
+    """Freeze the observability context riding on ``comm_stats.obs`` (if
+    the run was traced) into a :class:`~repro.obs.TraceResult`, stamped
+    with the resolved plan's summary."""
+    obs = getattr(comm_stats, "obs", None)
+    if obs is None:
+        return None
+    return obs.result({"plan": plan.summary()})
+
+
 @dataclass(frozen=True)
 class DetectionResult:
     """A completed fit + extraction (local or distributed)."""
@@ -49,6 +59,12 @@ class DetectionResult:
         (:class:`~repro.distributed.metrics.RecoveryStats`) when the fit
         ran on the supervised multiprocess engine, else ``None``."""
         return getattr(self.comm_stats, "recovery", None)
+
+    @property
+    def trace(self) -> Optional[Any]:
+        """The recorded :class:`~repro.obs.TraceResult` when the run was
+        traced (``ExecutionConfig(trace=True)``), else ``None``."""
+        return _trace_result(self.comm_stats, self.plan)
 
 
 @dataclass(frozen=True)
@@ -77,6 +93,12 @@ class DistributedResult:
         (:class:`~repro.distributed.metrics.RecoveryStats`) when the run
         was supervised (``plan.fault_tolerance``), else ``None``."""
         return getattr(self.comm_stats, "recovery", None)
+
+    @property
+    def trace(self) -> Optional[Any]:
+        """The recorded :class:`~repro.obs.TraceResult` when the run was
+        traced (``ExecutionConfig(trace=True)``), else ``None``."""
+        return _trace_result(self.comm_stats, self.plan)
 
 
 @dataclass(frozen=True)

@@ -1,6 +1,6 @@
 """Command-line interface: detect, update, serve, plan, and inspect.
 
-Five subcommands mirroring the library lifecycle::
+Six subcommands mirroring the library lifecycle::
 
     python -m repro.cli detect graph.txt --seed 7 -T 200 \
         --state state.json --cover cover.json
@@ -10,6 +10,7 @@ Five subcommands mirroring the library lifecycle::
         --checkpoint-dir state/ --query 17 --query 23
     python -m repro.cli plan graph.txt --distributed 4
     python -m repro.cli stats graph.txt
+    python -m repro.cli trace run.trace.json --chrome run.chrome.json
 
 ``graph.txt`` is a whitespace edge list (directions/duplicates/self-loops
 normalised away, as in the paper's preprocessing); ``edits.txt`` uses the
@@ -35,6 +36,15 @@ The ``serve`` subcommand runs one session of the
 checkpoint directory), stream the edit file through the coalescing ingest
 queue, answer ``--query`` membership lookups from the stable-id index, and
 leave a checkpoint + WAL behind for the next session.
+
+Observability rides along on every running subcommand: ``--trace`` records
+phase spans and metrics (:mod:`repro.obs`) and prints the phase-timing
+summary, ``--trace-out PATH`` saves the full trace as JSON, and
+``--metrics PATH`` writes the Prometheus text exposition.  A saved trace is
+inspected or converted offline with the ``trace`` subcommand (summary by
+default, ``--chrome`` for a chrome://tracing / Perfetto timeline,
+``--prometheus`` for the exposition).  Tracing never changes results — runs
+are bit-identical with it on or off.
 """
 
 from __future__ import annotations
@@ -119,6 +129,26 @@ def add_execution_args(
         help="lifecycle backend: 'fast' is the vectorised CSR/array "
         "substrate, 'reference' the pure-Python engines (bit-identical "
         "per seed); 'auto' picks fast when vertex ids are contiguous",
+    )
+    parser.add_argument(
+        "--trace",
+        action="store_true",
+        help="record phase spans + metrics (repro.obs) and print the "
+        "phase-timing summary; results are bit-identical with tracing "
+        "on or off, and the instrumentation is a no-op when off",
+    )
+    parser.add_argument(
+        "--trace-out",
+        metavar="PATH",
+        help="save the full trace (spans + metrics + meta) as JSON; "
+        "implies --trace; inspect or convert it with `repro trace`",
+    )
+    parser.add_argument(
+        "--metrics",
+        dest="metrics_out",
+        metavar="PATH",
+        help="write the run's Prometheus text exposition here; "
+        "implies --trace",
     )
     if not with_distributed:
         return
@@ -213,7 +243,44 @@ def execution_config_from_args(args) -> ExecutionConfig:
         fault_tolerance=getattr(args, "fault_tolerance", False),
         checkpoint_interval=getattr(args, "checkpoint_interval", None),
         max_restarts=getattr(args, "max_restarts", None),
+        trace=bool(
+            getattr(args, "trace", False)
+            or getattr(args, "trace_out", None)
+            or getattr(args, "metrics_out", None)
+        ),
     )
+
+
+def _write_trace_artifacts(trace_result, args, out) -> None:
+    """Emit whatever observability artifacts the flags asked for.
+
+    ``trace_result`` is a :class:`repro.obs.TraceResult` (or ``None`` when
+    the executed path records no spans — e.g. a purely local fit).
+    """
+    wants = (
+        getattr(args, "trace", False)
+        or getattr(args, "trace_out", None)
+        or getattr(args, "metrics_out", None)
+    )
+    if not wants:
+        return
+    if trace_result is None:
+        out.write(
+            "trace: no spans recorded (tracing covers the distributed "
+            "engines and the service plane)\n"
+        )
+        return
+    if args.trace_out:
+        trace_result.save(args.trace_out)
+        out.write(
+            f"trace saved to {args.trace_out} (inspect with `repro trace`)\n"
+        )
+    if args.metrics_out:
+        with open(args.metrics_out, "w", encoding="utf-8") as handle:
+            handle.write(trace_result.to_prometheus())
+        out.write(f"metrics exposition saved to {args.metrics_out}\n")
+    if args.trace:
+        out.write(trace_result.summary() + "\n")
 
 
 def _print_cover(cover, out) -> None:
@@ -236,14 +303,19 @@ def _cmd_detect(args, out) -> int:
         algo=algo_config_from_args(args),
         execution=execution_config_from_args(args),
     )
+    trace_result = None
     if args.distributed:
         # Same fitted state as a local fit (all engines are bit-identical
         # per seed), plus the run's communication accounting.
         detector.fit_distributed()
         out.write(f"distributed fit: {detector.comm_stats.summary()}\n")
+        obs = getattr(detector.comm_stats, "obs", None)
+        if obs is not None:
+            trace_result = obs.result({"command": "detect"})
     else:
         detector.fit()
     cover = detector.communities()
+    _write_trace_artifacts(trace_result, args, out)
     if args.state:
         save_state(detector.label_state, args.state)
         out.write(f"label state saved to {args.state}\n")
@@ -281,6 +353,9 @@ def _cmd_update(args, out) -> int:
         f"{report.touched_labels} labels touched; "
         f"state saved to {args.state}\n"
     )
+    # Correction Propagation runs in-process with no span sites; honour
+    # the trace flags with the notice instead of silently dropping them.
+    _write_trace_artifacts(None, args, out)
     if args.cover:
         cover = detector.communities()
         save_cover(cover, args.cover)
@@ -318,6 +393,7 @@ def _cmd_serve_replicated(args, out) -> int:
     )
     supervisor = ServiceSupervisor(graph, args.checkpoint_dir, config)
     supervisor.start()
+    trace_result = None
     try:
         client = supervisor.client()
         if args.edits:
@@ -342,8 +418,10 @@ def _cmd_serve_replicated(args, out) -> int:
                 "stale_serves": client.stale_serves,
                 "reroutes": client.reroutes,
             }
+        trace_result = supervisor.trace_result()
     finally:
         supervisor.shutdown()
+    _write_trace_artifacts(trace_result, args, out)
     json.dump(payload, out, indent=2)
     out.write("\n")
     return 0
@@ -409,7 +487,9 @@ def _cmd_serve(args, out) -> int:
                 "sizes": [len(service.members(c)) for c in cids],
             }
         payload["memberships"] = memberships
+    trace_result = service.trace_result()
     service.close()
+    _write_trace_artifacts(trace_result, args, out)
     json.dump(payload, out, indent=2)
     out.write("\n")
     return 0
@@ -419,6 +499,31 @@ def _cmd_plan(args, out) -> int:
     graph = read_edge_list(args.graph)
     plan = plan_for(graph, execution_config_from_args(args))
     out.write(plan.explain() + "\n")
+    return 0
+
+
+def _cmd_trace(args, out) -> int:
+    from repro.obs import TraceResult, validate_chrome_trace
+
+    result = TraceResult.load(args.trace_file)
+    converted = False
+    if args.chrome:
+        payload = result.to_chrome_trace()
+        validate_chrome_trace(payload)
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)
+        out.write(
+            f"chrome trace saved to {args.chrome} "
+            "(open in chrome://tracing or ui.perfetto.dev)\n"
+        )
+        converted = True
+    if args.prometheus:
+        with open(args.prometheus, "w", encoding="utf-8") as handle:
+            handle.write(result.to_prometheus())
+        out.write(f"metrics exposition saved to {args.prometheus}\n")
+        converted = True
+    if not converted:
+        out.write(result.summary() + "\n")
     return 0
 
 
@@ -567,6 +672,27 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print normalised graph statistics")
     stats.add_argument("graph", help="edge-list file")
     stats.set_defaults(func=_cmd_stats)
+
+    trace = sub.add_parser(
+        "trace",
+        help="inspect or convert a saved trace (--trace-out file): "
+        "phase summary, Chrome timeline JSON, Prometheus exposition",
+    )
+    trace.add_argument(
+        "trace_file", help="TraceResult JSON saved by --trace-out"
+    )
+    trace.add_argument(
+        "--chrome",
+        metavar="PATH",
+        help="export a Chrome trace-event JSON timeline "
+        "(chrome://tracing / ui.perfetto.dev)",
+    )
+    trace.add_argument(
+        "--prometheus",
+        metavar="PATH",
+        help="export the Prometheus text exposition of the run's metrics",
+    )
+    trace.set_defaults(func=_cmd_trace)
     return parser
 
 

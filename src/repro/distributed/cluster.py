@@ -95,6 +95,33 @@ def _build_shards_for(plan: RunPlan, graph, part: Partitioner):
     return build_shards(graph, part)
 
 
+def _obs_for(plan: RunPlan):
+    """A fresh observability context when the plan traces, else ``None``."""
+    if not plan.trace:
+        return None
+    from repro.obs import Obs
+
+    return Obs()
+
+
+def _attach_obs(bsp, plan: RunPlan) -> None:
+    """Wire tracing onto an in-process engine when the plan asks for it.
+
+    The engine records its spans through ``bsp.obs``; parking the same
+    context on ``bsp.stats.obs`` is what lets the result objects (and the
+    service) surface the trace without any signature changes.  The
+    multiprocess engine takes ``obs=`` at construction instead.
+    """
+    obs = _obs_for(plan)
+    if obs is None:
+        return
+    obs.meta.setdefault("mode", "in-process")
+    obs.meta.setdefault("engine", plan.engine)
+    obs.meta.setdefault("num_workers", plan.num_workers)
+    bsp.obs = obs
+    bsp.stats.obs = obs
+
+
 def _merge_collected_rslpa_state(collected: Dict[int, tuple], iterations: int) -> LabelState:
     """Fully-recorded :class:`LabelState` from per-vertex collect() tuples.
 
@@ -216,6 +243,7 @@ def _run_multiprocess(plan: RunPlan, shards, part, program_cls, seed, iterations
         factory,
         plane=plane,
         transport=plan.transport or "pipe",
+        obs=_obs_for(plan),
         **fault_kwargs,
     ) as engine:
         engine.run()
@@ -272,6 +300,7 @@ def run_distributed_rslpa(
         return state, stats
 
     bsp = ENGINES.resolve(plan.engine)(shards, part)
+    _attach_obs(bsp, plan)
     programs = [
         program_cls(shard, seed=seed, iterations=iterations) for shard in shards
     ]
@@ -312,6 +341,7 @@ def run_distributed_slpa(
         )
         return memories, stats
     bsp = ENGINES.resolve(plan.engine)(shards, part)
+    _attach_obs(bsp, plan)
     programs = [
         program_cls(shard, seed=seed, iterations=iterations) for shard in shards
     ]
@@ -401,6 +431,7 @@ def run_distributed_update(
             )
         )
     bsp = ENGINES.resolve(plan.engine)(shards, part)
+    _attach_obs(bsp, plan)
     if plan.engine == "array":
         # The correction program stays tuple-level (its cascade is sparse,
         # O(eta) messages); the adapter runs it unmodified on the columnar

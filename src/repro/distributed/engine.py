@@ -15,10 +15,17 @@ the simulation fast.
 Determinism: workers run in id order and inboxes are delivered sorted, so a
 run is a pure function of (program, shards, seed) — the property that lets
 the test suite assert distributed == sequential equality bit-for-bit.
+
+Observability: setting :attr:`BSPEngine.obs` (a :class:`repro.obs.Obs`,
+done by the cluster wrappers when the plan says ``trace=True``) records
+one ``engine.compute`` span per worker per superstep and one
+``engine.route`` span per barrier; the default ``None`` keeps the hot
+loop free of any call into :mod:`repro.obs`.
 """
 
 from __future__ import annotations
 
+from time import time_ns
 from typing import Dict, List, Sequence
 
 from repro.distributed.message import Message, message_size_bytes
@@ -101,11 +108,15 @@ class BSPEngine:
         self.shards = list(shards)
         self.partitioner = partitioner
         self.stats = CommStats()
+        self.obs = None  # set to a repro.obs.Obs to record this engine
 
     def _route(
         self, outboxes: Dict[int, List[Message]], superstep: int
     ) -> Dict[int, List[tuple]]:
         """Deliver messages to owning workers; account communication."""
+        obs = self.obs
+        if obs is not None:
+            route_start = time_ns()
         step_stats = SuperstepStats(superstep=superstep)
         inboxes: Dict[int, List[tuple]] = {s.worker_id: [] for s in self.shards}
         for sender_id, outbox in outboxes.items():
@@ -123,6 +134,18 @@ class BSPEngine:
         for inbox in inboxes.values():
             inbox.sort()
         self.stats.record(step_stats)
+        if obs is not None:
+            obs.trace.record(
+                "engine.route", route_start, plane="tuple", superstep=superstep
+            )
+            obs.metrics.counter("engine.messages").inc(step_stats.messages)
+            obs.metrics.counter("engine.remote_messages").inc(
+                step_stats.remote_messages
+            )
+            obs.metrics.counter("engine.bytes").inc(step_stats.bytes)
+            obs.metrics.counter("engine.remote_bytes").inc(
+                step_stats.remote_bytes
+            )
         return inboxes
 
     def run(
@@ -136,11 +159,22 @@ class BSPEngine:
         """
         if len(programs) != len(self.shards):
             raise ValueError("one program instance per shard is required")
+        obs = self.obs
         outboxes: Dict[int, List[Message]] = {}
         for program in programs:
+            if obs is not None:
+                compute_start = time_ns()
             ctx = MessageContext()
             program.on_start(ctx)
             outboxes[program.shard.worker_id] = ctx.outbox
+            if obs is not None:
+                obs.trace.record(
+                    "engine.compute",
+                    compute_start,
+                    plane="tuple",
+                    worker=program.shard.worker_id,
+                    superstep=0,
+                )
         superstep = 0
         while any(outboxes.values()):
             superstep += 1
@@ -151,8 +185,18 @@ class BSPEngine:
             inboxes = self._route(outboxes, superstep)
             outboxes = {}
             for program in programs:
+                if obs is not None:
+                    compute_start = time_ns()
                 ctx = MessageContext()
                 inbox = inboxes.get(program.shard.worker_id, [])
                 program.on_superstep(ctx, superstep, inbox)
                 outboxes[program.shard.worker_id] = ctx.outbox
+                if obs is not None:
+                    obs.trace.record(
+                        "engine.compute",
+                        compute_start,
+                        plane="tuple",
+                        worker=program.shard.worker_id,
+                        superstep=superstep,
+                    )
         return list(programs)

@@ -17,7 +17,7 @@ keeps per-superstep counters bit-identical to a failure-free run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 __all__ = ["SuperstepStats", "CommStats", "RecoveryStats"]
 
@@ -35,6 +35,16 @@ class SuperstepStats:
     @property
     def local_messages(self) -> int:
         return self.messages - self.remote_messages
+
+    def as_dict(self) -> Dict[str, int]:
+        """JSON view, symmetric with :meth:`RecoveryStats.as_dict`."""
+        return {
+            "superstep": self.superstep,
+            "messages": self.messages,
+            "remote_messages": self.remote_messages,
+            "bytes": self.bytes,
+            "remote_bytes": self.remote_bytes,
+        }
 
 
 @dataclass
@@ -69,10 +79,15 @@ class CommStats:
 
     ``recovery`` is attached by the supervised multiprocess engine (and is
     ``None`` for the in-process engines, which share the driver's fate).
+    ``obs`` rides along the same way when the run was traced: the engine
+    (or cluster wrapper) attaches its :class:`repro.obs.Obs` context so
+    the recorded spans and metrics travel to the uniform result objects
+    with the stats, without widening any return signature.
     """
 
     per_superstep: List[SuperstepStats] = field(default_factory=list)
     recovery: Optional[RecoveryStats] = None
+    obs: Optional[Any] = None
 
     def record(self, stats: SuperstepStats) -> None:
         self.per_superstep.append(stats)
@@ -108,6 +123,27 @@ class CommStats:
 
     def messages_per_superstep(self) -> List[int]:
         return [s.messages for s in self.per_superstep]
+
+    def as_dict(self, per_superstep: bool = False) -> Dict[str, Any]:
+        """JSON view, symmetric with :meth:`RecoveryStats.as_dict`.
+
+        The flat totals use the benchmark-record field names, so sweeps
+        splat ``**stats.as_dict()`` instead of plucking fields; pass
+        ``per_superstep=True`` for the full per-step breakdown, and the
+        recovery ledger rides along whenever the run was supervised.
+        """
+        view: Dict[str, Any] = {
+            "supersteps": self.supersteps,
+            "messages": self.total_messages,
+            "remote_messages": self.total_remote_messages,
+            "bytes": self.total_bytes,
+            "remote_bytes": self.total_remote_bytes,
+        }
+        if per_superstep:
+            view["per_superstep"] = [s.as_dict() for s in self.per_superstep]
+        if self.recovery is not None:
+            view["recovery"] = self.recovery.as_dict()
+        return view
 
     def summary(self) -> str:
         """One-line human-readable summary (used by the examples)."""

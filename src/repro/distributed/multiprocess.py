@@ -147,15 +147,31 @@ def _worker_main(
     plane: str,
     endpoint: WorkerEndpoint,
     fault_plan: Optional[FaultPlan] = None,
+    trace: bool = False,
 ) -> None:
-    """Child-process loop: execute one program over commands from the driver."""
+    """Child-process loop: execute one program over commands from the driver.
+
+    With ``trace=True`` the worker keeps its own flight recorder and
+    metrics registry (:class:`repro.obs.Obs`): per-superstep
+    ``compute``/``pack``/``transport_send``/``barrier_wait`` spans with
+    this worker's attribution, shipped to the driver on the ``trace``
+    verb and cleared.  ``time.time_ns()`` is the shared timebase, so the
+    shipped spans align with the driver's on one wall clock.
+    """
     faults = fault_plan if fault_plan is not None else FaultPlan()
     wid = shard.worker_id
+    obs = None
+    if trace:
+        from repro.obs import Obs
+
+        obs = Obs()
     program = _build_program(factory, shard, plane)
     make_ctx = ArrayMessageContext if plane == "array" else MessageContext
     try:
         endpoint.open()
         while True:
+            if obs is not None:
+                idle_start = time.time_ns()
             command = conn.recv()
             verb = command[0]
             if verb in ("start", "step"):
@@ -163,6 +179,13 @@ def _worker_main(
                     superstep, header = 0, None
                 else:
                     _verb, superstep, header = command
+                if obs is not None:
+                    # Time blocked in conn.recv() waiting for the barrier
+                    # to release this superstep.
+                    obs.trace.record(
+                        "engine.barrier_wait", idle_start, plane=plane,
+                        worker=wid, superstep=superstep,
+                    )
                 # Fault seams, in failure order: a kill strikes before the
                 # inbox is touched, a stall delays the compute, a delay or
                 # dropped send strikes between compute and transport.
@@ -171,6 +194,8 @@ def _worker_main(
                 stall = faults.stall_seconds(wid, superstep)
                 if stall:
                     time.sleep(stall)
+                if obs is not None:
+                    compute_start = time.time_ns()
                 ctx = make_ctx()
                 inbox = None
                 if verb == "start":
@@ -181,7 +206,19 @@ def _worker_main(
                 else:
                     inbox = endpoint.recv_inbox(header)
                     program.on_superstep(ctx, superstep, inbox)
+                if obs is not None:
+                    pack_start = time.time_ns()
+                    obs.trace.record(
+                        "engine.compute", compute_start, plane=plane,
+                        worker=wid, superstep=superstep, end_ns=pack_start,
+                    )
                 payload = ctx.finalize() if plane == "array" else ctx.outbox
+                if obs is not None:
+                    send_start = time.time_ns()
+                    obs.trace.record(
+                        "engine.pack", pack_start, plane=plane,
+                        worker=wid, superstep=superstep, end_ns=send_start,
+                    )
                 delay = faults.delay_seconds(wid, superstep)
                 if delay:
                     time.sleep(delay)
@@ -193,10 +230,25 @@ def _worker_main(
                     conn.close()
                     os._exit(3)
                 endpoint.send_outbox(payload, conn.send)
+                if obs is not None:
+                    obs.trace.record(
+                        "engine.transport_send", send_start, plane=plane,
+                        worker=wid, superstep=superstep,
+                    )
                 # Drop the inbox views before the next iteration: shm inbox
                 # columns alias a ring slot, and lingering references would
                 # keep the mapping pinned past endpoint.close().
                 inbox = ctx = payload = None
+            elif verb == "trace":
+                # Ship-and-clear this worker's recordings.  The reply is a
+                # >= 3 tuple tagged _CTRL, so an interrupted fetch drains
+                # safely through _drain_until_ack during recovery.
+                if obs is not None:
+                    conn.send(
+                        (_CTRL, "trace", obs.trace.take(), obs.metrics.snapshot())
+                    )
+                else:  # tracing off: reply empty rather than desync
+                    conn.send((_CTRL, "trace", [], {}))
             elif verb == "snapshot":
                 _verb, superstep = command
                 blob = pickle.dumps(
@@ -264,6 +316,7 @@ class MultiprocessBSPEngine:
         checkpoint_interval: int = 4,
         max_restarts: int = 3,
         fault_plan: Optional[FaultPlan] = None,
+        obs=None,
     ):
         if len(shards) != partitioner.num_partitions:
             raise ValueError(
@@ -306,11 +359,22 @@ class MultiprocessBSPEngine:
         self.partitioner = partitioner
         self.plane = plane
         self.recovery = RecoveryStats()
+        # The observability context (None = off).  It rides on the stats
+        # object like the recovery ledger, so the cluster wrappers and
+        # the service surface the recorded run for free; the transport
+        # gets the same reference for its driver-side byte/stall metrics.
+        self.obs = obs
         # One stats object carries both planes of accounting, so the
         # cluster wrappers and the service see recovery counters for free.
-        self.stats = CommStats(recovery=self.recovery)
+        self.stats = CommStats(recovery=self.recovery, obs=obs)
         self.leaked_pids: List[int] = []
         self._transport = transport
+        transport.obs = obs
+        if obs is not None:
+            obs.meta.setdefault("mode", "multiprocess")
+            obs.meta.setdefault("plane", plane)
+            obs.meta.setdefault("transport", transport.name)
+            obs.meta.setdefault("num_workers", len(shards))
         self._fault_tolerance = bool(fault_tolerance)
         self._checkpoint_interval = checkpoint_interval
         self._max_restarts = max_restarts
@@ -356,6 +420,7 @@ class MultiprocessBSPEngine:
                 self.plane,
                 self._transport.worker_endpoint(shard.worker_id),
                 self._fault_plans[index],
+                self.obs is not None,
             ),
             daemon=True,
         )
@@ -485,9 +550,17 @@ class MultiprocessBSPEngine:
         self._checkpoint = None  # a fresh start invalidates any previous cut
         self._superstep = 0
         self._stats_base = len(self.stats.per_superstep)
+        obs = self.obs
         for i in range(len(self._connections)):
             self._send(i, ("start",))
+        if obs is not None:
+            barrier_start = time.time_ns()
         self._outboxes = self._recv_outboxes()
+        if obs is not None:
+            obs.trace.record(
+                "engine.barrier_wait", barrier_start, plane=self.plane,
+                superstep=0,
+            )
         if self._fault_tolerance:
             # Always checkpoint the post-start state: a consistent cut
             # exists before the first superstep can crash anything.
@@ -495,16 +568,36 @@ class MultiprocessBSPEngine:
 
     def _superstep_loop(self, max_supersteps: int) -> None:
         route = self._route_arrays if self.plane == "array" else self._route_tuples
+        obs = self.obs
         while any(self._outboxes.values()):
             superstep = self._superstep + 1
             if superstep > max_supersteps:
                 raise RuntimeError(
                     f"program did not quiesce within {max_supersteps} supersteps"
                 )
+            if obs is not None:
+                route_start = time.time_ns()
             inboxes = route(self._outboxes, superstep)
             self._superstep = superstep
+            if obs is not None:
+                send_start = time.time_ns()
+                obs.trace.record(
+                    "engine.route", route_start, plane=self.plane,
+                    superstep=superstep, end_ns=send_start,
+                )
             self._send_inboxes(inboxes, superstep)
+            if obs is not None:
+                barrier_start = time.time_ns()
+                obs.trace.record(
+                    "engine.transport_send", send_start, plane=self.plane,
+                    superstep=superstep, end_ns=barrier_start,
+                )
             self._outboxes = self._recv_outboxes()
+            if obs is not None:
+                obs.trace.record(
+                    "engine.barrier_wait", barrier_start, plane=self.plane,
+                    superstep=superstep,
+                )
             if (
                 self._fault_tolerance
                 and superstep % self._checkpoint_interval == 0
@@ -518,6 +611,8 @@ class MultiprocessBSPEngine:
             # Final cut at quiescence: covers a crash during collect().
             self._take_checkpoint()
         self._outboxes = None  # quiescent: the next run() starts fresh
+        if obs is not None:
+            self._fetch_worker_traces()
 
     def run(self, max_supersteps: int = 100_000) -> CommStats:
         """Run until message quiescence; returns the communication stats.
@@ -569,8 +664,39 @@ class MultiprocessBSPEngine:
             }
         return {wid: list(outbox) for wid, outbox in outboxes.items()}
 
+    def _fetch_worker_traces(self) -> None:
+        """Ship-and-merge every worker's spans and metrics (trace verb).
+
+        Called at quiescence so collect()-triggered replays fetch too.  A
+        crash mid-fetch surfaces as :class:`WorkerCrashedError` and flows
+        through the normal recovery path; replayed supersteps may then
+        contribute duplicate spans, which is fine — the trace is a flight
+        recorder of what actually executed, replays included.
+        """
+        obs = self.obs
+        for i in range(len(self._connections)):
+            self._send(i, ("trace",))
+        for i, wid in enumerate(self._worker_ids):
+            reply = self._recv(i)
+            if not (
+                isinstance(reply, tuple)
+                and len(reply) == 4
+                and reply[0] == _CTRL
+                and reply[1] == "trace"
+            ):  # pragma: no cover - protocol violation
+                raise RuntimeError(
+                    f"worker {wid}: expected a trace reply, "
+                    f"got {type(reply).__name__}"
+                )
+            _tag, _kind, spans, metrics = reply
+            obs.trace.merge(spans)
+            obs.metrics.merge(metrics)
+
     def _take_checkpoint(self) -> None:
         """Collect a consistent cut; a torn snapshot keeps the previous one."""
+        obs = self.obs
+        if obs is not None:
+            checkpoint_start = time.time_ns()
         for i in range(len(self._connections)):
             self._send(i, ("snapshot", self._superstep))
         replies = [self._recv(i) for i in range(len(self._connections))]
@@ -612,6 +738,11 @@ class MultiprocessBSPEngine:
             stats_len=len(self.stats.per_superstep),
         )
         self.recovery.checkpoints_taken += 1
+        if obs is not None:
+            obs.trace.record(
+                "engine.checkpoint", checkpoint_start, plane=self.plane,
+                superstep=self._superstep,
+            )
 
     def _recover(self, exc: WorkerCrashedError) -> None:
         """Respawn the dead, rewind everyone to the last cut (or to a
@@ -634,6 +765,9 @@ class MultiprocessBSPEngine:
             time.sleep(_POLL_S)
         if not dead:  # pragma: no cover - not a process death; cannot repair
             raise exc
+        obs = self.obs
+        if obs is not None:
+            restore_start = time.time_ns()
         self.recovery.recoveries += 1
         # Drop the live outboxes before touching the transport: shm outbox
         # columns are views pinning the dead worker's segments, and detach
@@ -664,6 +798,11 @@ class MultiprocessBSPEngine:
             self._superstep = cut.superstep
             self._outboxes = dict(cut.outboxes)
             self.stats.truncate(cut.stats_len)
+        if obs is not None:
+            obs.trace.record(
+                "engine.restore", restore_start, plane=self.plane,
+                superstep=self._superstep,
+            )
 
     def _respawn(self, index: int) -> None:
         wid = self._worker_ids[index]
@@ -674,6 +813,9 @@ class MultiprocessBSPEngine:
                 f"(respawn budget exhausted: max_restarts={self._max_restarts})",
             )
         self.recovery.workers_respawned += 1
+        obs = self.obs
+        if obs is not None:
+            respawn_start = time.time_ns()
         self._processes[index].join(timeout=5)  # reap the corpse
         try:
             self._connections[index].close()
@@ -687,6 +829,11 @@ class MultiprocessBSPEngine:
             self._fault_plans[index] = plan.without_worker(wid)
         self._spawn_worker(index)
         self._transport.attach(wid, self._processes[index])
+        if obs is not None:
+            obs.trace.record(
+                "engine.respawn", respawn_start, plane=self.plane,
+                worker=wid, superstep=self._superstep,
+            )
         logger.info("respawned worker %d (%s)", wid, self._shards[index].describe())
 
     def _resync(self, verb: str) -> None:

@@ -45,6 +45,13 @@ Control-pipe receives poll worker liveness and raise
 :class:`WorkerCrashedError` naming the dead worker; socket reads do the
 same.  Shared-memory segments and sockets are closed (and segments
 unlinked) on every exit path, including after ``terminate()``.
+
+Observability: the engine sets :attr:`Transport.obs` (a
+:class:`repro.obs.Obs`) when the run is traced, and each transport
+records driver-side metrics under ``transport.<name>.*`` — pipe send/recv
+counts, shm payload bytes and segment growth, tcp payload bytes and
+send/recv stall seconds.  With ``obs`` left ``None`` (the default) no
+transport path touches :mod:`repro.obs`.
 """
 
 from __future__ import annotations
@@ -122,6 +129,10 @@ class Transport:
     #: Column transports move typed int64 columns and therefore require
     #: ``plane="array"``; only the pipe transport carries tuple payloads.
     array_only = True
+    #: Observability context (:class:`repro.obs.Obs`) the engine attaches
+    #: when the run is traced; ``None`` keeps every data-plane path free
+    #: of metric calls.
+    obs = None
 
     def bind(self, worker_ids: Sequence[int], mp_context) -> None:
         """Allocate driver-side resources before any worker starts."""
@@ -207,9 +218,16 @@ class PipeTransport(Transport):
         return PipeWorkerEndpoint()
 
     def send_inbox(self, worker_id, payload, send_command) -> None:
+        if self.obs is not None:
+            # Payloads ride the pipe as pickles, so byte accounting would
+            # mean pickling twice; count shipments instead (CommStats
+            # already owns the logical byte totals).
+            self.obs.metrics.counter("transport.pipe.inbox_sends").inc()
         send_command(payload)
 
     def recv_outbox(self, worker_id, recv_header):
+        if self.obs is not None:
+            self.obs.metrics.counter("transport.pipe.outbox_recvs").inc()
         return recv_header()
 
 
@@ -224,6 +242,13 @@ class PipeWorkerEndpoint(WorkerEndpoint):
 # ----------------------------------------------------------------------
 # Shared-memory transport
 # ----------------------------------------------------------------------
+def _columns_nbytes(columns) -> int:
+    """Total payload bytes of a per-kind column outbox (0 when empty)."""
+    if not columns:
+        return 0
+    return sum(col.nbytes for cols in columns.values() for col in cols)
+
+
 def _unlink_quiet(segment) -> None:
     """Unlink a segment, tolerating the peer having unlinked it first."""
     try:
@@ -255,6 +280,7 @@ class _SegmentRing:
         self._min_bytes = min_bytes
         self._slots: List[Optional[object]] = [None] * depth
         self._seq = 0
+        self.grows = 0  # slot (re)allocations; read by the traced driver
 
     def pack(self, columns: ArrayOutbox) -> Tuple[Optional[str], tuple]:
         """Write ``columns`` into the next slot; returns the index header."""
@@ -267,6 +293,7 @@ class _SegmentRing:
         need = packed_nbytes(columns)
         segment = self._slots[slot]
         if segment is None or segment.size < need:
+            self.grows += 1
             size = max(need, self._min_bytes)
             if segment is not None:
                 size = max(size, 2 * segment.size)
@@ -358,10 +385,26 @@ class SharedMemoryTransport(Transport):
     def send_inbox(self, worker_id, payload, send_command) -> None:
         # Pack first (never blocks), then the verb: the worker attaches
         # only after seeing the header, so the data is already in place.
-        send_command(self._inbox_rings[worker_id].pack(payload))
+        obs = self.obs
+        ring = self._inbox_rings[worker_id]
+        grows_before = ring.grows if obs is not None else 0
+        send_command(ring.pack(payload))
+        if obs is not None:
+            obs.metrics.histogram("transport.shm.inbox_bytes").observe(
+                _columns_nbytes(payload)
+            )
+            if ring.grows != grows_before:
+                obs.metrics.counter("transport.shm.segment_grows").inc(
+                    ring.grows - grows_before
+                )
 
     def recv_outbox(self, worker_id, recv_header) -> ArrayOutbox:
-        return self._outbox_caches[worker_id].unpack(recv_header())
+        outbox = self._outbox_caches[worker_id].unpack(recv_header())
+        if self.obs is not None:
+            self.obs.metrics.histogram("transport.shm.outbox_bytes").observe(
+                _columns_nbytes(outbox)
+            )
+        return outbox
 
     def detach(self, worker_id) -> None:
         # Reap the dead worker's outbox segments now (its own close never
@@ -415,8 +458,13 @@ class SharedMemoryWorkerEndpoint(WorkerEndpoint):
 # TCP transport
 # ----------------------------------------------------------------------
 def _recv_into_exact(sock, view: memoryview, alive: Callable[[], bool],
-                     who: str) -> None:
-    """Fill ``view`` from ``sock``, polling ``alive`` on timeouts."""
+                     who: str, on_stall: Optional[Callable[[], None]] = None,
+                     ) -> None:
+    """Fill ``view`` from ``sock``, polling ``alive`` on timeouts.
+
+    ``on_stall`` (observability hook) fires once per timed-out poll, i.e.
+    once per ``_POLL_S`` the read spent blocked on an unready peer.
+    """
     got = 0
     while got < len(view):
         try:
@@ -424,26 +472,31 @@ def _recv_into_exact(sock, view: memoryview, alive: Callable[[], bool],
         except socket.timeout:
             if not alive():
                 raise ConnectionError(f"{who} died mid-frame")
+            if on_stall is not None:
+                on_stall()
             continue
         if n == 0:
             raise ConnectionError(f"{who} closed the connection mid-frame")
         got += n
 
 
-def _recv_bytes_exact(sock, count: int, alive, who: str) -> bytearray:
+def _recv_bytes_exact(sock, count: int, alive, who: str,
+                      on_stall=None) -> bytearray:
     buf = bytearray(count)
-    _recv_into_exact(sock, memoryview(buf), alive, who)
+    _recv_into_exact(sock, memoryview(buf), alive, who, on_stall)
     return buf
 
 
 def _send_all(sock, view: memoryview, alive: Callable[[], bool],
-              who: str) -> None:
+              who: str, on_stall: Optional[Callable[[], None]] = None,
+              ) -> None:
     """Push ``view`` down ``sock``, polling ``alive`` on timeouts.
 
     ``sock.sendall`` forgets how much it wrote when it times out, so a
     frame larger than the kernel buffer must be pushed ``send`` by
     ``send`` — the peer may legitimately be busy draining another
-    worker's frame for much longer than one poll interval.
+    worker's frame for much longer than one poll interval.  ``on_stall``
+    fires once per timed-out poll (see :func:`_recv_into_exact`).
     """
     sent = 0
     while sent < len(view):
@@ -452,36 +505,38 @@ def _send_all(sock, view: memoryview, alive: Callable[[], bool],
         except socket.timeout:
             if not alive():
                 raise ConnectionError(f"{who} died mid-frame")
+            if on_stall is not None:
+                on_stall()
             continue
 
 
 def _send_frame(sock, columns: ArrayOutbox, alive: Callable[[], bool],
-                who: str) -> None:
+                who: str, on_stall=None) -> None:
     """One superstep payload: length-prefixed layout, then raw columns."""
     layout = tuple(
         (kind, int(columns[kind][0].shape[0])) for kind in sorted(columns)
     )
     head = pickle.dumps(layout, protocol=pickle.HIGHEST_PROTOCOL)
     _send_all(sock, memoryview(struct.pack("<Q", len(head)) + head),
-              alive, who)
+              alive, who, on_stall)
     for kind in sorted(columns):
         for col in columns[kind]:
             col = np.ascontiguousarray(col, dtype=np.int64)
-            _send_all(sock, col.view(np.uint8).data, alive, who)
+            _send_all(sock, col.view(np.uint8).data, alive, who, on_stall)
 
 
-def _recv_frame(sock, alive, who: str) -> ArrayOutbox:
+def _recv_frame(sock, alive, who: str, on_stall=None) -> ArrayOutbox:
     (head_len,) = struct.unpack(
-        "<Q", _recv_bytes_exact(sock, 8, alive, who)
+        "<Q", _recv_bytes_exact(sock, 8, alive, who, on_stall)
     )
-    layout = pickle.loads(_recv_bytes_exact(sock, head_len, alive, who))
+    layout = pickle.loads(_recv_bytes_exact(sock, head_len, alive, who, on_stall))
     out: ArrayOutbox = {}
     for kind, rows in layout:
         width = SCHEMAS[kind].width + 1
         cols = []
         for _ in range(width):
             col = np.empty(rows, dtype=np.int64)
-            _recv_into_exact(sock, col.view(np.uint8).data, alive, who)
+            _recv_into_exact(sock, col.view(np.uint8).data, alive, who, on_stall)
             col.flags.writeable = False
             cols.append(col)
         out[kind] = tuple(cols)
@@ -545,6 +600,16 @@ class SocketTransport(Transport):
         process = self._processes.get(worker_id)
         return process is None or process.is_alive()
 
+    def _stall_hook(self, direction: str):
+        """Per-poll stall hook charging ``_POLL_S`` to a counter (traced
+        runs only; ``None`` — the fast path — when tracing is off)."""
+        if self.obs is None:
+            return None
+        counter = self.obs.metrics.counter(
+            f"transport.tcp.{direction}_stall_seconds"
+        )
+        return lambda: counter.inc(_POLL_S)
+
     def send_inbox(self, worker_id, payload, send_command) -> None:
         # Verb first: the worker must be draining the socket before a
         # larger-than-buffer frame is pushed, or sendall would deadlock.
@@ -554,15 +619,26 @@ class SocketTransport(Transport):
             payload,
             lambda: self._alive(worker_id),
             f"worker {worker_id}",
+            on_stall=self._stall_hook("send"),
         )
+        if self.obs is not None:
+            self.obs.metrics.histogram("transport.tcp.inbox_bytes").observe(
+                _columns_nbytes(payload)
+            )
 
     def recv_outbox(self, worker_id, recv_header) -> ArrayOutbox:
         recv_header()  # pipe ack: sequencing + crash detection
-        return _recv_frame(
+        outbox = _recv_frame(
             self._socks[worker_id],
             lambda: self._alive(worker_id),
             f"worker {worker_id}",
+            on_stall=self._stall_hook("recv"),
         )
+        if self.obs is not None:
+            self.obs.metrics.histogram("transport.tcp.outbox_bytes").observe(
+                _columns_nbytes(outbox)
+            )
+        return outbox
 
     def detach(self, worker_id) -> None:
         sock = self._socks.pop(worker_id, None)

@@ -1,0 +1,42 @@
+"""Observability plane: metrics registry + span flight recorder.
+
+Opt-in via ``ExecutionConfig(trace=True)`` (or ``--trace`` /
+``--metrics`` on the CLI); disabled is ``obs is None`` everywhere, so a
+run that does not ask for tracing never imports or calls this package.
+See DESIGN.md ("Observability") for the ``plane.component.phase``
+naming scheme and the overhead budget.
+
+::
+
+    result = detect(graph, execution=ExecutionConfig(num_workers=4,
+                                                     trace=True))
+    trace = result.trace                  # a TraceResult
+    print(trace.summary())                # per-phase table
+    trace.save("run.trace.json")          # repro trace run.trace.json
+    json.dump(trace.to_chrome_trace(), f) # chrome://tracing / Perfetto
+    print(trace.to_prometheus())          # text exposition
+"""
+
+from repro.obs.metrics import BUCKET_BOUNDS, Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import (
+    DRIVER,
+    Obs,
+    Span,
+    TraceRecorder,
+    TraceResult,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "BUCKET_BOUNDS",
+    "Counter",
+    "DRIVER",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Obs",
+    "Span",
+    "TraceRecorder",
+    "TraceResult",
+    "validate_chrome_trace",
+]

@@ -38,6 +38,7 @@ from __future__ import annotations
 import json
 import os
 import threading
+import time
 import zipfile
 import zlib
 from dataclasses import dataclass
@@ -154,6 +155,11 @@ class CheckpointStore:
     :meth:`CommunityService.recover`.
     """
 
+    #: Observability context (:class:`repro.obs.Obs`) the service attaches
+    #: when traced; records WAL fsync latency and checkpoint write time.
+    #: ``None`` (the default) keeps the durability path metric-free.
+    obs = None
+
     def __init__(self, directory: Union[str, Path], keep: int = 2):
         if keep < 1:
             raise ValueError(f"keep must be >= 1, got {keep}")
@@ -211,10 +217,17 @@ class CheckpointStore:
         )
         final = self._checkpoint_path(batch_epoch)
         tmp = final.with_suffix(".npz.tmp")
+        obs = self.obs
+        if obs is not None:
+            write_start = time.perf_counter()
         with open(tmp, "wb") as handle:
             np.savez_compressed(handle, **arrays)
             handle.flush()
             os.fsync(handle.fileno())
+        if obs is not None:
+            obs.metrics.histogram("service.checkpoint_write_seconds").observe(
+                time.perf_counter() - write_start
+            )
         with self._lock:
             os.replace(tmp, final)
             for epoch in self.checkpoint_epochs()[: -self.keep]:
@@ -275,7 +288,14 @@ class CheckpointStore:
                 self._wal_handle = open(self.wal_path, "a", encoding="utf-8")
             self._wal_handle.write(encode_wal_record(epoch, batch))
             self._wal_handle.flush()
+            obs = self.obs
+            if obs is not None:
+                fsync_start = time.perf_counter()
             os.fsync(self._wal_handle.fileno())
+            if obs is not None:
+                obs.metrics.histogram("service.wal_fsync_seconds").observe(
+                    time.perf_counter() - fsync_start
+                )
 
     def read_wal(self, after_epoch: int = -1) -> List[Tuple[int, EditBatch]]:
         """All intact WAL records with epoch > ``after_epoch``, in order.

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, replace
+from time import time_ns
 from typing import Dict, FrozenSet, Optional, Tuple, Union
 
 from repro.api.config import (
@@ -160,6 +161,24 @@ def _normalise_config(
     return cfg, execution
 
 
+def _service_obs(execution: ExecutionConfig):
+    """A fresh observability context when ``execution.trace`` asks for one.
+
+    The service plane records ``service.*`` spans (apply, extract) and
+    metrics (queue depth, coalescing ratio, staleness at serve time, WAL
+    fsync latency) into the same context the engines use, so one exported
+    trace covers ingest, repair, and query; ``None`` (tracing off) keeps
+    every service path free of :mod:`repro.obs` calls.
+    """
+    if not execution.trace:
+        return None
+    from repro.obs import Obs
+
+    obs = Obs()
+    obs.meta.setdefault("mode", "service")
+    return obs
+
+
 class CommunityService:
     """A long-lived overlapping-community service over a dynamic graph.
 
@@ -209,6 +228,9 @@ class CommunityService:
                 "0..n-1 — checkpoints are array-native; use "
                 "repro.graph.relabel_to_integers first"
             )
+        self.obs = _service_obs(execution)
+        if self.store is not None:
+            self.store.obs = self.obs
         self._started = False
         self.checkpoints_skipped = 0
         self.checkpoint_fallbacks = 0
@@ -259,6 +281,16 @@ class CommunityService:
             )
         else:
             self.detector.fit()
+        if self.obs is not None:
+            # A traced distributed fit recorded its spans into the engine's
+            # own context (created by the cluster wrappers); fold them into
+            # the service's so one export covers fit + ingest + queries.
+            engine_obs = getattr(
+                getattr(self.detector, "comm_stats", None), "obs", None
+            )
+            if engine_obs is not None and engine_obs is not self.obs:
+                self.obs.trace.merge(engine_obs.trace.snapshot())
+                self.obs.metrics.merge(engine_obs.metrics.snapshot())
         self._started = True
         self.refresh()
         if self.store is not None:
@@ -335,6 +367,8 @@ class CommunityService:
             drift_tolerance=cfg.drift_tolerance,
         )
         service.store = store
+        service.obs = _service_obs(execution)
+        store.obs = service.obs
         service._started = True
         service.batches_applied = ckpt.batch_epoch
         service.edits_applied = ckpt.edits_applied
@@ -433,6 +467,9 @@ class CommunityService:
             )
             if not batch:
                 return None
+        obs = self.obs
+        if obs is not None:
+            apply_start = time_ns()
         # Validate before logging: the WAL must only ever contain batches
         # that are guaranteed to apply (write-ahead implies replay-ahead).
         batch.validate_against(self.detector.graph)
@@ -458,6 +495,18 @@ class CommunityService:
                 # replay re-downgrades the same way — but the WAL stops
                 # rotating; surface that in stats rather than crash ingest.
                 self.checkpoints_skipped += 1
+        if obs is not None:
+            # The span covers WAL append + repair + any checkpoint; the
+            # gauges publish the ingest plane's live operating point.
+            obs.trace.record(
+                "service.apply", apply_start, plane="service", superstep=epoch
+            )
+            obs.metrics.counter("service.batches_applied").inc()
+            obs.metrics.counter("service.edits_applied").inc(batch.size)
+            obs.metrics.gauge("service.queue_depth").set(self.queue.pending)
+            obs.metrics.gauge("service.coalesce_ratio").set(
+                self.queue.coalesce_ratio
+            )
         return report
 
     # ------------------------------------------------------------------
@@ -501,9 +550,17 @@ class CommunityService:
     def refresh(self) -> Optional[TransitionReport]:
         """Re-extract now and rebuild the index (the on-demand path)."""
         self._require_started()
+        obs = self.obs
+        if obs is not None:
+            extract_start = time_ns()
+            obs.metrics.histogram("service.staleness_at_extract").observe(
+                self.batches_since_extract
+            )
         report = self.index.update(self.detector.communities())
         self.extractions += 1
         self.batches_since_extract = 0
+        if obs is not None:
+            obs.trace.record("service.extract", extract_start, plane="service")
         return report
 
     def _maybe_refresh(self) -> None:
@@ -531,25 +588,36 @@ class CommunityService:
                     exc_info=True,
                 )
 
+    def _count_query(self) -> None:
+        self.queries_served += 1
+        obs = self.obs
+        if obs is not None:
+            obs.metrics.counter("service.queries").inc()
+            # Staleness as the query actually experienced it: batches
+            # applied since the index generation it was answered from.
+            obs.metrics.histogram("service.staleness_at_serve").observe(
+                self.batches_since_extract
+            )
+
     def communities_of(self, vertex: int) -> Tuple[int, ...]:
         """Stable ids of the communities containing ``vertex``."""
         self._require_started()
         self._maybe_refresh()
-        self.queries_served += 1
+        self._count_query()
         return self.index.communities_of(vertex)
 
     def members(self, cid: int) -> FrozenSet[int]:
         """Members of the community with stable id ``cid``."""
         self._require_started()
         self._maybe_refresh()
-        self.queries_served += 1
+        self._count_query()
         return self.index.members(cid)
 
     def overlap(self, u: int, v: int) -> Tuple[int, ...]:
         """Stable ids of communities containing both ``u`` and ``v``."""
         self._require_started()
         self._maybe_refresh()
-        self.queries_served += 1
+        self._count_query()
         return self.index.overlap(u, v)
 
     def cover(self) -> Cover:
@@ -595,7 +663,22 @@ class CommunityService:
             # The supervised multiprocess engine ran the fit: surface its
             # fault-tolerance counters alongside the service's own.
             payload["recovery"] = recovery.as_dict()
+        if self.obs is not None:
+            payload["metrics"] = self.obs.metrics.snapshot()
         return payload
+
+    def trace_result(self):
+        """The recorded :class:`~repro.obs.TraceResult` for a traced
+        service (``execution.trace=True``), else ``None``.
+
+        Covers everything the service did so far — the fit's engine spans
+        (merged in :meth:`start`), every applied batch, every extraction —
+        plus the live metrics registry; callable repeatedly as the
+        service keeps running.
+        """
+        if self.obs is None:
+            return None
+        return self.obs.result({"batches_applied": self.batches_applied})
 
     def close(self) -> None:
         """Release file handles (the WAL appender); the state stays usable."""

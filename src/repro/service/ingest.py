@@ -161,6 +161,18 @@ class EditQueue:
         return len(self._pending) >= self.batch_size
 
     @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of offered edits absorbed before reaching the detector.
+
+        Duplicates and both halves of every cancelled insert/delete pair
+        never cost the repair engine anything; this is the ingest plane's
+        headline efficiency number (0.0 until anything is offered).
+        """
+        if not self.offered:
+            return 0.0
+        return (self.duplicates + 2 * self.cancelled_pairs) / self.offered
+
+    @property
     def retry_after(self) -> float:
         """Seconds a producer should back off when the queue is full.
 
@@ -213,6 +225,7 @@ class EditQueue:
             "drained_edits": self.drained_edits,
             "backpressure_hits": self.backpressure_hits,
             "retry_after": self.retry_after,
+            "coalesce_ratio": self.coalesce_ratio,
         }
 
     def __len__(self) -> int:

@@ -84,6 +84,7 @@ from repro.service.facade import (
     CommunityService,
     ServiceConfig,
     _flatten_plan_config,
+    _service_obs,
 )
 from repro.service.index import MembershipIndex
 from repro.service.ingest import EditQueue
@@ -588,6 +589,8 @@ class _ReplicaRuntime:
         from repro.api.config import ExecutionConfig
 
         service.execution = ExecutionConfig(backend=cfg.backend)
+        service.obs = _service_obs(service.execution)
+        store.obs = service.obs
         service.detector = self.detector
         service.queue = EditQueue(
             batch_size=cfg.batch_size, max_pending=cfg.max_pending
@@ -874,6 +877,13 @@ class ServiceSupervisor:
         self._token = 0
         self._started = False
         self._closed = False
+        # Supervisor-side observability: commit / ship / failover spans
+        # and the replication metrics live here (children run untraced —
+        # the supervisor clocks every cross-process exchange end to end).
+        self.obs = _service_obs(config.execution)
+        if self.obs is not None:
+            self.obs.meta["mode"] = "replicated-service"
+            self.obs.meta["replicas"] = config.replicas
         # Failover ledger (surfaced in stats()).
         self.failovers = 0
         self.promoted_replica: Optional[int] = None
@@ -1027,6 +1037,8 @@ class ServiceSupervisor:
         seq = self._committed_seq + 1
         line = encode_wal_record(seq, batch)
         self._buffer[seq] = line
+        obs = self.obs
+        commit_start = time.time_ns() if obs is not None else 0
         ack = self._apply_on_primary(seq, line)
         _verb, _seq, ok, error, applied, ckpt_epoch = ack
         if not ok:
@@ -1037,6 +1049,11 @@ class ServiceSupervisor:
             raise error
         self._committed_seq = applied
         self._latest_ckpt_epoch = max(self._latest_ckpt_epoch, ckpt_epoch)
+        if obs is not None:
+            obs.trace.record(
+                "service.commit", commit_start, plane="service", superstep=seq
+            )
+            obs.metrics.counter("service.records_committed").inc()
         for state in self._replicas.values():
             state.pending.append(seq)
         self._pump_replicas()
@@ -1118,6 +1135,8 @@ class ServiceSupervisor:
                 self._fired_drops.add(drop_site)
                 state.shipped = max(state.shipped, seq)
                 continue
+            obs = self.obs
+            ship_start = time.time_ns() if obs is not None else 0
             try:
                 self._wire.send(state.rid, ("wal", seq, self._buffer[seq]))
                 state.shipped = max(state.shipped, seq)
@@ -1127,6 +1146,12 @@ class ServiceSupervisor:
             except ChildCrashedError:
                 self._spawn_replica(state.rid, respawn=True)
                 return
+            if obs is not None and reply is not TIMEOUT:
+                obs.trace.record(
+                    "service.wal_ship", ship_start, plane="service",
+                    worker=state.rid, superstep=seq,
+                )
+                obs.metrics.counter("service.wal_records_shipped").inc()
             if reply is TIMEOUT:
                 # Heartbeat lapse: stop pumping and let the client
                 # re-route meanwhile.  The record is in flight, not lost
@@ -1165,6 +1190,8 @@ class ServiceSupervisor:
         self, in_flight: Optional[Tuple[int, str]]
     ) -> None:
         """Promote the freshest replica and resume, or give up loudly."""
+        obs = self.obs
+        failover_start = time.time_ns() if obs is not None else 0
         self.failovers += 1
         if self.failovers > self.plan.max_failovers:
             raise FailoverExhaustedError(
@@ -1238,6 +1265,12 @@ class ServiceSupervisor:
         )
         for rid in dead:
             self._spawn_replica(rid, respawn=True)
+        if obs is not None:
+            obs.trace.record(
+                "service.failover", failover_start, plane="service",
+                worker=promoted, superstep=self._committed_seq,
+            )
+            obs.metrics.counter("service.failovers").inc()
 
     # ------------------------------------------------------------------
     # Query plane (used by ReplicatedClient)
@@ -1346,7 +1379,25 @@ class ServiceSupervisor:
             }
             for rid, state in sorted(self._replicas.items())
         }
+        if self.obs is not None:
+            payload["supervisor_metrics"] = self.obs.metrics.snapshot()
         return payload
+
+    def trace_result(self):
+        """The supervisor's :class:`~repro.obs.TraceResult`, or ``None``.
+
+        Covers the replication plane only (commit / ship / failover spans);
+        the children run untraced so the clock never crosses a process
+        boundary.
+        """
+        if self.obs is None:
+            return None
+        return self.obs.result(
+            {
+                "committed_seq": self._committed_seq,
+                "failovers": self.failovers,
+            }
+        )
 
     def snapshot(self) -> Dict[int, frozenset]:
         """The primary's ``stable id -> members`` map (bit-identity probe)."""
