@@ -1,0 +1,81 @@
+"""Lint-pass benchmark — full-tree ``repro lint`` wall time.
+
+The `repro-lint` CI job runs the whole invariant pack on every push, so
+its wall time is part of the edit-compile-test loop.  This harness times
+a full ``src/repro`` pass (parse + all registered rules + suppression
+audit) and records the numbers in ``BENCH_lint.json`` at the repository
+root, so rule-pack growth that makes the lint pass crawl shows up as a
+tracked regression rather than a slowly souring CI job.
+
+Run:  PYTHONPATH=src:. python -m pytest benchmarks/bench_lint.py -q
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+
+from benchmarks.bench_common import SCALE, banner, print_table
+from repro.analysis import all_rules, lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+RESULT_PATH = REPO_ROOT / "BENCH_lint.json"
+TREE = REPO_ROOT / "src" / "repro"
+
+REPEATS = 3
+
+
+def test_lint_full_tree_smoke(report):
+    rules = all_rules()
+
+    best = float("inf")
+    reports = None
+    for _ in range(REPEATS):
+        t0 = time.perf_counter()
+        reports = lint_paths([TREE], rules=rules)
+        best = min(best, time.perf_counter() - t0)
+
+    files = reports.files_checked
+    per_file_ms = 1000.0 * best / files if files else 0.0
+
+    report(
+        banner(
+            "Full-tree lint pass (repro lint src/repro)",
+            "n/a (project infrastructure, not a paper figure)",
+            "well under the 5-minute CI job timeout; shipped tree clean",
+        )
+    )
+    print_table(
+        report,
+        ("pass", "files", "rules", "wall s", "ms/file", "findings"),
+        [(
+            "src/repro",
+            files,
+            len(rules),
+            round(best, 3),
+            round(per_file_ms, 2),
+            len(reports.findings),
+        )],
+    )
+
+    payload = {
+        "benchmark": "lint_full_tree",
+        "scale": SCALE,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "results": {
+            "files_checked": files,
+            "rules": len(rules),
+            "wall_s": best,
+            "ms_per_file": per_file_ms,
+            "findings": len(reports.findings),
+        },
+    }
+    RESULT_PATH.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    report(f"results recorded in {RESULT_PATH}")
+
+    # Shape assertions: the tree ships clean, and a full pass must stay
+    # interactive — seconds, not the CI timeout.
+    assert reports.exit_code() == 0
+    assert files >= 75
+    assert best < 60.0

@@ -1,0 +1,79 @@
+"""Static invariant checking: the repo's contracts, enforced at diff time.
+
+This package is the *static* half of the correctness story.  The dynamic
+half — matrix tests proving covers and CommStats bit-identical across
+engines/transports/crash-replay/failover, the ``sys.modules`` booby-trap
+for the obs zero-overhead rule, the SIGKILL tests asserting ``/dev/shm``
+stays clean — only catches a violation if a test happens to execute the
+offending path.  The rules here (``RPL001``–``RPL005``, see
+:mod:`repro.analysis.rules` and DESIGN.md "Static invariants") encode the
+same contracts as AST checks that run on every file of every diff,
+before any test does::
+
+    from repro.analysis import run_checks
+
+    findings = run_checks(["src/repro"])   # [] on a clean tree
+
+or from the shell / CI::
+
+    PYTHONPATH=src python -m repro.cli lint src/repro --format github
+
+Layered like the rest of the repo:
+
+* :mod:`~repro.analysis.findings` — the :class:`Finding` value object;
+* :mod:`~repro.analysis.context` — parsed-module context (parent links,
+  import-alias resolution, scope qualnames), the :class:`Rule` base
+  class, and the :data:`RULES` registry (same mechanism as
+  :mod:`repro.api.registry`, open to plugins);
+* :mod:`~repro.analysis.rules` — the built-in rule pack;
+* :mod:`~repro.analysis.suppressions` — ``# repro-lint: disable=RPLnnn
+  -- reason`` inline exemptions, audited (reason required, unused
+  disables reported);
+* :mod:`~repro.analysis.baseline` — committed JSON debt ledger for
+  grandfathered findings (every entry carries a justification);
+* :mod:`~repro.analysis.runner` — discovery, execution, text/json/github
+  formatting, per-rule stats.
+
+Dependency-free by construction: stdlib ``ast`` only, no numpy, and —
+per RPL002's own contract — no :mod:`repro.obs`.
+"""
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.context import ModuleContext, Rule, RULES, all_rules
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.runner import (
+    FORMATTERS,
+    LintReport,
+    check_source,
+    format_github,
+    format_json,
+    format_text,
+    iter_python_files,
+    lint_paths,
+    run_checks,
+)
+from repro.analysis.suppressions import FRAMEWORK_RULE, SuppressionSheet
+import repro.analysis.rules  # noqa: F401  (registers the built-in pack)
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "ModuleContext",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "ERROR",
+    "WARNING",
+    "Finding",
+    "FORMATTERS",
+    "LintReport",
+    "check_source",
+    "format_github",
+    "format_json",
+    "format_text",
+    "iter_python_files",
+    "lint_paths",
+    "run_checks",
+    "FRAMEWORK_RULE",
+    "SuppressionSheet",
+]

@@ -1,0 +1,163 @@
+"""Committed JSON baseline for grandfathered findings.
+
+The baseline is the *temporary* escape hatch: when a new rule lands
+against an old tree, pre-existing findings can be recorded here so the
+rule gates new code immediately while the backlog is burned down.  Three
+properties keep it honest:
+
+* every entry MUST carry a non-empty ``justification`` string — loading a
+  baseline with a silent entry is an error, exactly like a reason-less
+  inline disable;
+* entries match findings by :meth:`Finding.baseline_key` — ``(rule,
+  path, symbol)`` — so they survive line drift but die with the file or
+  function they excuse;
+* entries that no longer match anything are reported by the runner as
+  stale, so a fixed violation is followed by shrinking the file in the
+  same PR.
+
+The inline ``# repro-lint: disable=`` comment is for *intentional*,
+permanent exemptions and lives next to the code it excuses; the baseline
+is for *debt*.  (This tree ships an empty baseline: every real finding
+was fixed or inline-justified.)
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from repro.analysis.findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "BASELINE_VERSION"]
+
+BASELINE_VERSION = 1
+
+
+class BaselineEntry:
+    """One grandfathered finding site."""
+
+    def __init__(self, rule: str, path: str, symbol: str, justification: str):
+        if not justification or not justification.strip():
+            raise ValueError(
+                f"baseline entry {rule} @ {path}:{symbol or '<module>'} "
+                "has no justification; every grandfathered finding must "
+                "say why it is allowed to stay"
+            )
+        self.rule = rule
+        self.path = path
+        self.symbol = symbol
+        self.justification = justification.strip()
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, str]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "symbol": self.symbol,
+            "justification": self.justification,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, str]) -> "BaselineEntry":
+        return cls(
+            rule=str(payload.get("rule", "")),
+            path=str(payload.get("path", "")),
+            symbol=str(payload.get("symbol", "")),
+            justification=str(payload.get("justification", "")),
+        )
+
+
+class Baseline:
+    """The committed set of grandfathered findings."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()):
+        self.entries: List[BaselineEntry] = list(entries)
+
+    # ------------------------------------------------------------------
+    # I/O
+    # ------------------------------------------------------------------
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+        if not isinstance(payload, dict) or "entries" not in payload:
+            raise ValueError(f"{path}: not a repro-lint baseline file")
+        version = payload.get("version")
+        if version != BASELINE_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline version {version!r} "
+                f"(this tool writes version {BASELINE_VERSION})"
+            )
+        try:
+            entries = [BaselineEntry.from_dict(e) for e in payload["entries"]]
+        except ValueError as exc:
+            raise ValueError(f"{path}: {exc}") from exc
+        return cls(entries)
+
+    def save(self, path: Union[str, Path]) -> None:
+        payload = {
+            "version": BASELINE_VERSION,
+            "entries": [
+                entry.to_dict()
+                for entry in sorted(self.entries, key=BaselineEntry.key)
+            ],
+        }
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+            handle.write("\n")
+
+    @classmethod
+    def from_findings(
+        cls, findings: Iterable[Finding], justification: str
+    ) -> "Baseline":
+        """Grandfather ``findings`` (one entry per distinct site)."""
+        seen = set()
+        entries = []
+        for finding in findings:
+            key = finding.baseline_key()
+            if key in seen:
+                continue
+            seen.add(key)
+            entries.append(
+                BaselineEntry(
+                    rule=finding.rule,
+                    path=finding.path,
+                    symbol=finding.symbol,
+                    justification=justification,
+                )
+            )
+        return cls(entries)
+
+    # ------------------------------------------------------------------
+    # Matching
+    # ------------------------------------------------------------------
+    def split(
+        self, findings: Iterable[Finding]
+    ) -> Tuple[List[Finding], List[Finding], List[BaselineEntry]]:
+        """Partition findings into (fresh, grandfathered) + stale entries.
+
+        Fresh findings gate the lint; grandfathered ones are reported as
+        counts only; stale entries (matched nothing this run) are
+        surfaced so the baseline shrinks as violations are fixed.
+        """
+        by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+        matched = set()
+        fresh: List[Finding] = []
+        grandfathered: List[Finding] = []
+        for finding in findings:
+            entry = by_key.get(finding.baseline_key())
+            if entry is None:
+                fresh.append(finding)
+            else:
+                matched.add(entry.key())
+                grandfathered.append(finding)
+        stale = [e for e in self.entries if e.key() not in matched]
+        return fresh, grandfathered, stale
+
+    def __len__(self) -> int:
+        return len(self.entries)

@@ -1,0 +1,217 @@
+"""Visitor core: parsed-module context, rule base class, rule registry.
+
+One :class:`ModuleContext` is built per analysed file and shared by every
+rule, so the tree is parsed once and the common static facts — parent
+links, import-alias resolution, enclosing-scope qualnames — are computed
+once.  Rules are tiny: subclass :class:`Rule`, declare an id/severity/
+scope, implement :meth:`Rule.check` as a generator of findings, and
+register the class in :data:`RULES` (the same named-registry mechanism
+components use, :class:`repro.api.registry.Registry`, so plugins can add
+project-specific invariants without touching this package)::
+
+    from repro.analysis.context import Rule, RULES
+
+    class NoPrint(Rule):
+        rule_id = "RPL901"
+        title = "no print in library code"
+        def check(self, ctx):
+            for node in ctx.walk(ast.Call):
+                if ctx.resolve(node.func) == "print":
+                    yield self.finding(ctx, node, "print() in library code")
+
+    RULES.register("RPL901", NoPrint)
+
+Scope strings are path prefixes *inside* the ``repro`` package
+(``"core/"``, ``"service/durability.py"``); a rule with an empty scope
+runs on every repro-package file.  Files outside any ``repro`` package
+(fixtures, scripts) only see rules that opt in via ``scope_any_file``.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+from repro.api.registry import Registry
+
+__all__ = ["ModuleContext", "Rule", "RULES", "all_rules", "package_relative"]
+
+#: Rule registry, keyed by rule id.  Mirrors the component registries in
+#: :mod:`repro.api.registry` (and reuses their implementation): built-in
+#: rules register at import, plugins extend with ``RULES.register``.
+RULES = Registry("lint rule")
+
+
+def package_relative(path: str) -> Optional[str]:
+    """Path inside the ``repro`` package, or ``None`` for foreign files.
+
+    ``src/repro/core/detector.py`` → ``core/detector.py``;
+    ``tests/test_x.py`` → ``None`` (scoped rules skip it).
+    """
+    parts = PurePosixPath(PurePosixPath(path).as_posix()).parts
+    for index in range(len(parts) - 1, -1, -1):
+        if parts[index] == "repro":
+            return "/".join(parts[index + 1:])
+    return None
+
+
+class ModuleContext:
+    """Everything the rules need to know about one parsed module."""
+
+    def __init__(self, path: str, source: str):
+        self.path = PurePosixPath(path).as_posix()
+        self.source = source
+        self.package_rel = package_relative(self.path)
+        self.tree = ast.parse(source, filename=self.path)
+        self._parents: Dict[ast.AST, ast.AST] = {}
+        for parent in ast.walk(self.tree):
+            for child in ast.iter_child_nodes(parent):
+                self._parents[child] = parent
+        self.imports = self._collect_imports()
+
+    # ------------------------------------------------------------------
+    # Tree navigation
+    # ------------------------------------------------------------------
+    def walk(self, *types: type) -> Iterator[ast.AST]:
+        for node in ast.walk(self.tree):
+            if not types or isinstance(node, types):
+                yield node
+
+    def parent(self, node: ast.AST) -> Optional[ast.AST]:
+        return self._parents.get(node)
+
+    def ancestors(self, node: ast.AST) -> Iterator[ast.AST]:
+        current = self._parents.get(node)
+        while current is not None:
+            yield current
+            current = self._parents.get(current)
+
+    def enclosing_function(self, node: ast.AST) -> Optional[ast.AST]:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                return ancestor
+        return None
+
+    def at_module_scope(self, node: ast.AST) -> bool:
+        """True when no function body encloses ``node`` (class bodies and
+        ``if`` guards still count as module scope — they run at import)."""
+        return self.enclosing_function(node) is None
+
+    def in_type_checking_block(self, node: ast.AST) -> bool:
+        for ancestor in self.ancestors(node):
+            if isinstance(ancestor, ast.If):
+                test = ancestor.test
+                name = (
+                    test.id if isinstance(test, ast.Name)
+                    else test.attr if isinstance(test, ast.Attribute)
+                    else None
+                )
+                if name == "TYPE_CHECKING":
+                    return True
+        return False
+
+    def qualname(self, node: ast.AST) -> str:
+        """``Class.method`` qualname of the scope enclosing ``node``."""
+        names: List[str] = []
+        for ancestor in self.ancestors(node):
+            if isinstance(
+                ancestor, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+            ):
+                names.append(ancestor.name)
+        return ".".join(reversed(names))
+
+    # ------------------------------------------------------------------
+    # Name resolution through the module's imports
+    # ------------------------------------------------------------------
+    def _collect_imports(self) -> Dict[str, str]:
+        aliases: Dict[str, str] = {}
+        for node in ast.walk(self.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".", 1)[0]
+                    # `import a.b` binds `a`; `import a.b as c` binds the
+                    # full dotted target to `c`.
+                    target = alias.name if alias.asname else local
+                    aliases[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.module and not node.level:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    aliases[local] = f"{node.module}.{alias.name}"
+        return aliases
+
+    def resolve(self, node: ast.AST) -> Optional[str]:
+        """Dotted target of a Name/Attribute chain, through import aliases.
+
+        ``np.random.default_rng`` resolves to ``numpy.random.default_rng``
+        when the module did ``import numpy as np``; a bare un-imported
+        name resolves to itself (covers builtins like ``open``/``sorted``).
+        Anything rooted in a non-name expression (``self.x``, calls,
+        subscripts) resolves to ``None`` — rules only match certainties.
+        """
+        parts: List[str] = []
+        current = node
+        while isinstance(current, ast.Attribute):
+            parts.append(current.attr)
+            current = current.value
+        if not isinstance(current, ast.Name):
+            return None
+        root = self.imports.get(current.id, current.id)
+        parts.append(root)
+        return ".".join(reversed(parts))
+
+    def call_name(self, call: ast.Call) -> Optional[str]:
+        return self.resolve(call.func)
+
+
+class Rule:
+    """Base class for one static invariant.
+
+    Subclasses set the class attributes and implement :meth:`check`;
+    :meth:`finding` builds a correctly-located :class:`Finding`.
+    """
+
+    rule_id: str = ""
+    title: str = ""
+    severity: str = ERROR
+    #: Path prefixes inside the repro package this rule runs on
+    #: (empty tuple = every repro-package file).
+    scope: Tuple[str, ...] = ()
+    #: Run even on files outside a ``repro`` package (lint fixtures,
+    #: scripts).  Scoped invariants keep this False.
+    scope_any_file: bool = False
+
+    def applies_to(self, ctx: ModuleContext) -> bool:
+        rel = ctx.package_rel
+        if rel is None:
+            return self.scope_any_file
+        if not self.scope:
+            return True
+        return any(rel.startswith(prefix) for prefix in self.scope)
+
+    def check(self, ctx: ModuleContext) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(
+        self, ctx: ModuleContext, node: ast.AST, message: str,
+        severity: Optional[str] = None,
+    ) -> Finding:
+        return Finding(
+            rule=self.rule_id,
+            path=ctx.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+            severity=severity or self.severity,
+            symbol=ctx.qualname(node),
+        )
+
+
+def all_rules() -> List[Rule]:
+    """Instantiate every registered rule, ordered by rule id."""
+    import repro.analysis.rules  # noqa: F401  (registers the built-in pack)
+
+    return [rule_class() for rule_class in RULES.resolve_all().values()]

@@ -1,0 +1,82 @@
+"""Findings: what a rule reports, how it sorts, and how it serialises.
+
+A :class:`Finding` is one violation of one static invariant at one source
+location.  Findings are value objects — frozen, hashable, order-defined —
+so the runner can deduplicate them, the baseline can match them across
+runs, and the formatters can emit them deterministically (sorted by
+``(path, line, col, rule)``) regardless of rule-execution order.
+
+The :meth:`Finding.baseline_key` deliberately excludes the line number:
+baselined findings must survive unrelated edits above them in the file,
+so the key is ``(rule, path, symbol)`` — the enclosing function or class
+qualname pins the site instead of the drifting line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ERROR", "WARNING", "SEVERITIES", "Finding"]
+
+#: Severity levels.  ``error`` findings fail the lint (exit code 1);
+#: ``warning`` findings are reported but do not gate, unless the caller
+#: promotes them (``repro lint --strict``).
+ERROR = "error"
+WARNING = "warning"
+SEVERITIES = (ERROR, WARNING)
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One static-invariant violation at one source location."""
+
+    rule: str          #: rule id, e.g. ``"RPL001"``
+    path: str          #: posix path as analysed (repo-relative in CI)
+    line: int          #: 1-based line of the offending node
+    col: int           #: 0-based column of the offending node
+    message: str       #: human explanation, ends with the invariant
+    severity: str = ERROR
+    symbol: str = ""   #: enclosing ``Class.method`` qualname ('' = module)
+
+    def __post_init__(self):
+        if self.severity not in SEVERITIES:
+            raise ValueError(
+                f"severity must be one of {SEVERITIES}, got {self.severity!r}"
+            )
+
+    def sort_key(self) -> Tuple[str, int, int, str, str]:
+        return (self.path, self.line, self.col, self.rule, self.message)
+
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.symbol)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity,
+            "symbol": self.symbol,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Finding":
+        return cls(
+            rule=str(payload["rule"]),
+            path=str(payload["path"]),
+            line=int(payload["line"]),
+            col=int(payload.get("col", 0)),
+            message=str(payload["message"]),
+            severity=str(payload.get("severity", ERROR)),
+            symbol=str(payload.get("symbol", "")),
+        )
+
+    def location(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}"
+
+    def __str__(self) -> str:
+        return f"{self.location()}: {self.rule} {self.severity}: {self.message}"

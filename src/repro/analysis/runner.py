@@ -1,0 +1,232 @@
+"""Runner: file discovery, rule execution, report, output formats.
+
+The flow, per file: parse once into a :class:`ModuleContext`, run every
+applicable rule, drop findings covered by inline suppressions, then
+append the suppression audit (unused / reason-less disables).  Across
+files, the optional :class:`~repro.analysis.baseline.Baseline` splits
+findings into *fresh* (gate the lint) and *grandfathered* (counted
+only), and stale baseline entries are surfaced so the file shrinks.
+
+Three output formats:
+
+* ``text`` — ``path:line:col: RULE severity: message`` plus a summary
+  line (and per-rule counts with ``--stats``);
+* ``json`` — the full report as one machine-readable object;
+* ``github`` — ``::error``/``::warning`` workflow commands, so a CI run
+  annotates the offending lines of the diff directly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.analysis.baseline import Baseline, BaselineEntry
+from repro.analysis.context import ModuleContext, Rule, all_rules
+from repro.analysis.findings import ERROR, WARNING, Finding
+from repro.analysis.suppressions import FRAMEWORK_RULE, SuppressionSheet
+
+__all__ = [
+    "LintReport",
+    "run_checks",
+    "lint_paths",
+    "check_source",
+    "iter_python_files",
+    "format_text",
+    "format_json",
+    "format_github",
+]
+
+
+def iter_python_files(paths: Iterable[Union[str, Path]]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                p for p in sorted(path.rglob("*.py"))
+                if "__pycache__" not in p.parts
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+        elif not path.exists():
+            raise FileNotFoundError(f"no such file or directory: {path}")
+    return files
+
+
+def check_source(
+    source: str,
+    path: str,
+    rules: Optional[Sequence[Rule]] = None,
+    *,
+    audit_suppressions: bool = True,
+) -> List[Finding]:
+    """All findings for one module's source text (sorted, deduplicated)."""
+    active = list(rules) if rules is not None else all_rules()
+    posix = Path(path).as_posix()
+    try:
+        ctx = ModuleContext(posix, source)
+    except SyntaxError as exc:
+        return [
+            Finding(
+                rule=FRAMEWORK_RULE,
+                path=posix,
+                line=exc.lineno or 1,
+                col=max((exc.offset or 1) - 1, 0),
+                message=f"syntax error: {exc.msg}",
+                severity=ERROR,
+            )
+        ]
+    sheet = SuppressionSheet(source, ctx.path)
+    findings: List[Finding] = []
+    for rule in active:
+        if not rule.applies_to(ctx):
+            continue
+        for finding in rule.check(ctx):
+            if not sheet.suppresses(finding):
+                findings.append(finding)
+    if audit_suppressions:
+        findings.extend(sheet.audit())
+    return sorted(set(findings), key=Finding.sort_key)
+
+
+class LintReport:
+    """Outcome of one lint run over a set of files."""
+
+    def __init__(
+        self,
+        findings: List[Finding],
+        grandfathered: List[Finding],
+        stale_baseline: List[BaselineEntry],
+        files_checked: int,
+    ):
+        self.findings = sorted(findings, key=Finding.sort_key)
+        self.grandfathered = sorted(grandfathered, key=Finding.sort_key)
+        self.stale_baseline = stale_baseline
+        self.files_checked = files_checked
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == ERROR]
+
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == WARNING]
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for finding in self.findings:
+            counts[finding.rule] = counts.get(finding.rule, 0) + 1
+        return dict(sorted(counts.items()))
+
+    def exit_code(self, strict: bool = False) -> int:
+        """0 clean, 1 gating findings (errors; +warnings when strict)."""
+        if self.errors():
+            return 1
+        if strict and self.warnings():
+            return 1
+        return 0
+
+    def summary(self) -> str:
+        parts = [
+            f"{len(self.errors())} error(s)",
+            f"{len(self.warnings())} warning(s)",
+            f"{self.files_checked} file(s) analyzed",
+        ]
+        if self.grandfathered:
+            parts.append(f"{len(self.grandfathered)} grandfathered")
+        if self.stale_baseline:
+            parts.append(f"{len(self.stale_baseline)} stale baseline entr(ies)")
+        return ", ".join(parts)
+
+
+def lint_paths(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> LintReport:
+    """Lint files/directories; the library API behind ``repro lint``."""
+    files = iter_python_files(paths)
+    all_findings: List[Finding] = []
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        all_findings.extend(check_source(source, str(path), rules))
+    if baseline is None:
+        return LintReport(all_findings, [], [], len(files))
+    fresh, grandfathered, stale = baseline.split(all_findings)
+    return LintReport(fresh, grandfathered, stale, len(files))
+
+
+def run_checks(
+    paths: Iterable[Union[str, Path]],
+    *,
+    rules: Optional[Sequence[Rule]] = None,
+    baseline: Optional[Baseline] = None,
+) -> List[Finding]:
+    """Gating findings for ``paths`` — the one-call library entry point."""
+    return lint_paths(paths, rules=rules, baseline=baseline).findings
+
+
+# ----------------------------------------------------------------------
+# Output formats
+# ----------------------------------------------------------------------
+def format_text(report: LintReport, stats: bool = False) -> str:
+    lines = [str(finding) for finding in report.findings]
+    for entry in report.stale_baseline:
+        lines.append(
+            f"{entry.path}: stale baseline entry {entry.rule} "
+            f"(symbol {entry.symbol or '<module>'!r}) no longer matches "
+            "anything — remove it from the baseline"
+        )
+    lines.append(report.summary())
+    if stats:
+        lines.append("per-rule finding counts:")
+        counts = report.counts_by_rule()
+        if counts:
+            lines.extend(f"  {rule}: {count}" for rule, count in counts.items())
+        else:
+            lines.append("  (none)")
+    return "\n".join(lines) + "\n"
+
+
+def format_json(report: LintReport, stats: bool = False) -> str:
+    payload = {
+        "version": 1,
+        "files_checked": report.files_checked,
+        "findings": [f.to_dict() for f in report.findings],
+        "grandfathered": [f.to_dict() for f in report.grandfathered],
+        "stale_baseline": [e.to_dict() for e in report.stale_baseline],
+        "counts_by_rule": report.counts_by_rule(),
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def _github_escape(text: str) -> str:
+    """Escape per GitHub workflow-command rules (%0A newlines etc.)."""
+    return (
+        text.replace("%", "%25").replace("\r", "%0D").replace("\n", "%0A")
+    )
+
+
+def format_github(report: LintReport, stats: bool = False) -> str:
+    lines = []
+    for finding in report.findings:
+        kind = "error" if finding.severity == ERROR else "warning"
+        lines.append(
+            f"::{kind} file={finding.path},line={finding.line},"
+            f"col={finding.col + 1},title={finding.rule}::"
+            + _github_escape(finding.message)
+        )
+    lines.append(f"::notice::repro-lint: {report.summary()}")
+    if stats:
+        for rule, count in report.counts_by_rule().items():
+            lines.append(f"::notice::repro-lint {rule}: {count} finding(s)")
+    return "\n".join(lines) + "\n"
+
+
+FORMATTERS = {
+    "text": format_text,
+    "json": format_json,
+    "github": format_github,
+}

@@ -1,0 +1,173 @@
+"""Inline suppressions: ``# repro-lint: disable=RULE[,RULE] -- reason``.
+
+A suppression silences named rules on one statement.  Two placements:
+
+* **trailing** — after code on the same line; covers that line::
+
+      os.fsync(handle.fileno())  # repro-lint: disable=RPL005 -- WAL append
+      # must serialise against rotation; the lock IS the contract here
+
+* **standalone** — a comment-only line; covers the next code line::
+
+      # repro-lint: disable=RPL003 -- ownership moves to the ring below
+      segment = shared_memory.SharedMemory(create=True, size=size)
+
+The policy mirrors the repo's dynamic-test philosophy: silencing a
+static invariant is allowed, but only *audibly* — every ``disable`` must
+carry a ``--``-separated reason, and a ``disable`` that stops matching
+anything (the violation was fixed, or the rule id is a typo) is itself a
+finding.  Both diagnostics are emitted under the framework id
+``RPL000`` so a stale suppression can never rot silently in the tree.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Iterator, List, Tuple
+
+from repro.analysis.findings import ERROR, Finding
+
+__all__ = ["Suppression", "SuppressionSheet", "FRAMEWORK_RULE"]
+
+#: Rule id for the analyzer's own diagnostics (syntax errors, unused or
+#: reason-less suppressions).  Not suppressible — a disable naming RPL000
+#: is reported as unknown.
+FRAMEWORK_RULE = "RPL000"
+
+_DISABLE_RE = re.compile(
+    r"#\s*repro-lint:\s*disable=(?P<rules>[A-Za-z0-9_,\s]+?)"
+    r"(?:\s*--\s*(?P<reason>.*\S))?\s*$"
+)
+_RULE_ID_RE = re.compile(r"^RPL\d{3}$")
+
+
+class Suppression:
+    """One parsed ``disable`` comment and its bookkeeping."""
+
+    def __init__(self, rules: Tuple[str, ...], reason: str,
+                 comment_line: int, target_line: int):
+        self.rules = rules
+        self.reason = reason
+        self.comment_line = comment_line  # where the comment itself sits
+        self.target_line = target_line    # the code line it covers
+        self.used = False
+
+    def __repr__(self) -> str:
+        return (
+            f"Suppression(rules={self.rules}, line={self.comment_line}, "
+            f"covers={self.target_line}, used={self.used})"
+        )
+
+
+def _comment_tokens(source: str) -> Iterator[tokenize.TokenInfo]:
+    """COMMENT tokens of ``source`` (so ``repro-lint`` text inside
+    docstrings and string literals is never mistaken for a directive)."""
+    try:
+        for token in tokenize.generate_tokens(io.StringIO(source).readline):
+            if token.type == tokenize.COMMENT:
+                yield token
+    except (tokenize.TokenError, IndentationError):  # pragma: no cover
+        # check_source() ast-parses before building the sheet, so this
+        # only triggers on pathological inputs; no comments, no disables.
+        return
+
+
+def _next_code_line(lines: List[str], start: int) -> int:
+    """1-based line number of the first code line at or after ``start``."""
+    for offset in range(start - 1, len(lines)):
+        stripped = lines[offset].strip()
+        if stripped and not stripped.startswith("#"):
+            return offset + 1
+    return start  # trailing comment at EOF: covers nothing real
+
+
+class SuppressionSheet:
+    """All suppressions of one module, indexed by the line they cover."""
+
+    def __init__(self, source: str, path: str):
+        self.path = path
+        self._by_line: Dict[int, List[Suppression]] = {}
+        self._all: List[Suppression] = []
+        self._malformed: List[Tuple[int, str]] = []
+        lines = source.splitlines()
+        for token in _comment_tokens(source):
+            if "repro-lint" not in token.string:
+                continue
+            lineno = token.start[0]
+            standalone = not lines[lineno - 1][: token.start[1]].strip()
+            match = _DISABLE_RE.search(token.string)
+            if match is None:
+                # A marker that does not parse is a typo'd contract:
+                # surface it rather than silently ignoring it.
+                self._malformed.append(
+                    (lineno, "unparseable repro-lint comment (expected "
+                             "'# repro-lint: disable=RPLnnn -- reason')")
+                )
+                continue
+            rules = tuple(
+                r.strip() for r in match.group("rules").split(",") if r.strip()
+            )
+            bad = [r for r in rules
+                   if not _RULE_ID_RE.match(r) or r == FRAMEWORK_RULE]
+            if bad or not rules:
+                self._malformed.append(
+                    (lineno, f"disable names unknown rule id(s) {bad or rules}")
+                )
+                continue
+            target = (
+                _next_code_line(lines, lineno + 1) if standalone else lineno
+            )
+            suppression = Suppression(
+                rules=rules,
+                reason=(match.group("reason") or "").strip(),
+                comment_line=lineno,
+                target_line=target,
+            )
+            self._by_line.setdefault(target, []).append(suppression)
+            self._all.append(suppression)
+
+    def __len__(self) -> int:
+        return len(self._all)
+
+    def suppresses(self, finding: Finding) -> bool:
+        """True (and mark used) if a disable covers this finding."""
+        for suppression in self._by_line.get(finding.line, ()):
+            if finding.rule in suppression.rules:
+                suppression.used = True
+                return True
+        return False
+
+    def audit(self) -> Iterator[Finding]:
+        """Framework findings: malformed, reason-less, unused disables."""
+        for lineno, message in self._malformed:
+            yield Finding(
+                rule=FRAMEWORK_RULE, path=self.path, line=lineno, col=0,
+                message=message, severity=ERROR,
+            )
+        for suppression in self._all:
+            if not suppression.reason:
+                yield Finding(
+                    rule=FRAMEWORK_RULE, path=self.path,
+                    line=suppression.comment_line, col=0,
+                    message=(
+                        "suppression without a justification; write "
+                        "'# repro-lint: disable="
+                        + ",".join(suppression.rules)
+                        + " -- <why this site is exempt>'"
+                    ),
+                    severity=ERROR,
+                )
+            if not suppression.used:
+                yield Finding(
+                    rule=FRAMEWORK_RULE, path=self.path,
+                    line=suppression.comment_line, col=0,
+                    message=(
+                        "unused suppression for "
+                        + ",".join(suppression.rules)
+                        + ": nothing on the covered line violates it "
+                        "(fixed violation, or wrong rule id) — delete it"
+                    ),
+                    severity=ERROR,
+                )

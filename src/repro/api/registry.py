@@ -98,6 +98,15 @@ class Registry:
     def names(self) -> List[str]:
         return sorted(set(self._entries) | set(self._lazy))
 
+    def resolve_all(self) -> Dict[str, Any]:
+        """Resolve every registered name (forcing lazy loaders), by name.
+
+        Enumeration order is :meth:`names` order, so consumers that
+        instantiate everything (e.g. the lint runner walking
+        :data:`repro.analysis.context.RULES`) behave deterministically.
+        """
+        return {name: self.resolve(name) for name in self.names()}
+
     def __contains__(self, name: str) -> bool:
         return name in self._entries or name in self._lazy
 

@@ -1,6 +1,6 @@
-"""Command-line interface: detect, update, serve, plan, and inspect.
+"""Command-line interface: detect, update, serve, plan, lint, and inspect.
 
-Six subcommands mirroring the library lifecycle::
+Seven subcommands mirroring the library lifecycle::
 
     python -m repro.cli detect graph.txt --seed 7 -T 200 \
         --state state.json --cover cover.json
@@ -11,6 +11,7 @@ Six subcommands mirroring the library lifecycle::
     python -m repro.cli plan graph.txt --distributed 4
     python -m repro.cli stats graph.txt
     python -m repro.cli trace run.trace.json --chrome run.chrome.json
+    python -m repro.cli lint src/repro --format github --stats
 
 ``graph.txt`` is a whitespace edge list (directions/duplicates/self-loops
 normalised away, as in the paper's preprocessing); ``edits.txt`` uses the
@@ -45,6 +46,13 @@ inspected or converted offline with the ``trace`` subcommand (summary by
 default, ``--chrome`` for a chrome://tracing / Perfetto timeline,
 ``--prometheus`` for the exposition).  Tracing never changes results — runs
 are bit-identical with it on or off.
+
+The ``lint`` subcommand runs the static invariant checker
+(:mod:`repro.analysis`, rules RPL001–RPL005 plus the RPL000 framework
+diagnostics) over source trees: exit 0 clean, 1 on gating findings, 2 on
+usage errors — CI-ready.  ``--format github`` emits workflow commands
+that annotate the diff; ``--baseline`` grandfathers a committed debt
+file; ``--stats`` prints per-rule finding counts and file totals.
 """
 
 from __future__ import annotations
@@ -527,6 +535,32 @@ def _cmd_trace(args, out) -> int:
     return 0
 
 
+def _cmd_lint(args, out) -> int:
+    from repro.analysis import Baseline, FORMATTERS, lint_paths
+
+    baseline = None
+    if args.baseline and not args.write_baseline:
+        baseline = Baseline.load(args.baseline)
+    report = lint_paths(args.paths, baseline=baseline)
+    if args.write_baseline:
+        if not args.baseline:
+            raise ValueError("--write-baseline requires --baseline PATH")
+        # Grandfather the current findings: the rule gates new code at
+        # once while the recorded debt is burned down entry by entry.
+        Baseline.from_findings(
+            report.findings,
+            justification="grandfathered when the rule landed; fix and "
+            "remove (see DESIGN.md 'Static invariants')",
+        ).save(args.baseline)
+        out.write(
+            f"baseline written to {args.baseline}: "
+            f"{len(report.findings)} finding(s) grandfathered\n"
+        )
+        return 0
+    out.write(FORMATTERS[args.format](report, stats=args.stats))
+    return report.exit_code(strict=args.strict)
+
+
 def _cmd_stats(args, out) -> int:
     graph = read_edge_list(args.graph)
     components = graph.connected_components()
@@ -672,6 +706,50 @@ def build_parser() -> argparse.ArgumentParser:
     stats = sub.add_parser("stats", help="print normalised graph statistics")
     stats.add_argument("graph", help="edge-list file")
     stats.set_defaults(func=_cmd_stats)
+
+    lint = sub.add_parser(
+        "lint",
+        help="statically check the repo's invariants "
+        "(determinism, obs-overhead, resource discipline, API hygiene, "
+        "concurrency; see repro.analysis)",
+    )
+    lint.add_argument(
+        "paths",
+        nargs="*",
+        default=["src/repro"],
+        help="files or directories to analyze (default: src/repro)",
+    )
+    lint.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format; 'github' emits ::error workflow commands "
+        "that annotate the offending lines in a PR diff",
+    )
+    lint.add_argument(
+        "--baseline",
+        metavar="PATH",
+        help="committed JSON baseline of grandfathered findings; matched "
+        "findings are counted but do not gate (every entry must carry "
+        "a justification string)",
+    )
+    lint.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="grandfather the current findings into --baseline PATH "
+        "instead of reporting them, then exit 0",
+    )
+    lint.add_argument(
+        "--stats",
+        action="store_true",
+        help="print per-rule finding counts and analyzed-file totals",
+    )
+    lint.add_argument(
+        "--strict",
+        action="store_true",
+        help="warning-severity findings also gate (exit 1)",
+    )
+    lint.set_defaults(func=_cmd_lint)
 
     trace = sub.add_parser(
         "trace",

@@ -291,6 +291,10 @@ class CheckpointStore:
             obs = self.obs
             if obs is not None:
                 fsync_start = time.perf_counter()
+            # An unlocked fsync could race _rotate_wal and hit a closed
+            # fd — holding the lock across it IS the append/rotate
+            # serialisation this store promises.
+            # repro-lint: disable=RPL005 -- rotation swaps the handle; the lock must cover the fsync
             os.fsync(self._wal_handle.fileno())
             if obs is not None:
                 obs.metrics.histogram("service.wal_fsync_seconds").observe(
@@ -334,6 +338,9 @@ class CheckpointStore:
                 for epoch, batch in survivors:
                     handle.write(encode_wal_record(epoch, batch))
                 handle.flush()
+                # The replace() below must not publish an un-synced tail,
+                # and appends must stay blocked until it lands.
+                # repro-lint: disable=RPL005 -- tmp must be durable before replace() publishes it
                 os.fsync(handle.fileno())
             os.replace(tmp, self.wal_path)
 

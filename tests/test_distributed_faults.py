@@ -158,6 +158,9 @@ def _faulty_run(transport, fault_plan, checkpoint_interval=2, max_restarts=3):
 
 
 def _shm_segments():
+    # Dynamic half of the resource-discipline contract; the static half
+    # is lint rule RPL003, which rejects SharedMemory/socket creations
+    # in transport.py that cannot reach a close() on every path.
     try:
         return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
     except FileNotFoundError:  # non-tmpfs platform: skip the leak check

@@ -126,6 +126,9 @@ def _cover_from_memories(memories, tau=TAU):
 
 
 def _shm_segments():
+    # Dynamic half of the resource-discipline contract; the static half
+    # is lint rule RPL003, which rejects SharedMemory/socket creations
+    # in transport.py that cannot reach a close() on every path.
     try:
         return {f for f in os.listdir("/dev/shm") if f.startswith("psm_")}
     except FileNotFoundError:  # non-tmpfs platform: skip the leak check

@@ -216,6 +216,10 @@ class TestDisabledPathZeroOverhead:
         *access* alone is allowed (a gated ``from repro.obs import Obs``
         would already be a contract violation and trips the trap the
         moment the import body runs — the stub has no real classes).
+
+        This is the dynamic half of the contract; the static half is
+        lint rule RPL002 (``repro lint``), which rejects unguarded
+        module-level ``repro.obs`` imports before they ever run.
         """
         calls = []
 
